@@ -1,0 +1,90 @@
+"""Fig. 5 — comparison of the two Pplw physical variants.
+
+Left chart of the paper: transitive closure on an Erdos-Renyi graph, with a
+constant part of growing size; right chart: Kleene-star navigations whose
+variable part (the relations used inside the recursion) has growing size.
+The quantity of interest is which variant (Spark local loops vs. per-worker
+PostgreSQL-like engine) wins on each side of the sweep, and where the
+crossover falls.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.algebra import Literal, RelVar, closure_from_seed
+from repro.data import Relation
+from repro.distributed import (PPLW_POSTGRES, PPLW_SPARK, SparkCluster,
+                               make_plan)
+from repro.bench import MeasuredRun, series_table
+
+FIGURE_TITLE = "Fig. 5 - Pplw^pg vs Pplw^s (constant-part and variable-part sweeps)"
+
+CONSTANT_PART_SIZES = (100, 300, 1000, 3000)
+VARIANTS = (PPLW_SPARK, PPLW_POSTGRES)
+
+
+def _seed_relation(graph, size: int) -> Relation:
+    """A random subset of the edges, used as the fixpoint's constant part."""
+    rng = random.Random(size)
+    edges = sorted(graph.edges("edge").to_pairs("src", "trg"))
+    chosen = rng.sample(edges, k=min(size, len(edges)))
+    return Relation.from_pairs(chosen, columns=("src", "trg"))
+
+
+def _run_variant(graph, strategy: str, seed_size: int) -> MeasuredRun:
+    database = graph.relations()
+    seed = _seed_relation(graph, seed_size)
+    term = closure_from_seed(Literal(seed, name="seed"), RelVar("edge"))
+    cluster = SparkCluster(num_workers=4)
+    plan = make_plan(strategy, cluster, database)
+    started = time.perf_counter()
+    result = plan.execute(term)
+    elapsed = time.perf_counter() - started
+    return MeasuredRun(system=strategy, query_id=f"seed={seed_size}",
+                       dataset=graph.name, seconds=elapsed, rows=len(result),
+                       metrics=cluster.metrics.summary())
+
+
+@pytest.mark.parametrize("seed_size", CONSTANT_PART_SIZES)
+@pytest.mark.parametrize("strategy", VARIANTS)
+def test_constant_part_sweep(benchmark, figure_report, transitive_closure_graph,
+                             strategy, seed_size):
+    run = benchmark.pedantic(
+        lambda: _run_variant(transitive_closure_graph, strategy, seed_size),
+        rounds=1, iterations=1)
+    figure_report.add(run)
+    assert run.succeeded
+
+
+def test_variable_part_sweep(benchmark, figure_report, yago_graph):
+    """Right chart: same query shape, growing variable-part relations."""
+    labels_by_size = sorted(yago_graph.labels,
+                            key=lambda label: yago_graph.edge_count(label))
+    chosen = [label for label in labels_by_size if yago_graph.edge_count(label) > 5]
+    chosen = chosen[:: max(1, len(chosen) // 5)][:5]
+
+    def sweep():
+        points = []
+        for label in chosen:
+            database = yago_graph.relations()
+            seed = database[label]
+            term = closure_from_seed(Literal(seed, name="seed"), RelVar(label))
+            row: dict[str, float] = {"phi_size": yago_graph.edge_count(label)}
+            for strategy in VARIANTS:
+                cluster = SparkCluster(num_workers=4)
+                plan = make_plan(strategy, cluster, database)
+                started = time.perf_counter()
+                plan.execute(term)
+                row[strategy] = time.perf_counter() - started
+            points.append((label, row))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    figure_report.add_section(series_table(
+        points, "Fig. 5 (right) - evaluation time vs variable-part size",
+        x_label="closure label"))
+    assert points

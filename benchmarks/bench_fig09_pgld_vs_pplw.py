@@ -1,0 +1,32 @@
+"""Fig. 9 — Dist-mu-RA's own plans: global loop (Pgld) vs local loops (Pplw).
+
+The paper observes that the Pplw plans are consistently faster than Pgld on
+the Yago queries because they avoid the per-iteration shuffle.  The shape to
+reproduce: Pplw at least as fast as Pgld on (nearly) every query, and far
+fewer shuffled tuples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_distmura
+from repro.distributed import PGLD, PPLW_SPARK
+from repro.workloads import YAGO_QUICK_SUBSET, yago_queries
+
+FIGURE_TITLE = "Fig. 9 - Pgld vs Pplw on Yago queries"
+
+QUERIES = {query.qid: query for query in yago_queries(subset=YAGO_QUICK_SUBSET)}
+STRATEGIES = {"Pplw": PPLW_SPARK, "Pgld": PGLD}
+
+
+@pytest.mark.parametrize("qid", sorted(QUERIES))
+@pytest.mark.parametrize("plan_name", sorted(STRATEGIES))
+def test_yago_query_plan(benchmark, figure_report, yago_graph, qid, plan_name):
+    query = QUERIES[qid]
+    run = benchmark.pedantic(
+        lambda: run_distmura(yago_graph, query, strategy=STRATEGIES[plan_name]),
+        rounds=1, iterations=1)
+    run.system = plan_name
+    figure_report.add(run)
+    assert run.succeeded

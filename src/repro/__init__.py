@@ -1,0 +1,36 @@
+"""Dist-mu-RA reproduction: distributed evaluation of recursive relational algebra.
+
+The public API re-exports the pieces most users need:
+
+* :class:`DistMuRA` — the end-to-end engine (parse, optimize, distribute,
+  execute),
+* the data model (:class:`Relation`, :class:`LabeledGraph`),
+* the mu-RA algebra (term constructors and the centralized evaluator),
+* the simulated cluster and the physical plan names.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the architecture.
+"""
+
+from .data.graph import LabeledGraph
+from .data.relation import Relation
+from .data.tuples import Tup
+from .engine import DistMuRA, QueryResult
+from .distributed.cluster import SparkCluster
+from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistMuRA",
+    "LabeledGraph",
+    "PGLD",
+    "PPLW_POSTGRES",
+    "PPLW_SPARK",
+    "QueryResult",
+    "Relation",
+    "ReproError",
+    "SparkCluster",
+    "Tup",
+    "__version__",
+]

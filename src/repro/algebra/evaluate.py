@@ -1,0 +1,166 @@
+"""Centralized (single-node) evaluation of mu-RA terms.
+
+This is the reference evaluator: every other execution strategy (the
+distributed plans, the per-worker local engine, the baselines) is tested
+against it.  Fixpoints are evaluated with the semi-naive (differential)
+method of Algorithm 1 of the paper::
+
+    X = R
+    new = R
+    while new != empty:
+        new = phi(new) \\ X
+        X = X U new
+    return X
+
+which is correct for Fcond-satisfying terms thanks to Proposition 1
+(``Psi(S) = Psi(empty) U union_x Psi({x})``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..data.relation import Relation
+from ..errors import EvaluationError
+from .conditions import decompose
+from .terms import (AntiProject, Antijoin, Filter, Fixpoint, Join, Literal,
+                    Rename, RelVar, Term, Union)
+
+#: Safety bound on fixpoint iterations; graph reachability converges in at
+#: most |nodes| steps, so hitting this bound indicates a malformed term.
+DEFAULT_MAX_ITERATIONS = 1_000_000
+
+
+@dataclass
+class EvaluationStats:
+    """Counters filled in by the evaluator, used by tests and benchmarks."""
+
+    fixpoint_iterations: int = 0
+    fixpoints_evaluated: int = 0
+    tuples_produced: int = 0
+    per_fixpoint_iterations: list[int] = field(default_factory=list)
+
+    def record_fixpoint(self, iterations: int, result_size: int) -> None:
+        self.fixpoints_evaluated += 1
+        self.fixpoint_iterations += iterations
+        self.tuples_produced += result_size
+        self.per_fixpoint_iterations.append(iterations)
+
+
+class Evaluator:
+    """Evaluate mu-RA terms against a database of named relations."""
+
+    def __init__(self, database: Mapping[str, Relation],
+                 max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                 stats: EvaluationStats | None = None):
+        self.database = dict(database)
+        self.max_iterations = max_iterations
+        self.stats = stats if stats is not None else EvaluationStats()
+
+    def evaluate(self, term: Term, env: Mapping[str, Relation] | None = None) -> Relation:
+        """Evaluate ``term``; ``env`` binds recursive variables to relations."""
+        return self._eval(term, dict(env or {}))
+
+    # -- Dispatch -------------------------------------------------------------
+
+    def _eval(self, term: Term, env: dict[str, Relation]) -> Relation:
+        if isinstance(term, RelVar):
+            return self._eval_variable(term, env)
+        if isinstance(term, Literal):
+            return term.relation
+        if isinstance(term, Union):
+            return self._eval(term.left, env).union(self._eval(term.right, env))
+        if isinstance(term, Join):
+            return self._eval(term.left, env).natural_join(self._eval(term.right, env))
+        if isinstance(term, Antijoin):
+            return self._eval(term.left, env).antijoin(self._eval(term.right, env))
+        if isinstance(term, Filter):
+            return self._eval(term.child, env).filter(term.predicate)
+        if isinstance(term, Rename):
+            return self._eval(term.child, env).rename(term.old, term.new)
+        if isinstance(term, AntiProject):
+            return self._eval(term.child, env).antiproject(term.columns)
+        if isinstance(term, Fixpoint):
+            return self._eval_fixpoint(term, env)
+        raise EvaluationError(f"cannot evaluate term of type {type(term).__name__}")
+
+    def _eval_variable(self, term: RelVar, env: dict[str, Relation]) -> Relation:
+        if term.name in env:
+            return env[term.name]
+        if term.name in self.database:
+            return self.database[term.name]
+        raise EvaluationError(
+            f"unknown relation {term.name!r}; known relations: "
+            f"{sorted(self.database)[:10]}..."
+        )
+
+    # -- Fixpoint -------------------------------------------------------------
+
+    def _eval_fixpoint(self, term: Fixpoint, env: dict[str, Relation]) -> Relation:
+        decomposition = decompose(term)
+        constant = self._eval(decomposition.constant_part, env)
+        if decomposition.variable_part is None:
+            self.stats.record_fixpoint(iterations=0, result_size=len(constant))
+            return constant
+        variable_part = decomposition.variable_part
+        result = constant
+        new = constant
+        iterations = 0
+        while new:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise EvaluationError(
+                    f"fixpoint on {term.var!r} did not converge after "
+                    f"{self.max_iterations} iterations"
+                )
+            inner_env = dict(env)
+            inner_env[term.var] = new
+            produced = self._eval(variable_part, inner_env)
+            if produced.columns != result.columns:
+                raise EvaluationError(
+                    f"fixpoint on {term.var!r}: the variable part produced "
+                    f"schema {produced.columns} but the constant part has "
+                    f"schema {result.columns}"
+                )
+            new = produced.difference(result)
+            result = result.union(new)
+        self.stats.record_fixpoint(iterations=iterations, result_size=len(result))
+        return result
+
+
+def evaluate(term: Term, database: Mapping[str, Relation],
+             env: Mapping[str, Relation] | None = None,
+             stats: EvaluationStats | None = None,
+             max_iterations: int = DEFAULT_MAX_ITERATIONS) -> Relation:
+    """Convenience wrapper: evaluate one term against a database."""
+    evaluator = Evaluator(database, max_iterations=max_iterations, stats=stats)
+    return evaluator.evaluate(term, env=env)
+
+
+def naive_fixpoint(term: Fixpoint, database: Mapping[str, Relation],
+                   env: Mapping[str, Relation] | None = None,
+                   max_iterations: int = DEFAULT_MAX_ITERATIONS) -> Relation:
+    """Evaluate a fixpoint with the *naive* method (re-applying phi to the
+    whole accumulated result each round).
+
+    Exists for differential testing against the semi-naive evaluator and as
+    the reference implementation of the fixpoint semantics
+    ``mu(X = Psi) = Psi^inf(empty)``.
+    """
+    evaluator = Evaluator(database, max_iterations=max_iterations)
+    decomposition = decompose(term)
+    env = dict(env or {})
+    current = Relation.empty(
+        evaluator.evaluate(decomposition.constant_part, env=env).columns)
+    for _ in range(max_iterations):
+        inner_env = dict(env)
+        inner_env[term.var] = current
+        next_value = evaluator.evaluate(term.body, env=inner_env)
+        if next_value == current:
+            return current
+        current = next_value
+    raise EvaluationError(
+        f"naive fixpoint on {term.var!r} did not converge after "
+        f"{max_iterations} iterations"
+    )

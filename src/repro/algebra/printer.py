@@ -1,0 +1,72 @@
+"""Human-readable rendering of mu-RA terms.
+
+The syntax mirrors the paper's notation as closely as plain text allows::
+
+    mu(X = S U antiproj_m(rho_trg->m(X) |><| rho_src->m(E)))
+
+Terms can become large after rewriting, so an indented multi-line renderer
+is provided as well (used by the examples and by debugging output).
+"""
+
+from __future__ import annotations
+
+from .terms import (AntiProject, Antijoin, Filter, Fixpoint, Join, Literal,
+                    Rename, RelVar, Term, Union)
+
+
+def term_to_string(term: Term) -> str:
+    """Render a term on a single line."""
+    if isinstance(term, RelVar):
+        return term.name
+    if isinstance(term, Literal):
+        return f"|{term.name}:{len(term.relation)}rows|"
+    if isinstance(term, Union):
+        return f"({term_to_string(term.left)} U {term_to_string(term.right)})"
+    if isinstance(term, Join):
+        return f"({term_to_string(term.left)} |><| {term_to_string(term.right)})"
+    if isinstance(term, Antijoin):
+        return f"({term_to_string(term.left)} |> {term_to_string(term.right)})"
+    if isinstance(term, Filter):
+        return f"sigma[{term.predicate!r}]({term_to_string(term.child)})"
+    if isinstance(term, Rename):
+        return f"rho[{term.old}->{term.new}]({term_to_string(term.child)})"
+    if isinstance(term, AntiProject):
+        dropped = ",".join(term.columns)
+        return f"antiproj[{dropped}]({term_to_string(term.child)})"
+    if isinstance(term, Fixpoint):
+        return f"mu({term.var} = {term_to_string(term.body)})"
+    return f"<unknown term {type(term).__name__}>"
+
+
+def term_to_indented_string(term: Term, indent: int = 0) -> str:
+    """Render a term as an indented tree, one operator per line."""
+    pad = "  " * indent
+    if isinstance(term, RelVar):
+        return f"{pad}{term.name}"
+    if isinstance(term, Literal):
+        return f"{pad}|{term.name}:{len(term.relation)}rows|"
+    if isinstance(term, Union):
+        return (f"{pad}Union\n"
+                f"{term_to_indented_string(term.left, indent + 1)}\n"
+                f"{term_to_indented_string(term.right, indent + 1)}")
+    if isinstance(term, Join):
+        return (f"{pad}Join\n"
+                f"{term_to_indented_string(term.left, indent + 1)}\n"
+                f"{term_to_indented_string(term.right, indent + 1)}")
+    if isinstance(term, Antijoin):
+        return (f"{pad}Antijoin\n"
+                f"{term_to_indented_string(term.left, indent + 1)}\n"
+                f"{term_to_indented_string(term.right, indent + 1)}")
+    if isinstance(term, Filter):
+        return (f"{pad}Filter[{term.predicate!r}]\n"
+                f"{term_to_indented_string(term.child, indent + 1)}")
+    if isinstance(term, Rename):
+        return (f"{pad}Rename[{term.old}->{term.new}]\n"
+                f"{term_to_indented_string(term.child, indent + 1)}")
+    if isinstance(term, AntiProject):
+        return (f"{pad}AntiProject[{','.join(term.columns)}]\n"
+                f"{term_to_indented_string(term.child, indent + 1)}")
+    if isinstance(term, Fixpoint):
+        return (f"{pad}Fixpoint[{term.var}, {term.direction}]\n"
+                f"{term_to_indented_string(term.body, indent + 1)}")
+    return f"{pad}<unknown term {type(term).__name__}>"

@@ -1,0 +1,121 @@
+"""Static schema (column set) inference for mu-RA terms.
+
+Schema inference is needed by several static analyses: the stable-column
+analysis, the rewriter (a filter can only be pushed somewhere its columns
+exist), the cost model and the SQL/physical compilation.  The schema of a
+term is the sorted tuple of its column names, computed from the schemas of
+the base relations it mentions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import EvaluationError, SchemaError
+from .conditions import decompose
+from .terms import (AntiProject, Antijoin, Filter, Fixpoint, Join, Literal,
+                    Rename, RelVar, Term, Union)
+
+Schema = tuple[str, ...]
+
+
+def infer_schema(term: Term,
+                 base_schemas: Mapping[str, Schema],
+                 env: Mapping[str, Schema] | None = None) -> Schema:
+    """Return the schema of ``term``.
+
+    ``base_schemas`` maps database relation names to their column tuples;
+    ``env`` maps recursive-variable names (bound by enclosing fixpoints) to
+    their schemas.  Raises :class:`SchemaError` on malformed terms (union of
+    incompatible schemas, missing columns) and :class:`EvaluationError` on
+    unknown relation names.
+    """
+    env = dict(env or {})
+    return _infer(term, base_schemas, env)
+
+
+def _infer(term: Term, schemas: Mapping[str, Schema], env: dict[str, Schema]) -> Schema:
+    if isinstance(term, RelVar):
+        if term.name in env:
+            return tuple(sorted(env[term.name]))
+        if term.name in schemas:
+            return tuple(sorted(schemas[term.name]))
+        raise EvaluationError(f"unknown relation {term.name!r} during schema inference")
+    if isinstance(term, Literal):
+        return term.relation.columns
+    if isinstance(term, Union):
+        left = _infer(term.left, schemas, env)
+        right = _infer(term.right, schemas, env)
+        if left != right:
+            raise SchemaError(
+                f"union of incompatible schemas {left} and {right}"
+            )
+        return left
+    if isinstance(term, Join):
+        left = _infer(term.left, schemas, env)
+        right = _infer(term.right, schemas, env)
+        return tuple(sorted(set(left) | set(right)))
+    if isinstance(term, Antijoin):
+        return _infer(term.left, schemas, env)
+    if isinstance(term, Filter):
+        schema = _infer(term.child, schemas, env)
+        missing = term.predicate.columns() - set(schema)
+        if missing:
+            raise SchemaError(
+                f"filter references columns {sorted(missing)} missing from "
+                f"schema {schema}"
+            )
+        return schema
+    if isinstance(term, Rename):
+        schema = _infer(term.child, schemas, env)
+        if term.old not in schema:
+            raise SchemaError(
+                f"cannot rename missing column {term.old!r} (schema {schema})"
+            )
+        if term.new in schema and term.new != term.old:
+            raise SchemaError(
+                f"cannot rename {term.old!r} to existing column {term.new!r}"
+            )
+        return tuple(sorted(term.new if c == term.old else c for c in schema))
+    if isinstance(term, AntiProject):
+        schema = _infer(term.child, schemas, env)
+        missing = set(term.columns) - set(schema)
+        if missing:
+            raise SchemaError(
+                f"cannot drop missing columns {sorted(missing)} (schema {schema})"
+            )
+        return tuple(c for c in schema if c not in set(term.columns))
+    if isinstance(term, Fixpoint):
+        return _infer_fixpoint(term, schemas, env)
+    raise SchemaError(f"unknown term type {type(term).__name__}")
+
+
+def _infer_fixpoint(term: Fixpoint, schemas: Mapping[str, Schema],
+                    env: dict[str, Schema]) -> Schema:
+    """The schema of a fixpoint is the schema of its constant part.
+
+    The variable part is checked against it, which catches fixpoints whose
+    recursive branches produce a different schema (a bug in hand-written
+    terms the evaluator would otherwise only discover at run time).
+    """
+    decomposition = decompose(term)
+    constant_schema = _infer(decomposition.constant_part, schemas, env)
+    if decomposition.variable_part is not None:
+        inner_env = dict(env)
+        inner_env[term.var] = constant_schema
+        variable_schema = _infer(decomposition.variable_part, schemas, inner_env)
+        if variable_schema != constant_schema:
+            raise SchemaError(
+                f"fixpoint on {term.var!r}: the variable part produces schema "
+                f"{variable_schema} but the constant part has schema "
+                f"{constant_schema}"
+            )
+    return constant_schema
+
+
+def schemas_of_database(database: Mapping[str, object]) -> dict[str, Schema]:
+    """Extract a name -> schema mapping from a name -> Relation database."""
+    result: dict[str, Schema] = {}
+    for name, relation in database.items():
+        result[name] = relation.columns
+    return result

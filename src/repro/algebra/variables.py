@@ -1,0 +1,107 @@
+"""Free variables, boundness, constancy and substitution for mu-RA terms.
+
+These notions follow Section II of the paper:
+
+* a relation variable ``X`` is *free* unless it appears under a binding
+  fixpoint ``mu(X = ...)``,
+* a term is *constant in X* when ``X`` does not occur free in it,
+* substitution replaces free occurrences of a variable by another term
+  (typically a :class:`~repro.algebra.terms.Literal` holding a concrete
+  relation), which is how the fixpoint semantics is defined.
+"""
+
+from __future__ import annotations
+
+from ..errors import AlgebraError
+from .terms import Fixpoint, Literal, RelVar, Term
+
+
+def free_variables(term: Term) -> frozenset[str]:
+    """Return the names of the relation variables occurring free in ``term``."""
+    if isinstance(term, RelVar):
+        return frozenset({term.name})
+    if isinstance(term, Literal):
+        return frozenset()
+    if isinstance(term, Fixpoint):
+        return free_variables(term.body) - {term.var}
+    names: frozenset[str] = frozenset()
+    for child in term.children():
+        names |= free_variables(child)
+    return names
+
+
+def bound_variables(term: Term) -> frozenset[str]:
+    """Return the names of variables bound by a fixpoint inside ``term``."""
+    bound: frozenset[str] = frozenset()
+    if isinstance(term, Fixpoint):
+        bound |= {term.var}
+    for child in term.children():
+        bound |= bound_variables(child)
+    return bound
+
+
+def is_constant_in(term: Term, var: str) -> bool:
+    """True when ``term`` is constant in ``var`` (``var`` not free in it)."""
+    return var not in free_variables(term)
+
+
+def occurs(term: Term, var: str) -> bool:
+    """True when ``var`` occurs free in ``term`` (the negation of constancy)."""
+    return var in free_variables(term)
+
+
+def substitute(term: Term, var: str, replacement: Term) -> Term:
+    """Replace every free occurrence of ``var`` in ``term`` by ``replacement``.
+
+    Substitution is capture-avoiding in the simple sense needed here: it does
+    not descend below a fixpoint that re-binds ``var``.  If the replacement
+    itself contains variables that would be captured by an enclosing binder,
+    an :class:`~repro.errors.AlgebraError` is raised — the library never
+    generates such terms, but user-built terms might.
+    """
+    if isinstance(term, RelVar):
+        return replacement if term.name == var else term
+    if isinstance(term, Literal):
+        return term
+    if isinstance(term, Fixpoint):
+        if term.var == var:
+            return term
+        if var not in free_variables(term.body):
+            # Nothing to substitute below this binder; leave it untouched
+            # (this also avoids spurious capture errors).
+            return term
+        if term.var in free_variables(replacement):
+            raise AlgebraError(
+                f"substituting {var!r} would capture variable {term.var!r}; "
+                f"rename the inner fixpoint variable first"
+            )
+        return Fixpoint(term.var, substitute(term.body, var, replacement),
+                        direction=term.direction)
+    children = tuple(substitute(child, var, replacement) for child in term.children())
+    return term.with_children(children)
+
+
+def rename_recursive_variable(fixpoint: Fixpoint, new_var: str) -> Fixpoint:
+    """Return ``fixpoint`` with its recursive variable renamed to ``new_var``.
+
+    Useful to avoid variable clashes when merging or nesting fixpoints.
+    """
+    if new_var == fixpoint.var:
+        return fixpoint
+    if new_var in free_variables(fixpoint.body):
+        raise AlgebraError(
+            f"cannot rename recursive variable to {new_var!r}: it already "
+            f"occurs free in the body"
+        )
+    body = substitute(fixpoint.body, fixpoint.var, RelVar(new_var))
+    return Fixpoint(new_var, body, direction=fixpoint.direction)
+
+
+def fresh_variable(used: frozenset[str] | set[str], stem: str = "X") -> str:
+    """Return a variable name based on ``stem`` that is not in ``used``."""
+    if stem not in used:
+        return stem
+    index = 1
+    while f"{stem}{index}" in used:
+        index += 1
+    return f"{stem}{index}"

@@ -1,0 +1,67 @@
+"""Generic traversal helpers over mu-RA terms.
+
+The rewriter, the analyses and the printers all need the same handful of
+traversals; this module implements them once:
+
+* :func:`walk` — pre-order iteration over every sub-term,
+* :func:`transform_bottom_up` — rebuild a term by applying a function to
+  every node, children first,
+* :func:`transform_top_down` — apply a function to a node before visiting
+  the (possibly new) children,
+* :func:`count_nodes`, :func:`subterms_of_type` — small conveniences used
+  by the cost model and tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .terms import Term
+
+
+def walk(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and every sub-term, in pre-order."""
+    yield term
+    for child in term.children():
+        yield from walk(child)
+
+
+def transform_bottom_up(term: Term, fn: Callable[[Term], Term]) -> Term:
+    """Rebuild ``term`` by applying ``fn`` to every node, children first."""
+    children = term.children()
+    if children:
+        new_children = tuple(transform_bottom_up(child, fn) for child in children)
+        if new_children != children:
+            term = term.with_children(new_children)
+    return fn(term)
+
+
+def transform_top_down(term: Term, fn: Callable[[Term], Term]) -> Term:
+    """Apply ``fn`` to ``term`` first, then recurse into the result's children."""
+    term = fn(term)
+    children = term.children()
+    if not children:
+        return term
+    new_children = tuple(transform_top_down(child, fn) for child in children)
+    if new_children != children:
+        term = term.with_children(new_children)
+    return term
+
+
+def count_nodes(term: Term) -> int:
+    """Return the number of nodes of the term (a rough size measure)."""
+    return sum(1 for _ in walk(term))
+
+
+def subterms_of_type(term: Term, node_type: type | tuple[type, ...]) -> list[Term]:
+    """Return every sub-term (including ``term``) of the given node type(s)."""
+    return [node for node in walk(term) if isinstance(node, node_type)]
+
+
+def replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
+    """Replace every occurrence of ``target`` (by equality) with ``replacement``."""
+
+    def substitute_node(node: Term) -> Term:
+        return replacement if node == target else node
+
+    return transform_bottom_up(term, substitute_node)

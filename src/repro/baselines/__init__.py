@@ -1,0 +1,6 @@
+"""Baseline systems the paper compares against (BigDatalog, GraphX)."""
+
+from .datalog.distributed import BigDatalogEngine
+from .pregel.graphx import GraphXRPQEngine
+
+__all__ = ["BigDatalogEngine", "GraphXRPQEngine"]

@@ -1,0 +1,142 @@
+"""Abstract syntax of Datalog programs.
+
+The BigDatalog baseline evaluates positive Datalog programs: rules of the
+form ``head :- body1, ..., bodyn`` where every atom applies a predicate to
+variables or constants.  The representation is deliberately minimal — just
+what the translation of UCRPQs needs — but it is a genuine Datalog core:
+any positive program over binary/ternary predicates can be expressed and
+evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import DatalogError
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable (capitalised by convention in ``str`` output)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name.upper() if self.name else "?"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant argument."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Argument = Var | Const
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to arguments, e.g. ``tc(X, Y)``."""
+
+    predicate: str
+    args: tuple[Argument, ...]
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise DatalogError("atom predicates must be non-empty")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> tuple[Var, ...]:
+        found: list[Var] = []
+        for arg in self.args:
+            if isinstance(arg, Var) and arg not in found:
+                found.append(arg)
+        return tuple(found)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``.  A rule with an empty body is a fact."""
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        head_vars = set(self.head.variables())
+        body_vars = {v for atom in self.body for v in atom.variables()}
+        unsafe = head_vars - body_vars
+        if self.body and unsafe:
+            raise DatalogError(
+                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} "
+                f"do not occur in the body: {self}"
+            )
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def predicates_used(self) -> frozenset[str]:
+        return frozenset(atom.predicate for atom in self.body)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}."
+
+
+@dataclass
+class Program:
+    """A Datalog program plus the name of its answer (goal) predicate."""
+
+    rules: list[Rule] = field(default_factory=list)
+    goal: str = "answer"
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by rules (intensional database)."""
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates only used in bodies (extensional database)."""
+        used = frozenset(p for rule in self.rules for p in rule.predicates_used())
+        return used - self.idb_predicates()
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.head.predicate == predicate]
+
+    def is_recursive(self, predicate: str) -> bool:
+        """True when ``predicate`` (transitively) depends on itself."""
+        return predicate in self._reachable_from(predicate)
+
+    def dependencies(self, predicate: str) -> frozenset[str]:
+        """IDB predicates that must be computed before ``predicate``."""
+        return self._reachable_from(predicate) & self.idb_predicates()
+
+    def _reachable_from(self, predicate: str) -> frozenset[str]:
+        reachable: set[str] = set()
+        frontier = [predicate]
+        while frontier:
+            current = frontier.pop()
+            for rule in self.rules_for(current):
+                for used in rule.predicates_used():
+                    if used not in reachable:
+                        reachable.add(used)
+                        frontier.append(used)
+        return frozenset(reachable)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

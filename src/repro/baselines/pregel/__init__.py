@@ -1,0 +1,15 @@
+"""GraphX/Pregel baseline: BSP engine, RPQ automata, query evaluation."""
+
+from .graphx import GraphXResult, GraphXRPQEngine
+from .pregel import DEFAULT_MAX_SUPERSTEPS, PregelEngine, PregelStats
+from .rpq_automaton import Automaton, path_to_automaton
+
+__all__ = [
+    "Automaton",
+    "DEFAULT_MAX_SUPERSTEPS",
+    "GraphXResult",
+    "GraphXRPQEngine",
+    "PregelEngine",
+    "PregelStats",
+    "path_to_automaton",
+]

@@ -1,0 +1,170 @@
+"""Regular path queries as finite automata over edge labels.
+
+Evaluating an RPQ in the Pregel model requires an automaton-like algorithm
+(Section VI of the paper): messages carry the automaton state a path has
+reached, vertices advance the state along their outgoing edges, and a path
+is an answer when it reaches an accepting state.  This module converts the
+path-expression AST of the query frontend into a non-deterministic finite
+automaton over labels (inverse labels are kept as ``-label`` symbols and
+matched against reversed edges by the evaluator).
+
+The construction is the classic two-step one: a Thompson automaton with
+epsilon transitions, followed by epsilon elimination so that the evaluator
+only ever deals with label-consuming transitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ...errors import TranslationError
+from ...query.ast import Alternation, Concat, Label, PathExpr, Plus
+
+
+@dataclass
+class Automaton:
+    """A non-deterministic finite automaton over edge-label symbols."""
+
+    start: int
+    accepting: frozenset[int]
+    #: transitions[state] is a list of (symbol, next_state); symbols are
+    #: label names, prefixed with ``-`` for inverse navigation.
+    transitions: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def states(self) -> frozenset[int]:
+        found = {self.start} | set(self.accepting)
+        for state, edges in self.transitions.items():
+            found.add(state)
+            found.update(target for _, target in edges)
+        return frozenset(found)
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset(symbol for edges in self.transitions.values()
+                         for symbol, _ in edges)
+
+    def step(self, state: int, symbol: str) -> frozenset[int]:
+        """States reachable from ``state`` by consuming ``symbol``."""
+        return frozenset(target for sym, target in self.transitions.get(state, ())
+                         if sym == symbol)
+
+    def outgoing(self, state: int) -> list[tuple[str, int]]:
+        return self.transitions.get(state, [])
+
+    def is_accepting(self, state: int) -> bool:
+        return state in self.accepting
+
+    def accepts(self, word: list[str]) -> bool:
+        """Check whether a sequence of label symbols is accepted.
+
+        Used by tests and by the centralized reference implementation; the
+        Pregel evaluator never materialises words, it propagates states.
+        """
+        current = {self.start}
+        for symbol in word:
+            current = {target for state in current
+                       for target in self.step(state, symbol)}
+            if not current:
+                return False
+        return any(self.is_accepting(state) for state in current)
+
+
+class _ThompsonFragment:
+    """A fragment with one start and one accept state (Thompson construction)."""
+
+    __slots__ = ("start", "accept")
+
+    def __init__(self, start: int, accept: int):
+        self.start = start
+        self.accept = accept
+
+
+_EPSILON = None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._ids = itertools.count()
+        #: transitions with epsilon edges: state -> list of (symbol|None, target)
+        self._edges: dict[int, list[tuple[str | None, int]]] = {}
+
+    # -- Thompson construction ----------------------------------------------------
+
+    def build(self, path: PathExpr) -> Automaton:
+        fragment = self._fragment(path)
+        return self._eliminate_epsilon(fragment)
+
+    def _new_state(self) -> int:
+        return next(self._ids)
+
+    def _add_edge(self, source: int, symbol: str | None, target: int) -> None:
+        self._edges.setdefault(source, []).append((symbol, target))
+
+    def _fragment(self, path: PathExpr) -> _ThompsonFragment:
+        if isinstance(path, Label):
+            symbol = f"-{path.name}" if path.inverse else path.name
+            start, accept = self._new_state(), self._new_state()
+            self._add_edge(start, symbol, accept)
+            return _ThompsonFragment(start, accept)
+        if isinstance(path, Concat):
+            fragments = [self._fragment(part) for part in path.parts]
+            for previous, following in zip(fragments, fragments[1:]):
+                self._add_edge(previous.accept, _EPSILON, following.start)
+            return _ThompsonFragment(fragments[0].start, fragments[-1].accept)
+        if isinstance(path, Alternation):
+            start, accept = self._new_state(), self._new_state()
+            for option in path.options:
+                fragment = self._fragment(option)
+                self._add_edge(start, _EPSILON, fragment.start)
+                self._add_edge(fragment.accept, _EPSILON, accept)
+            return _ThompsonFragment(start, accept)
+        if isinstance(path, Plus):
+            fragment = self._fragment(path.inner)
+            # One or more repetitions: loop back from the accept state.
+            self._add_edge(fragment.accept, _EPSILON, fragment.start)
+            return fragment
+        raise TranslationError(f"cannot build an automaton for {path!r}")
+
+    # -- Epsilon elimination --------------------------------------------------------
+
+    def _eliminate_epsilon(self, fragment: _ThompsonFragment) -> Automaton:
+        closure = {state: self._epsilon_closure(state)
+                   for state in self._all_states(fragment)}
+        transitions: dict[int, list[tuple[str, int]]] = {}
+        for state, reachable in closure.items():
+            seen: set[tuple[str, int]] = set()
+            for intermediate in reachable:
+                for symbol, target in self._edges.get(intermediate, ()):
+                    if symbol is _EPSILON:
+                        continue
+                    edge = (symbol, target)
+                    if edge not in seen:
+                        seen.add(edge)
+                        transitions.setdefault(state, []).append(edge)
+        accepting = frozenset(state for state, reachable in closure.items()
+                              if fragment.accept in reachable)
+        return Automaton(start=fragment.start, accepting=accepting,
+                         transitions=transitions)
+
+    def _epsilon_closure(self, state: int) -> frozenset[int]:
+        reachable = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for symbol, target in self._edges.get(current, ()):
+                if symbol is _EPSILON and target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        return frozenset(reachable)
+
+    def _all_states(self, fragment: _ThompsonFragment) -> frozenset[int]:
+        found = {fragment.start, fragment.accept}
+        for state, edges in self._edges.items():
+            found.add(state)
+            found.update(target for _, target in edges)
+        return frozenset(found)
+
+
+def path_to_automaton(path: PathExpr) -> Automaton:
+    """Build an NFA recognising the regular path expression ``path``."""
+    return _Builder().build(path)

@@ -1,0 +1,17 @@
+"""Cost estimation: cardinalities, operator costs, plan ranking."""
+
+from .cardinality import (DEFAULT_SELECTIVITY, MAX_SIMULATED_ITERATIONS,
+                          CardinalityEstimator)
+from .cost_model import CostModel, CostReport
+from .selection import RankedPlan, rank_plans, select_best_plan
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "CostReport",
+    "DEFAULT_SELECTIVITY",
+    "MAX_SIMULATED_ITERATIONS",
+    "RankedPlan",
+    "rank_plans",
+    "select_best_plan",
+]

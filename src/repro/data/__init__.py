@@ -1,0 +1,36 @@
+"""Relational data model: tuples, relations, predicates, graphs, statistics."""
+
+from .graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
+from .io import (read_graph_tsv, read_relation_tsv, write_graph_tsv,
+                 write_relation_tsv)
+from .predicates import (And, ColumnEq, Compare, Eq, In, Not, Or, Predicate,
+                         TruePredicate, conjunction)
+from .relation import Relation
+from .stats import RelationStats, StatisticsCatalog
+from .tuples import Tup
+
+__all__ = [
+    "And",
+    "ColumnEq",
+    "Compare",
+    "Eq",
+    "In",
+    "INVERSE_PREFIX",
+    "LabeledGraph",
+    "Not",
+    "Or",
+    "PRED",
+    "Predicate",
+    "Relation",
+    "RelationStats",
+    "SRC",
+    "StatisticsCatalog",
+    "TRG",
+    "TruePredicate",
+    "Tup",
+    "conjunction",
+    "read_graph_tsv",
+    "read_relation_tsv",
+    "write_graph_tsv",
+    "write_relation_tsv",
+]

@@ -1,0 +1,180 @@
+"""Edge-labelled graphs and their relational views.
+
+The paper evaluates queries over edge-labelled directed graphs stored as a
+single facts table of triples ``(src, pred, trg)`` (e.g. the Yago dump) or
+equivalently as one binary relation per predicate.  :class:`LabeledGraph`
+is the container used throughout the reproduction:
+
+* the dataset generators produce ``LabeledGraph`` instances,
+* ``edges(label)`` returns the binary ``(src, trg)`` relation of one label,
+* ``facts()`` returns the full triples relation (used by the non-regular
+  queries such as same-generation, which are written over the facts table),
+* ``reversed_label(label)`` gives access to the inverse edges, which is how
+  UCRPQ inverse steps (``-label``) are evaluated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from ..errors import DatasetError, SchemaError
+from .relation import Relation
+
+#: Column names used for graph relations throughout the library.
+SRC = "src"
+TRG = "trg"
+PRED = "pred"
+
+#: Prefix marking an inverse label, as in the UCRPQ syntax ``-actedIn``.
+INVERSE_PREFIX = "-"
+
+
+class LabeledGraph:
+    """A directed graph whose edges carry a string label (predicate).
+
+    >>> g = LabeledGraph()
+    >>> g.add_edge(1, "knows", 2)
+    >>> g.add_edge(2, "knows", 3)
+    >>> len(g.edges("knows"))
+    2
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._by_label: dict[str, set[tuple[Any, Any]]] = defaultdict(set)
+        self._nodes: set[Any] = set()
+
+    # -- Construction -------------------------------------------------------
+
+    def add_edge(self, src: Any, label: str, trg: Any) -> None:
+        """Add one labelled edge to the graph."""
+        if not isinstance(label, str) or not label:
+            raise DatasetError(f"edge labels must be non-empty strings, got {label!r}")
+        if label.startswith(INVERSE_PREFIX):
+            raise DatasetError(
+                f"label {label!r} starts with the reserved inverse prefix "
+                f"{INVERSE_PREFIX!r}"
+            )
+        self._by_label[label].add((src, trg))
+        self._nodes.add(src)
+        self._nodes.add(trg)
+
+    def add_edges(self, edges: Iterable[tuple[Any, str, Any]]) -> None:
+        """Add many ``(src, label, trg)`` edges."""
+        for src, label, trg in edges:
+            self.add_edge(src, label, trg)
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[tuple[Any, str, Any]],
+                     name: str = "graph") -> "LabeledGraph":
+        """Build a graph from an iterable of ``(src, label, trg)`` triples."""
+        graph = cls(name=name)
+        graph.add_edges(triples)
+        return graph
+
+    @classmethod
+    def from_relation(cls, facts: Relation, name: str = "graph") -> "LabeledGraph":
+        """Build a graph from a facts relation with columns src/pred/trg."""
+        expected = tuple(sorted((SRC, PRED, TRG)))
+        if facts.columns != expected:
+            raise SchemaError(
+                f"facts relation must have columns {expected}, got {facts.columns}"
+            )
+        graph = cls(name=name)
+        for row in facts.to_dicts():
+            graph.add_edge(row[SRC], row[PRED], row[TRG])
+        return graph
+
+    # -- Inspection ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        """All node identifiers appearing in the graph."""
+        return frozenset(self._nodes)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The sorted list of (non-empty) edge labels."""
+        return tuple(sorted(label for label, edges in self._by_label.items() if edges))
+
+    def edge_count(self, label: str | None = None) -> int:
+        """Number of edges, either of one label or of the whole graph."""
+        if label is not None:
+            return len(self._by_label.get(self._base_label(label), ()))
+        return sum(len(edges) for edges in self._by_label.values())
+
+    def iter_triples(self) -> Iterator[tuple[Any, str, Any]]:
+        """Iterate over all ``(src, label, trg)`` triples."""
+        for label in self.labels:
+            for src, trg in sorted(self._by_label[label], key=repr):
+                yield src, label, trg
+
+    def __len__(self) -> int:
+        return self.edge_count()
+
+    def __repr__(self) -> str:
+        return (f"LabeledGraph(name={self.name!r}, nodes={len(self._nodes)}, "
+                f"edges={self.edge_count()}, labels={len(self.labels)})")
+
+    # -- Relational views ----------------------------------------------------
+
+    def edges(self, label: str, src: str = SRC, trg: str = TRG) -> Relation:
+        """Return the binary relation of one label as columns ``src``/``trg``.
+
+        Inverse labels (``-knows``) return the reversed edges, which is how
+        UCRPQ inverse navigation steps are evaluated.
+        """
+        base = self._base_label(label)
+        pairs = self._by_label.get(base, set())
+        if self._is_inverse(label):
+            pairs = {(b, a) for a, b in pairs}
+        rows = [{src: a, trg: b} for a, b in pairs]
+        if not rows:
+            return Relation.empty((src, trg))
+        return Relation.from_dicts(rows, columns=(src, trg))
+
+    def facts(self) -> Relation:
+        """Return the whole graph as a single (src, pred, trg) relation."""
+        rows = [{SRC: s, PRED: p, TRG: t} for s, p, t in self.iter_triples()]
+        if not rows:
+            return Relation.empty((SRC, PRED, TRG))
+        return Relation.from_dicts(rows, columns=(SRC, PRED, TRG))
+
+    def relations(self) -> dict[str, Relation]:
+        """Return a database mapping each label to its edge relation.
+
+        The mapping also contains the inverse relations under ``-label``
+        keys and the full facts table under the key ``"facts"``, which is
+        the database layout expected by the query translator.
+        """
+        database: dict[str, Relation] = {}
+        for label in self.labels:
+            database[label] = self.edges(label)
+            database[INVERSE_PREFIX + label] = self.edges(INVERSE_PREFIX + label)
+        database["facts"] = self.facts()
+        return database
+
+    def successors(self, node: Any, label: str) -> set[Any]:
+        """Return the targets of edges labelled ``label`` leaving ``node``."""
+        base = self._base_label(label)
+        pairs = self._by_label.get(base, set())
+        if self._is_inverse(label):
+            return {a for a, b in pairs if b == node}
+        return {b for a, b in pairs if a == node}
+
+    def out_degree(self, node: Any) -> int:
+        """Total number of outgoing edges (all labels) of ``node``."""
+        return sum(1 for label in self.labels
+                   for a, _ in self._by_label[label] if a == node)
+
+    # -- Internal helpers ----------------------------------------------------
+
+    @staticmethod
+    def _is_inverse(label: str) -> bool:
+        return label.startswith(INVERSE_PREFIX)
+
+    @staticmethod
+    def _base_label(label: str) -> str:
+        return label[len(INVERSE_PREFIX):] if label.startswith(INVERSE_PREFIX) else label

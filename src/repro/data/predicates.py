@@ -1,0 +1,300 @@
+"""Filter predicates for the sigma (selection) operator.
+
+Predicates are small immutable expression trees evaluated against a row.
+They expose:
+
+* :meth:`Predicate.columns` — the set of columns they read, used by the
+  rewriter (a filter can be pushed into a fixpoint only when it touches
+  stable columns) and by the cost model (selectivity estimation),
+* :meth:`Predicate.evaluate` — evaluation against a ``dict`` row,
+* :meth:`Predicate.compile` — a fast row-tuple evaluator bound to a schema,
+  used by :class:`~repro.data.relation.Relation` so filtering large
+  relations does not build a dictionary per row,
+* :meth:`Predicate.rename` — column renaming, needed when filters are moved
+  across rename operators during rewriting.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SchemaError
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Base class of all filter predicates."""
+
+    def columns(self) -> frozenset[str]:
+        """Return the set of column names referenced by the predicate."""
+        raise NotImplementedError
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate against a mapping row."""
+        raise NotImplementedError
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        """Return a fast evaluator over value tuples aligned with ``schema``."""
+        raise NotImplementedError
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        """Return a copy of the predicate where column ``old`` is renamed."""
+        raise NotImplementedError
+
+    def _check_schema(self, schema: tuple[str, ...]) -> None:
+        missing = self.columns() - set(schema)
+        if missing:
+            raise SchemaError(
+                f"predicate references missing columns {sorted(missing)}; "
+                f"schema is {list(schema)}"
+            )
+
+    # Convenience combinators ------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column == constant`` comparison (the most common graph filter)."""
+
+    column: str
+    value: Any
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row[self.column] == self.value
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        self._check_schema(schema)
+        index = schema.index(self.column)
+        value = self.value
+        return lambda values: values[index] == value
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        if self.column == old:
+            return Eq(new, self.value)
+        return self
+
+    def __repr__(self) -> str:
+        return f"{self.column} == {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """``column <op> constant`` comparison for ``<, <=, >, >=, ==, !=``."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return _COMPARATORS[self.op](row[self.column], self.value)
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        self._check_schema(schema)
+        index = schema.index(self.column)
+        compare = _COMPARATORS[self.op]
+        value = self.value
+        return lambda values: compare(values[index], value)
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        if self.column == old:
+            return Compare(new, self.op, self.value)
+        return self
+
+    def __repr__(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ColumnEq(Predicate):
+    """``column == other_column`` comparison between two columns."""
+
+    left: str
+    right: str
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row[self.left] == row[self.right]
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        self._check_schema(schema)
+        left = schema.index(self.left)
+        right = schema.index(self.right)
+        return lambda values: values[left] == values[right]
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        left = new if self.left == old else self.left
+        right = new if self.right == old else self.right
+        return ColumnEq(left, right)
+
+    def __repr__(self) -> str:
+        return f"{self.left} == {self.right}"
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column IN constants`` membership test."""
+
+    column: str
+    values: frozenset
+
+    def __init__(self, column: str, values) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return row[self.column] in self.values
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        self._check_schema(schema)
+        index = schema.index(self.column)
+        values = self.values
+        return lambda row: row[index] in values
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        if self.column == old:
+            return In(new, self.values)
+        return self
+
+    def __repr__(self) -> str:
+        shown = sorted(self.values, key=repr)[:4]
+        suffix = ", ..." if len(self.values) > 4 else ""
+        return f"{self.column} in {{{', '.join(map(repr, shown))}{suffix}}}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda values: left(values) and right(values)
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        return And(self.left.rename(old, new), self.right.rename(old, new))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} and {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda values: left(values) or right(values)
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        return Or(self.left.rename(old, new), self.right.rename(old, new))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} or {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    inner: Predicate
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.inner.evaluate(row)
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        inner = self.inner.compile(schema)
+        return lambda values: not inner(values)
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        return Not(self.inner.rename(old, new))
+
+    def __repr__(self) -> str:
+        return f"(not {self.inner!r})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Predicate that always holds; the neutral element for conjunction."""
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def compile(self, schema: tuple[str, ...]) -> Callable[[tuple[Any, ...]], bool]:
+        return lambda values: True
+
+    def rename(self, old: str, new: str) -> "Predicate":
+        return self
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+def conjunction(predicates) -> Predicate:
+    """Combine an iterable of predicates into a single conjunction.
+
+    Returns :class:`TruePredicate` for an empty iterable.
+    """
+    combined: Predicate | None = None
+    for predicate in predicates:
+        combined = predicate if combined is None else And(combined, predicate)
+    return combined if combined is not None else TruePredicate()

@@ -1,0 +1,85 @@
+"""Relation statistics used by the cost model.
+
+The Dist-mu-RA cost estimator is a Selinger-style estimator: it needs, for
+every base relation, its cardinality and the number of distinct values per
+column.  In the original system these statistics come from PostgreSQL's
+catalog; here they are computed directly from the in-memory relations and
+cached in a :class:`StatisticsCatalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Summary statistics of one relation."""
+
+    cardinality: int
+    distinct_values: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, relation: Relation) -> "RelationStats":
+        """Compute exact statistics of an in-memory relation."""
+        distinct = {
+            column: len(relation.column_values(column))
+            for column in relation.columns
+        }
+        return cls(cardinality=len(relation), distinct_values=distinct)
+
+    def distinct(self, column: str) -> int:
+        """Distinct-value count of ``column`` (at least 1 to avoid div-by-zero)."""
+        return max(1, self.distinct_values.get(column, 1))
+
+    def selectivity_equals(self, column: str) -> float:
+        """Selectivity of an equality filter on ``column`` (1/V classic rule)."""
+        return 1.0 / self.distinct(column)
+
+    def scaled(self, factor: float) -> "RelationStats":
+        """Return statistics scaled by ``factor`` (used for derived terms)."""
+        cardinality = max(0, int(round(self.cardinality * factor)))
+        distinct = {
+            column: max(1, min(count, cardinality if cardinality else 1))
+            for column, count in self.distinct_values.items()
+        }
+        return RelationStats(cardinality=cardinality, distinct_values=distinct)
+
+
+class StatisticsCatalog:
+    """Statistics for a database (a mapping of relation names to relations)."""
+
+    def __init__(self, database: dict[str, Relation] | None = None):
+        self._stats: dict[str, RelationStats] = {}
+        if database:
+            for name, relation in database.items():
+                self.register(name, relation)
+
+    def register(self, name: str, relation: Relation) -> RelationStats:
+        """Compute and store the statistics of ``relation`` under ``name``."""
+        stats = RelationStats.of(relation)
+        self._stats[name] = stats
+        return stats
+
+    def register_stats(self, name: str, stats: RelationStats) -> None:
+        """Store externally computed statistics (e.g. sampled estimates)."""
+        self._stats[name] = stats
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def get(self, name: str) -> RelationStats:
+        """Return the statistics of ``name``.
+
+        Unknown relations get a conservative default (cardinality 1000) so
+        the cost model keeps working on partially registered databases.
+        """
+        if name in self._stats:
+            return self._stats[name]
+        return RelationStats(cardinality=1000, distinct_values={})
+
+    def names(self) -> tuple[str, ...]:
+        """Return the registered relation names."""
+        return tuple(sorted(self._stats))

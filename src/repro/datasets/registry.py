@@ -1,0 +1,61 @@
+"""A name-based registry of the datasets used by benchmarks and examples.
+
+Benchmarks refer to datasets by name (``yago_like``, ``uniprot_10k``,
+``rnd_1000_0.01`` ...).  The registry maps those names to generator calls so
+that every benchmark, example and test builds its data the same way, with
+the same seeds, and the mapping from paper dataset to reproduction dataset
+is recorded in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..data.graph import LabeledGraph
+from ..errors import DatasetError
+from .random_graphs import chain_graph, erdos_renyi_graph, random_tree
+from .social import social_graph_suite
+from .uniprot import uniprot_graph
+from .yago import yago_like_graph
+
+#: Factory registry: name -> zero-argument callable building the graph.
+_REGISTRY: dict[str, Callable[[], LabeledGraph]] = {
+    # Knowledge graph (Yago stand-in) at two scales.
+    "yago_like_small": lambda: yago_like_graph(scale=120, seed=7),
+    "yago_like": lambda: yago_like_graph(scale=400, seed=7),
+    "yago_like_large": lambda: yago_like_graph(scale=1200, seed=7),
+    # Uniprot-shaped graphs (the paper's 1M/5M/10M-edge instances, scaled).
+    "uniprot_small": lambda: uniprot_graph(num_edges=2_000, seed=11),
+    "uniprot_medium": lambda: uniprot_graph(num_edges=6_000, seed=11),
+    "uniprot_large": lambda: uniprot_graph(num_edges=12_000, seed=11),
+    # Random graphs for the closure experiments.
+    "rnd_small": lambda: erdos_renyi_graph(400, num_edges=2_000, seed=3,
+                                           name="rnd_small"),
+    "rnd_labeled": lambda: erdos_renyi_graph(
+        500, num_edges=2_500, seed=3,
+        labels=tuple(f"a{i}" for i in range(1, 11)), name="rnd_labeled"),
+    "tree_medium": lambda: random_tree(800, seed=5, name="tree_medium"),
+    "chain": lambda: chain_graph(200, name="chain"),
+}
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of all registered datasets (social suite graphs excluded)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def load_dataset(name: str) -> LabeledGraph:
+    """Build a registered dataset by name."""
+    if name in _REGISTRY:
+        return _REGISTRY[name]()
+    suite = social_graph_suite(scale=1.0)
+    if name in suite:
+        return suite[name]
+    raise DatasetError(
+        f"unknown dataset {name!r}; known datasets: "
+        f"{', '.join(available_datasets() + tuple(sorted(suite)))}")
+
+
+def register_dataset(name: str, factory: Callable[[], LabeledGraph]) -> None:
+    """Register a custom dataset factory (used by tests and user code)."""
+    _REGISTRY[name] = factory

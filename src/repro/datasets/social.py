@@ -1,0 +1,96 @@
+"""Stand-ins for the real social / collaboration graphs of the paper.
+
+The non-regular query experiments (Fig. 11) run over graphs from the SNAP
+and ICON collections (Facebook, Epinions, Reddit, academic co-authorship
+and genealogy trees).  Those dumps are not available offline, so this
+module provides small synthetic graphs with comparable topological
+character, each registered under the name the benchmark tables use:
+
+* preferential-attachment graphs for the social networks (hubs, short
+  diameters),
+* deep random trees for the genealogy / academic-tree datasets,
+* denser Erdos-Renyi graphs for the interaction networks.
+
+Every generator produces a single-label (``edge``) graph, which is what the
+same-generation and anbn workloads expect, plus an ``a``/``b`` labelling
+variant used by the anbn queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..data.graph import LabeledGraph
+from ..errors import DatasetError
+from .random_graphs import erdos_renyi_graph, random_tree
+
+
+def preferential_attachment_graph(num_nodes: int, edges_per_node: int = 2,
+                                  label: str = "edge", seed: int = 0,
+                                  name: str | None = None) -> LabeledGraph:
+    """Barabasi-Albert style graph: new nodes attach to well-connected ones."""
+    if num_nodes < 3 or edges_per_node < 1:
+        raise DatasetError("need at least 3 nodes and 1 edge per node")
+    rng = random.Random(seed)
+    graph = LabeledGraph(name=name or f"pa_{num_nodes}_{edges_per_node}")
+    targets: list[int] = [0, 1]
+    graph.add_edge(1, label, 0)
+    for node in range(2, num_nodes):
+        for _ in range(edges_per_node):
+            target = rng.choice(targets)
+            if target != node:
+                graph.add_edge(node, label, target)
+                targets.append(target)
+        targets.append(node)
+    return graph
+
+
+def relabel_for_anbn(graph: LabeledGraph, seed: int = 0,
+                     a_label: str = "a", b_label: str = "b") -> LabeledGraph:
+    """Return a copy of ``graph`` whose edges are randomly labelled a or b.
+
+    The anbn workload needs two labels; real datasets have only one, so the
+    paper (and this reproduction) randomly split the edges.
+    """
+    rng = random.Random(seed)
+    relabelled = LabeledGraph(name=f"{graph.name}_ab")
+    for src, _, trg in graph.iter_triples():
+        relabelled.add_edge(src, a_label if rng.random() < 0.5 else b_label, trg)
+    return relabelled
+
+
+def social_graph_suite(scale: float = 1.0, seed: int = 0) -> dict[str, LabeledGraph]:
+    """The graph suite used by the non-regular query benchmark (Fig. 11).
+
+    ``scale`` multiplies every node count, so the suite can be shrunk for
+    quick test runs or grown for longer benchmark runs.
+    """
+    def nodes(base: int) -> int:
+        return max(20, int(base * scale))
+
+    return {
+        # Genealogy / academic trees: deep, sparse.
+        "AcTree": random_tree(nodes(400), seed=seed, name="AcTree"),
+        "Wikitree": random_tree(nodes(800), seed=seed + 1, name="Wikitree"),
+        "Fr-Royalty": random_tree(nodes(150), seed=seed + 2, name="Fr-Royalty"),
+        # Social networks: hubby, short paths.
+        "Facebook": preferential_attachment_graph(nodes(300), 3, seed=seed + 3,
+                                                  name="Facebook"),
+        "Epinions": preferential_attachment_graph(nodes(500), 2, seed=seed + 4,
+                                                  name="Epinions"),
+        "Reddit": preferential_attachment_graph(nodes(600), 2, seed=seed + 5,
+                                                name="Reddit"),
+        "TW-Cannes": preferential_attachment_graph(nodes(350), 2, seed=seed + 6,
+                                                   name="TW-Cannes"),
+        "Coauth-MAG": preferential_attachment_graph(nodes(450), 3, seed=seed + 7,
+                                                    name="Coauth-MAG"),
+        # Interaction / rating networks: denser random graphs.
+        "Ragusan": erdos_renyi_graph(nodes(120), num_edges=nodes(480),
+                                     seed=seed + 8, name="Ragusan"),
+        "Wikidata_p": erdos_renyi_graph(nodes(200), num_edges=nodes(700),
+                                        seed=seed + 9, name="Wikidata_p"),
+        "Higgs-RW": erdos_renyi_graph(nodes(250), num_edges=nodes(900),
+                                      seed=seed + 10, name="Higgs-RW"),
+        "Gottron": erdos_renyi_graph(nodes(180), num_edges=nodes(650),
+                                     seed=seed + 11, name="Gottron"),
+    }

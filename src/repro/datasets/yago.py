@@ -1,0 +1,133 @@
+"""Synthetic knowledge graph with a Yago-like shape.
+
+The paper's Yago experiments run over a cleaned Yago 2s dump (62.6M triples
+over 83 predicates).  That dump is not redistributable nor tractable here,
+so this module generates a knowledge graph with the same *shape*: the same
+predicates as the benchmark queries (Fig. 7), a location hierarchy with a
+transitive ``isLocatedIn``, an international ``dealsWith`` web, family
+trees (``hasChild``, ``isMarriedTo``), an airport ``isConnectedTo``
+network, movie/actor relations, prizes, teams and academic lineages.  The
+named entities the queries filter on (``Argentina``, ``Japan``,
+``Kevin_Bacon``, ``Marie_Curie``, ...) are guaranteed to exist.
+
+The ``scale`` parameter controls the number of entities of each kind; the
+triple count grows roughly linearly with it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..data.graph import LabeledGraph
+from ..errors import DatasetError
+
+#: The named entities that the Yago workload queries reference explicitly.
+NAMED_COUNTRIES = ("Argentina", "United_States", "Japan", "France", "Germany",
+                   "USA")
+NAMED_PEOPLE = ("Kevin_Bacon", "Marie_Curie", "Stephen_Hawking",
+                "John_Lawrence_Toole", "Jay_Kappraff", "Lionel_Messi")
+NAMED_PLACES = ("London", "Shannon_Airport", "Tokyo", "Buenos_Aires")
+NAMED_CLASSES = ("wikicat_Capitals_in_Europe",)
+
+
+def yago_like_graph(scale: int = 200, seed: int = 0,
+                    name: str | None = None) -> LabeledGraph:
+    """Generate a Yago-shaped labelled graph.
+
+    ``scale`` is the base entity count: the graph has about ``scale`` people,
+    ``scale // 2`` places, ``scale // 4`` movies, and so on; a scale of 200
+    yields a few thousand triples, a scale of 2000 a few tens of thousands.
+    """
+    if scale < 10:
+        raise DatasetError("scale must be at least 10")
+    rng = random.Random(seed)
+    graph = LabeledGraph(name=name or f"yago_like_{scale}")
+
+    people = [f"person_{i}" for i in range(scale)] + list(NAMED_PEOPLE)
+    cities = [f"city_{i}" for i in range(scale // 2)] + list(NAMED_PLACES)
+    regions = [f"region_{i}" for i in range(max(4, scale // 10))]
+    countries = [f"country_{i}" for i in range(max(4, scale // 20))] + \
+        list(NAMED_COUNTRIES)
+    continents = ["Europe", "America", "Asia", "Africa"]
+    movies = [f"movie_{i}" for i in range(scale // 4)]
+    airports = [f"airport_{i}" for i in range(max(6, scale // 8))] + \
+        ["Shannon_Airport"]
+    prizes = [f"prize_{i}" for i in range(max(4, scale // 20))]
+    clubs = [f"club_{i}" for i in range(max(4, scale // 20))]
+    organizations = [f"org_{i}" for i in range(max(4, scale // 20))]
+    works = [f"work_{i}" for i in range(scale // 4)]
+    classes = [f"class_{i}" for i in range(max(4, scale // 20))] + \
+        list(NAMED_CLASSES)
+
+    # Location hierarchy: city -> region -> country -> continent, plus a few
+    # extra hops so that isLocatedIn+ has real depth.
+    for city in cities:
+        graph.add_edge(city, "isLocatedIn", rng.choice(regions))
+    for region in regions:
+        graph.add_edge(region, "isLocatedIn", rng.choice(countries))
+    for country in countries:
+        graph.add_edge(country, "isLocatedIn", rng.choice(continents))
+    # dealsWith: a country-level web with cycles.
+    for country in countries:
+        for _ in range(2):
+            graph.add_edge(country, "dealsWith", rng.choice(countries))
+
+    # People: families, marriages, residences, births.
+    for index, person in enumerate(people):
+        if rng.random() < 0.6:
+            graph.add_edge(person, "livesIn", rng.choice(cities))
+        if rng.random() < 0.6:
+            graph.add_edge(person, "wasBornIn", rng.choice(cities))
+        if rng.random() < 0.35:
+            graph.add_edge(person, "isMarriedTo", rng.choice(people))
+        if rng.random() < 0.5 and index + 1 < len(people):
+            # Children point to later people, keeping hasChild acyclic with
+            # chains of several generations.
+            child = people[rng.randrange(index + 1, len(people))]
+            graph.add_edge(person, "hasChild", child)
+        if rng.random() < 0.3:
+            graph.add_edge(person, "influences", rng.choice(people))
+        if rng.random() < 0.25:
+            graph.add_edge(person, "hasAcademicAdvisor", rng.choice(people))
+        if rng.random() < 0.25:
+            graph.add_edge(person, "hasWonPrize", rng.choice(prizes))
+        if rng.random() < 0.3:
+            graph.add_edge(person, "playsFor", rng.choice(clubs))
+        if rng.random() < 0.25:
+            graph.add_edge(person, "isAffiliatedTo", rng.choice(organizations))
+        if rng.random() < 0.2:
+            graph.add_edge(person, "owns", rng.choice(organizations))
+        if rng.random() < 0.3:
+            graph.add_edge(person, "created", rng.choice(works))
+        if rng.random() < 0.15:
+            graph.add_edge(person, "directed", rng.choice(movies))
+        if rng.random() < 0.1:
+            graph.add_edge(person, "isLeaderOf", rng.choice(
+                countries + organizations))
+        graph.add_edge(person, "type", rng.choice(classes))
+
+    # Movies and actors (the Kevin Bacon playground).
+    for movie in movies:
+        cast_size = rng.randint(2, 6)
+        for _ in range(cast_size):
+            graph.add_edge(rng.choice(people), "actedIn", movie)
+    for _ in range(max(3, scale // 40)):
+        graph.add_edge("Kevin_Bacon", "actedIn", rng.choice(movies))
+        graph.add_edge("Marie_Curie", "hasWonPrize", rng.choice(prizes))
+        graph.add_edge("Stephen_Hawking", "influences", rng.choice(people))
+        graph.add_edge("Lionel_Messi", "playsFor", rng.choice(clubs))
+
+    # Airports network.
+    for airport in airports:
+        for _ in range(3):
+            graph.add_edge(airport, "isConnectedTo", rng.choice(airports))
+    # Organisations are located somewhere; classes form a small hierarchy.
+    for organization in organizations + clubs:
+        graph.add_edge(organization, "isLocatedIn", rng.choice(cities))
+    for class_name in classes:
+        graph.add_edge(class_name, "rdfs:subClassOf", rng.choice(classes))
+    # Capitals-in-Europe instances used by Q6.
+    for city in rng.sample(cities, k=min(10, len(cities))):
+        graph.add_edge(city, "type", "wikicat_Capitals_in_Europe")
+
+    return graph

@@ -1,0 +1,176 @@
+"""Physical plan generation, selection and distributed query execution.
+
+The ``PhysicalPlanGenerator`` of Dist-mu-RA takes the selected logical plan
+and decides how its fixpoints will be executed on the cluster:
+
+* ``Pgld`` is generated as the baseline,
+* the two ``Pplw`` variants are generated, and the choice between them
+  follows the heuristic of Section III-D: when the datasets appearing in
+  the variable part of the fixpoint exceed the memory available to a task,
+  delegate the local loops to the per-worker PostgreSQL-like engine
+  (``Pplw^pg``); otherwise keep them as Spark operations over broadcast
+  relations (``Pplw^s``).
+
+:class:`DistributedQueryExecutor` evaluates a full mu-RA term: its
+outermost fixpoints are executed with the selected distributed plan, the
+surrounding non-recursive operators are evaluated as ordinary (Catalyst-
+optimised, in the real system) dataset operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..algebra.conditions import decompose
+from ..algebra.evaluate import Evaluator
+from ..algebra.schema import schemas_of_database
+from ..algebra.terms import Fixpoint, Literal, Term
+from ..algebra.variables import free_variables
+from ..data.relation import Relation
+from ..errors import PlanSelectionError
+from .cluster import SparkCluster
+from .partitioner import PartitioningDecision, plan_partitioning
+from .plans import (PGLD, PLAN_CLASSES, PPLW_POSTGRES, PPLW_SPARK,
+                    DistributedFixpointPlan, make_plan)
+
+#: Default per-task memory budget, expressed in tuples (the simulation's
+#: unit of data volume).  Mirrors the "memory available for a task" of the
+#: selection heuristic.
+DEFAULT_MEMORY_PER_TASK = 200_000
+
+#: Strategy name meaning "let the heuristic decide".
+AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """The physical execution decision for one fixpoint."""
+
+    strategy: str
+    fixpoint: Fixpoint
+    partitioning: PartitioningDecision
+    variable_part_size: int
+
+    def describe(self) -> str:
+        return (f"{self.strategy} (partitioning={self.partitioning.strategy}, "
+                f"variable-part size={self.variable_part_size})")
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of one distributed execution, with its physical decisions."""
+
+    relation: Relation
+    physical_plans: list[PhysicalPlan] = field(default_factory=list)
+
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        return tuple(plan.strategy for plan in self.physical_plans)
+
+
+class PhysicalPlanGenerator:
+    """Generate and select physical plans for the fixpoints of a term."""
+
+    def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
+                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK):
+        self.cluster = cluster
+        self.database = dict(database)
+        self.memory_per_task = memory_per_task
+        self._schemas = schemas_of_database(self.database)
+
+    # -- Plan generation ---------------------------------------------------------
+
+    def candidate_strategies(self) -> tuple[str, ...]:
+        """All physical strategies the generator can emit."""
+        return (PGLD, PPLW_SPARK, PPLW_POSTGRES)
+
+    def generate(self, fixpoint: Fixpoint) -> list[PhysicalPlan]:
+        """Generate one physical plan per strategy for a fixpoint."""
+        partitioning = plan_partitioning(fixpoint, self._schemas)
+        size = self.variable_part_size(fixpoint)
+        return [PhysicalPlan(strategy=strategy, fixpoint=fixpoint,
+                             partitioning=partitioning, variable_part_size=size)
+                for strategy in self.candidate_strategies()]
+
+    def select(self, fixpoint: Fixpoint) -> PhysicalPlan:
+        """Select the physical plan for one fixpoint (heuristic of §III-D)."""
+        partitioning = plan_partitioning(fixpoint, self._schemas)
+        size = self.variable_part_size(fixpoint)
+        strategy = PPLW_POSTGRES if size > self.memory_per_task else PPLW_SPARK
+        return PhysicalPlan(strategy=strategy, fixpoint=fixpoint,
+                            partitioning=partitioning, variable_part_size=size)
+
+    def variable_part_size(self, fixpoint: Fixpoint) -> int:
+        """Total size of the datasets appearing in the variable part.
+
+        This is the quantity the selection heuristic compares against the
+        per-task memory: the constant subterms of the variable part are the
+        relations that ``Pplw^s`` would broadcast (or ``Pplw^pg`` would
+        query from the local engine) at every iteration.
+        """
+        decomposition = decompose(fixpoint)
+        if decomposition.variable_part is None:
+            return 0
+        names = free_variables(decomposition.variable_part) - {fixpoint.var}
+        return sum(len(self.database[name]) for name in names
+                   if name in self.database)
+
+    # -- Execution ----------------------------------------------------------------
+
+    def plan_for(self, strategy: str) -> DistributedFixpointPlan:
+        if strategy not in PLAN_CLASSES:
+            raise PlanSelectionError(
+                f"unknown strategy {strategy!r}; known: {sorted(PLAN_CLASSES)}")
+        return make_plan(strategy, self.cluster, self.database)
+
+
+class DistributedQueryExecutor:
+    """Evaluate a mu-RA term with distributed fixpoint execution."""
+
+    def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
+                 strategy: str = AUTO,
+                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK):
+        self.cluster = cluster
+        self.database = dict(database)
+        self.strategy = strategy
+        self.generator = PhysicalPlanGenerator(cluster, self.database,
+                                               memory_per_task=memory_per_task)
+
+    def execute(self, term: Term) -> ExecutionOutcome:
+        """Execute ``term``: distributed fixpoints, central surrounding ops."""
+        physical_plans: list[PhysicalPlan] = []
+        rewritten = self._execute_fixpoints(term, physical_plans)
+        evaluator = Evaluator(self.database)
+        relation = evaluator.evaluate(rewritten)
+        return ExecutionOutcome(relation=relation, physical_plans=physical_plans)
+
+    # -- Internals ------------------------------------------------------------------
+
+    def _execute_fixpoints(self, term: Term,
+                           physical_plans: list[PhysicalPlan]) -> Term:
+        """Replace every outermost fixpoint by the relation it evaluates to."""
+        if isinstance(term, Fixpoint):
+            physical = self._decide(term)
+            physical_plans.append(physical)
+            plan = self.generator.plan_for(physical.strategy)
+            relation = plan.execute(term)
+            return Literal(relation, name=f"fixpoint[{physical.strategy}]")
+        children = term.children()
+        if not children:
+            return term
+        new_children = tuple(self._execute_fixpoints(child, physical_plans)
+                             for child in children)
+        if new_children != children:
+            term = term.with_children(new_children)
+        return term
+
+    def _decide(self, fixpoint: Fixpoint) -> PhysicalPlan:
+        if self.strategy == AUTO:
+            return self.generator.select(fixpoint)
+        partitioning = plan_partitioning(
+            fixpoint, schemas_of_database(self.database))
+        return PhysicalPlan(strategy=self.strategy, fixpoint=fixpoint,
+                            partitioning=partitioning,
+                            variable_part_size=self.generator.variable_part_size(
+                                fixpoint))

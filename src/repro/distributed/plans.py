@@ -1,0 +1,318 @@
+"""The distributed fixpoint execution plans: Pgld, Pplw^s and Pplw^pg.
+
+Section III of the paper contrasts two ways of distributing a fixpoint on a
+Spark cluster:
+
+* **Pgld** (global loop on the driver): the natural Spark implementation of
+  Algorithm 1.  The driver runs the loop; every iteration evaluates the
+  variable part as distributed Dataset operations and performs the union /
+  set-difference with ``distinct()``, which costs at least one shuffle per
+  iteration.
+* **Pplw** (parallel local loops on the workers): the constant part is
+  split across workers (Proposition 3 — fixpoint splitting) and every
+  worker runs its *own complete fixpoint locally*, with no data exchange
+  during the recursion.  A single shuffle may remain for the final union,
+  and even that one disappears when the split used a stable column
+  (Section III-B).  Two physical variants exist: ``Pplw^s`` runs the local
+  loops with Spark operations over a SetRDD and broadcast joins, while
+  ``Pplw^pg`` delegates each local loop to the worker's PostgreSQL-like
+  engine (:class:`~repro.distributed.local_engine.LocalSQLEngine`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..algebra.conditions import decompose
+from ..algebra.evaluate import Evaluator
+from ..algebra.schema import schemas_of_database
+from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
+                             Literal, Rename, RelVar, Term, Union)
+from ..algebra.variables import free_variables, is_constant_in
+from ..data.relation import Relation
+from ..errors import DistributionError, EvaluationError
+from .cluster import SparkCluster
+from .local_engine import LocalSQLEngine
+from .partitioner import (PartitioningDecision, plan_partitioning,
+                          split_constant_part)
+from .rdd import DistributedRelation, SetRDD
+
+#: Plan identifiers used in metrics, reports and the selection heuristic.
+PGLD = "pgld"
+PPLW_SPARK = "plw-spark"
+PPLW_POSTGRES = "plw-postgres"
+
+#: Safety bound on driver-side global iterations.
+MAX_GLOBAL_ITERATIONS = 1_000_000
+
+
+class DistributedFixpointPlan:
+    """Base class of the three physical fixpoint plans."""
+
+    name: str = "abstract"
+
+    def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
+                 partitioning_override: PartitioningDecision | None = None):
+        self.cluster = cluster
+        self.database = dict(database)
+        #: When set, bypass the stable-column analysis and use this decision
+        #: instead (used by the partitioning ablation benchmark).
+        self.partitioning_override = partitioning_override
+
+    def execute(self, fixpoint: Fixpoint) -> Relation:
+        """Evaluate ``fixpoint`` against the plan's database."""
+        raise NotImplementedError
+
+    # -- Shared helpers ----------------------------------------------------------
+
+    def _central_evaluator(self) -> Evaluator:
+        return Evaluator(self.database)
+
+    def _check_closed(self, fixpoint: Fixpoint) -> None:
+        unknown = free_variables(fixpoint) - set(self.database)
+        if unknown:
+            raise DistributionError(
+                f"fixpoint references unknown relations {sorted(unknown)}")
+
+    def _partitioning(self, fixpoint: Fixpoint) -> PartitioningDecision:
+        if self.partitioning_override is not None:
+            return self.partitioning_override
+        schemas = schemas_of_database(self.database)
+        return plan_partitioning(fixpoint, schemas)
+
+
+class GlobalLoopOnDriver(DistributedFixpointPlan):
+    """``Pgld``: the driver iterates, the workers evaluate each step.
+
+    Every iteration ends with a global set difference and a global union,
+    both of which repartition the data (``distinct()`` on Spark), so the
+    number of shuffles grows linearly with the recursion depth.
+    """
+
+    name = PGLD
+
+    def execute(self, fixpoint: Fixpoint) -> Relation:
+        self._check_closed(fixpoint)
+        decomposition = decompose(fixpoint)
+        evaluator = self._central_evaluator()
+        constant = evaluator.evaluate(decomposition.constant_part)
+        if decomposition.variable_part is None:
+            return constant
+        variable_part = decomposition.variable_part
+        var = fixpoint.var
+        accumulated = DistributedRelation.from_relation(self.cluster, constant)
+        delta = accumulated
+        iterations = 0
+        while not delta.is_empty():
+            iterations += 1
+            if iterations > MAX_GLOBAL_ITERATIONS:
+                raise EvaluationError(
+                    f"global loop on {var!r} did not converge")
+            self.cluster.metrics.global_iterations += 1
+            produced = self._evaluate_distributed(variable_part, var, delta, evaluator)
+            # new = phi(new) \ X        (global set difference: shuffle)
+            delta = produced.subtract_distinct(accumulated)
+            # X = X U new               (union + distinct: shuffle)
+            accumulated = accumulated.union_distinct(delta)
+        return accumulated.collect()
+
+    # -- Distributed evaluation of the variable part -------------------------------
+
+    def _evaluate_distributed(self, term: Term, var: str,
+                              dataset: DistributedRelation,
+                              evaluator: Evaluator) -> DistributedRelation:
+        """Evaluate a term where ``var`` is bound to a distributed dataset.
+
+        Operators applied to the recursive side become per-partition tasks;
+        joins against recursion-constant relations are broadcast joins; the
+        recursion-constant subterms themselves are evaluated once on the
+        driver.
+        """
+        if isinstance(term, RelVar) and term.name == var:
+            return dataset
+        if is_constant_in(term, var):
+            relation = evaluator.evaluate(term)
+            return DistributedRelation.from_relation(self.cluster, relation)
+        if isinstance(term, Filter):
+            child = self._evaluate_distributed(term.child, var, dataset, evaluator)
+            return child.filter(term.predicate)
+        if isinstance(term, Rename):
+            child = self._evaluate_distributed(term.child, var, dataset, evaluator)
+            return child.map_partitions(
+                lambda partition, _: partition.rename(term.old, term.new))
+        if isinstance(term, AntiProject):
+            child = self._evaluate_distributed(term.child, var, dataset, evaluator)
+            return child.map_partitions(
+                lambda partition, _: partition.antiproject(term.columns))
+        if isinstance(term, Join):
+            return self._binary(term, var, dataset, evaluator,
+                                broadcast="join")
+        if isinstance(term, Antijoin):
+            return self._binary(term, var, dataset, evaluator,
+                                broadcast="antijoin")
+        if isinstance(term, Union):
+            left = self._evaluate_distributed(term.left, var, dataset, evaluator)
+            right = self._evaluate_distributed(term.right, var, dataset, evaluator)
+            merged = [mine.union(theirs)
+                      for mine, theirs in zip(left.partitions, right.partitions)]
+            return DistributedRelation(self.cluster, merged)
+        if isinstance(term, Fixpoint):
+            # A nested fixpoint that is not constant in var would be mutual
+            # recursion, which Fcond excludes; reaching this means the term
+            # is malformed.
+            raise DistributionError(
+                "nested fixpoints depending on the outer recursive variable "
+                "are not supported (mutual recursion)")
+        raise DistributionError(
+            f"cannot distribute term of type {type(term).__name__}")
+
+    def _binary(self, term: Join | Antijoin, var: str,
+                dataset: DistributedRelation, evaluator: Evaluator,
+                broadcast: str) -> DistributedRelation:
+        left_constant = is_constant_in(term.left, var)
+        right_constant = is_constant_in(term.right, var)
+        if left_constant == right_constant:
+            raise DistributionError(
+                "exactly one operand of a join/antijoin may depend on the "
+                "recursive variable (Fcond linearity)")
+        recursive_side = term.right if left_constant else term.left
+        constant_side = term.left if left_constant else term.right
+        recursive_dataset = self._evaluate_distributed(recursive_side, var,
+                                                       dataset, evaluator)
+        constant_relation = evaluator.evaluate(constant_side)
+        if broadcast == "join":
+            return recursive_dataset.join_broadcast(constant_relation)
+        if not left_constant:
+            return recursive_dataset.antijoin_broadcast(constant_relation)
+        raise DistributionError(
+            "the recursive variable may not appear on the right of an "
+            "antijoin (Fcond positivity)")
+
+
+class ParallelLocalLoops(DistributedFixpointPlan):
+    """Common machinery of the two ``Pplw`` variants.
+
+    Splits the constant part (by stable column when possible), broadcasts
+    the recursion-constant relations of the variable part, and runs one
+    local fixpoint per worker; subclasses define how a single local fixpoint
+    is computed.
+    """
+
+    def execute(self, fixpoint: Fixpoint) -> Relation:
+        self._check_closed(fixpoint)
+        decomposition = decompose(fixpoint)
+        evaluator = self._central_evaluator()
+        constant = evaluator.evaluate(decomposition.constant_part)
+        if decomposition.variable_part is None:
+            return constant
+        decision = self._partitioning(fixpoint)
+        self.cluster.metrics.partitioning = decision.strategy
+        chunks = split_constant_part(constant, self.cluster, decision)
+        self._broadcast_variable_part(decomposition.variable_part, fixpoint.var)
+        self.cluster.record_tasks(self.cluster.num_workers)
+        local_results: list[Relation] = []
+        for worker_id, chunk in enumerate(chunks):
+            local = self._local_fixpoint(fixpoint, chunk, worker_id)
+            self.cluster.record_worker_tuples(worker_id, len(local))
+            local_results.append(local)
+        return self._final_union(local_results, constant.columns, decision)
+
+    # -- Hooks ---------------------------------------------------------------------
+
+    def _local_fixpoint(self, fixpoint: Fixpoint, chunk: Relation,
+                        worker_id: int) -> Relation:
+        raise NotImplementedError
+
+    # -- Shared steps ----------------------------------------------------------------
+
+    def _broadcast_variable_part(self, variable_part: Term, var: str) -> None:
+        """Record the broadcast of every base relation used by the recursion."""
+        broadcast_names = sorted(free_variables(variable_part) - {var})
+        for name in broadcast_names:
+            if name in self.database:
+                self.cluster.record_broadcast(len(self.database[name]))
+
+    def _final_union(self, locals_: list[Relation], columns: tuple[str, ...],
+                     decision: PartitioningDecision) -> Relation:
+        set_rdd = SetRDD(self.cluster, [
+            chunk if chunk.columns == columns else Relation(columns, chunk.rows)
+            for chunk in locals_
+        ])
+        if decision.disjoint:
+            # Stable-column partitioning: the local fixpoints are pairwise
+            # disjoint, no duplicate elimination (and no shuffle) is needed.
+            self.cluster.metrics.final_union_skipped = True
+            return set_rdd.collect_no_dedup()
+        total = set_rdd.count()
+        self.cluster.record_shuffle(total)
+        collected = set_rdd.collect()
+        self.cluster.metrics.duplicates_eliminated += total - len(collected)
+        return collected
+
+
+class ParallelLocalLoopsSpark(ParallelLocalLoops):
+    """``Pplw^s``: local loops implemented with Spark operations.
+
+    Each worker iterates on its own SetRDD partition; joins against the
+    broadcast relations and partition-wise union / set-difference never
+    exchange data with other workers.
+    """
+
+    name = PPLW_SPARK
+
+    def _local_fixpoint(self, fixpoint: Fixpoint, chunk: Relation,
+                        worker_id: int) -> Relation:
+        decomposition = decompose(fixpoint)
+        variable_part = decomposition.variable_part
+        evaluator = self._central_evaluator()
+        result = chunk
+        delta = chunk
+        while delta:
+            self.cluster.metrics.local_iterations += 1
+            produced = evaluator.evaluate(variable_part,
+                                          env={fixpoint.var: delta})
+            delta = produced.difference(result)
+            result = result.union(delta)
+        return result
+
+
+class ParallelLocalLoopsPostgres(ParallelLocalLoops):
+    """``Pplw^pg``: each worker delegates its local loop to PostgreSQL.
+
+    The worker's chunk becomes a view in the local engine, the fixpoint is
+    executed there (benefitting from prebuilt indexes), and the result is
+    iterated back — the marshalling in both directions is accounted for in
+    the metrics, because it is what penalises this plan when intermediate
+    data is small (Fig. 5).
+    """
+
+    name = PPLW_POSTGRES
+
+    def _local_fixpoint(self, fixpoint: Fixpoint, chunk: Relation,
+                        worker_id: int) -> Relation:
+        engine = LocalSQLEngine(self.database)
+        self.cluster.metrics.tuples_marshalled += len(chunk)
+        result = engine.evaluate_fixpoint(fixpoint, seed_override=chunk)
+        self.cluster.metrics.tuples_marshalled += len(result)
+        self.cluster.metrics.local_iterations += engine.stats.iterations
+        return result
+
+
+#: Registry used by the physical plan generator and the benchmarks.
+PLAN_CLASSES = {
+    PGLD: GlobalLoopOnDriver,
+    PPLW_SPARK: ParallelLocalLoopsSpark,
+    PPLW_POSTGRES: ParallelLocalLoopsPostgres,
+}
+
+
+def make_plan(name: str, cluster: SparkCluster,
+              database: Mapping[str, Relation]) -> DistributedFixpointPlan:
+    """Instantiate a fixpoint plan by name (``pgld``, ``plw-spark``, ``plw-postgres``)."""
+    try:
+        plan_class = PLAN_CLASSES[name]
+    except KeyError as exc:
+        raise DistributionError(
+            f"unknown physical plan {name!r}; known plans: {sorted(PLAN_CLASSES)}"
+        ) from exc
+    return plan_class(cluster, database)

@@ -1,0 +1,184 @@
+"""Partitioned datasets: the RDD / Dataset / SetRDD abstractions.
+
+Three Spark abstractions matter for the paper's execution plans:
+
+* **Dataset** — relational data partitioned across workers, with
+  shuffle-based operators (``distinct``, shuffle unions) used by the
+  ``Pgld`` global-loop plan,
+* **broadcast joins** — joining every partition against a relation copied
+  to every worker, used inside the local loops of ``Pplw``,
+* **SetRDD** — the BigDatalog abstraction reused by ``Pplw^s``: every
+  partition is a *set*, and union / set-difference are computed partition
+  wise, without any shuffle.
+
+:class:`DistributedRelation` implements the first two and
+:class:`SetRDD` extends it with the partition-wise operators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..data.predicates import Predicate
+from ..data.relation import Relation
+from ..errors import DistributionError
+from .cluster import SparkCluster
+
+
+class DistributedRelation:
+    """A relation split into one partition per worker."""
+
+    def __init__(self, cluster: SparkCluster, partitions: list[Relation]):
+        if len(partitions) != cluster.num_workers:
+            raise DistributionError(
+                f"expected {cluster.num_workers} partitions, got {len(partitions)}"
+            )
+        schemas = {partition.columns for partition in partitions}
+        if len(schemas) != 1:
+            raise DistributionError(
+                f"all partitions must share one schema, got {sorted(schemas)}"
+            )
+        self.cluster = cluster
+        self.partitions = list(partitions)
+        self.columns = partitions[0].columns
+
+    # -- Constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_relation(cls, cluster: SparkCluster, relation: Relation,
+                      key_columns: Iterable[str] | None = None) -> "DistributedRelation":
+        """Distribute a relation over the cluster.
+
+        With ``key_columns`` the relation is hash-partitioned on those
+        columns (co-partitioning rows that agree on them); otherwise a
+        round-robin split balances the partition sizes.
+        """
+        if key_columns is not None:
+            partitions = relation.split_by_columns(tuple(key_columns),
+                                                   cluster.num_workers)
+        else:
+            partitions = relation.split_round_robin(cluster.num_workers)
+        return cls(cluster, partitions)
+
+    # -- Basic accessors --------------------------------------------------------
+
+    def count(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def partition_sizes(self) -> list[int]:
+        return [len(partition) for partition in self.partitions]
+
+    def collect(self) -> Relation:
+        """Bring every partition back to the driver (deduplicating)."""
+        result = Relation.empty(self.columns)
+        for partition in self.partitions:
+            result = result.union(partition)
+        return result
+
+    def is_empty(self) -> bool:
+        return all(len(partition) == 0 for partition in self.partitions)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(partitions={self.partition_sizes()}, "
+                f"columns={list(self.columns)})")
+
+    # -- Narrow (per-partition) transformations ---------------------------------
+
+    def map_partitions(self, fn: Callable[[Relation, int], Relation]) -> "DistributedRelation":
+        """Apply a function to every partition (one task per partition)."""
+        self.cluster.record_tasks(len(self.partitions))
+        new_partitions = []
+        for worker_id, partition in enumerate(self.partitions):
+            result = fn(partition, worker_id)
+            self.cluster.record_worker_tuples(worker_id, len(result))
+            new_partitions.append(result)
+        return type(self)(self.cluster, new_partitions)
+
+    def filter(self, predicate: Predicate) -> "DistributedRelation":
+        return self.map_partitions(lambda partition, _: partition.filter(predicate))
+
+    def join_broadcast(self, relation: Relation) -> "DistributedRelation":
+        """Natural-join every partition with a broadcast relation."""
+        self.cluster.record_broadcast(len(relation))
+        return self.map_partitions(
+            lambda partition, _: partition.natural_join(relation))
+
+    def antijoin_broadcast(self, relation: Relation) -> "DistributedRelation":
+        self.cluster.record_broadcast(len(relation))
+        return self.map_partitions(
+            lambda partition, _: partition.antijoin(relation))
+
+    # -- Wide (shuffle) transformations -------------------------------------------
+
+    def repartition(self, key_columns: Iterable[str] | None = None) -> "DistributedRelation":
+        """Reshuffle the data across workers (a full shuffle)."""
+        collected = self.collect()
+        self.cluster.record_shuffle(collected and len(collected) or 0)
+        return type(self).from_relation(self.cluster, collected,
+                                        key_columns=key_columns)
+
+    def distinct(self) -> "DistributedRelation":
+        """Global duplicate elimination: requires a shuffle by row hash."""
+        total = self.count()
+        self.cluster.record_shuffle(total)
+        collected = self.collect()
+        self.cluster.metrics.duplicates_eliminated += total - len(collected)
+        return type(self).from_relation(self.cluster, collected)
+
+    def union_distinct(self, other: "DistributedRelation") -> "DistributedRelation":
+        """Spark-style union followed by ``distinct()`` (one shuffle)."""
+        self._require_same_layout(other)
+        merged = [mine.union(theirs)
+                  for mine, theirs in zip(self.partitions, other.partitions)]
+        return type(self)(self.cluster, merged).distinct()
+
+    def subtract_distinct(self, other: "DistributedRelation") -> "DistributedRelation":
+        """Global set difference: shuffles both sides by row hash."""
+        self._require_same_layout(other)
+        self.cluster.record_shuffle(self.count() + other.count())
+        mine = self.collect()
+        theirs = other.collect()
+        return type(self).from_relation(self.cluster, mine.difference(theirs))
+
+    # -- Internal ------------------------------------------------------------------
+
+    def _require_same_layout(self, other: "DistributedRelation") -> None:
+        if self.cluster is not other.cluster:
+            raise DistributionError("datasets live on different clusters")
+        if self.columns != other.columns:
+            raise DistributionError(
+                f"incompatible schemas {self.columns} and {other.columns}")
+
+
+class SetRDD(DistributedRelation):
+    """An RDD whose partitions are sets, with partition-wise set algebra.
+
+    This is the abstraction BigDatalog introduced and that ``Pplw^s``
+    reuses: because every worker runs its own local fixpoint, union and set
+    difference never need to look at other partitions, so they are computed
+    partition by partition without any shuffle.
+    """
+
+    def union_partitionwise(self, other: "DistributedRelation") -> "SetRDD":
+        self._require_same_layout(other)
+        merged = [mine.union(theirs)
+                  for mine, theirs in zip(self.partitions, other.partitions)]
+        return SetRDD(self.cluster, merged)
+
+    def difference_partitionwise(self, other: "DistributedRelation") -> "SetRDD":
+        self._require_same_layout(other)
+        reduced = [mine.difference(theirs)
+                   for mine, theirs in zip(self.partitions, other.partitions)]
+        return SetRDD(self.cluster, reduced)
+
+    def collect_no_dedup(self) -> Relation:
+        """Concatenate partitions assuming they are pairwise disjoint.
+
+        Valid when the data was partitioned on a stable column: the local
+        fixpoints are then provably disjoint (Section III-B), so the final
+        union does not need to eliminate duplicates.
+        """
+        rows: set = set()
+        for partition in self.partitions:
+            rows.update(partition.rows)
+        return Relation(self.columns, rows)

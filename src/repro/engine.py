@@ -1,0 +1,177 @@
+"""The Dist-mu-RA engine facade.
+
+:class:`DistMuRA` wires together the components described in Section IV of
+the paper (and implemented by the sub-packages of this library)::
+
+    UCRPQ ──Query2Mu──> mu-RA term ──MuRewriter──> equivalent logical plans
+          ──CostEstimator──> selected logical plan
+          ──PhysicalPlanGenerator──> Pgld / Pplw^s / Pplw^pg
+          ──SparkExecutor / PgSQLExecutor──> result relation + metrics
+
+Typical use::
+
+    from repro import DistMuRA
+    from repro.datasets import yago_like_graph
+
+    engine = DistMuRA(yago_like_graph(scale=1000), num_workers=4)
+    result = engine.query("?x,?y <- ?x isLocatedIn+/dealsWith+ ?y")
+    print(len(result.relation), result.physical_strategies, result.metrics.shuffles)
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from .algebra.evaluate import Evaluator
+from .algebra.schema import schemas_of_database
+from .algebra.terms import Term
+from .cost.selection import RankedPlan, rank_plans
+from .data.graph import LabeledGraph
+from .data.relation import Relation
+from .distributed.cluster import ClusterMetrics, SparkCluster
+from .distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
+                                   DistributedQueryExecutor)
+from .errors import TranslationError
+from .query.ast import UCRPQ
+from .query.classes import classify_query
+from .query.parser import parse_query
+from .query.translate import translate_query
+from .rewriter.engine import MuRewriter
+
+
+@dataclass
+class QueryResult:
+    """Everything produced by one query execution."""
+
+    relation: Relation
+    selected_plan: Term
+    original_plan: Term
+    plans_explored: int
+    estimated_cost: float
+    physical_strategies: tuple[str, ...]
+    metrics: ClusterMetrics
+    elapsed_seconds: float
+    query_classes: frozenset[str] = field(default_factory=frozenset)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def summary(self) -> dict[str, object]:
+        """Flat dictionary used by the benchmark reports."""
+        summary = {
+            "rows": len(self.relation),
+            "plans_explored": self.plans_explored,
+            "estimated_cost": round(self.estimated_cost, 1),
+            "physical": ",".join(self.physical_strategies) or "central",
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "classes": ",".join(sorted(self.query_classes)),
+        }
+        summary.update(self.metrics.summary())
+        return summary
+
+
+class DistMuRA:
+    """A Dist-mu-RA session bound to one database and one simulated cluster."""
+
+    def __init__(self, data: LabeledGraph | Mapping[str, Relation],
+                 num_workers: int = 4,
+                 optimize: bool = True,
+                 strategy: str = AUTO,
+                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK,
+                 max_plans: int = 64,
+                 max_rounds: int = 8):
+        if isinstance(data, LabeledGraph):
+            self.database: dict[str, Relation] = data.relations()
+        else:
+            self.database = dict(data)
+        self.cluster = SparkCluster(num_workers=num_workers)
+        self.optimize_plans = optimize
+        self.strategy = strategy
+        self.memory_per_task = memory_per_task
+        self.rewriter = MuRewriter(max_plans=max_plans, max_rounds=max_rounds)
+        self._schemas = schemas_of_database(self.database)
+
+    # -- Pipeline stages -----------------------------------------------------------
+
+    def translate(self, query: str | UCRPQ) -> Term:
+        """Parse (if needed) and translate a UCRPQ into a mu-RA term."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        missing = sorted(label for label in parsed.labels()
+                         if label not in self.database)
+        if missing:
+            raise TranslationError(
+                f"query references unknown edge labels {missing}")
+        return translate_query(parsed)
+
+    def optimize(self, term: Term) -> tuple[RankedPlan, list[RankedPlan]]:
+        """Explore equivalent plans and rank them with the cost model."""
+        plans = self.rewriter.explore(term, self._schemas)
+        ranked = rank_plans(plans, database=self.database)
+        return ranked[0], ranked
+
+    # -- Execution ------------------------------------------------------------------
+
+    def execute_term(self, term: Term, strategy: str | None = None,
+                     query_classes: frozenset[str] = frozenset()) -> QueryResult:
+        """Optimize (optionally) and execute a mu-RA term."""
+        started = time.perf_counter()
+        original = term
+        plans_explored = 1
+        estimated_cost = float("nan")
+        if self.optimize_plans:
+            best, ranked = self.optimize(term)
+            term = best.term
+            plans_explored = len(ranked)
+            estimated_cost = best.cost
+        self.cluster.reset_metrics()
+        executor = DistributedQueryExecutor(
+            self.cluster, self.database,
+            strategy=strategy if strategy is not None else self.strategy,
+            memory_per_task=self.memory_per_task)
+        outcome = executor.execute(term)
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            relation=outcome.relation,
+            selected_plan=term,
+            original_plan=original,
+            plans_explored=plans_explored,
+            estimated_cost=estimated_cost,
+            physical_strategies=outcome.strategies,
+            metrics=self.cluster.metrics,
+            elapsed_seconds=elapsed,
+            query_classes=query_classes,
+        )
+
+    def query(self, query: str | UCRPQ, strategy: str | None = None) -> QueryResult:
+        """Run a UCRPQ end to end (parse, optimize, distribute, execute)."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        term = self.translate(parsed)
+        return self.execute_term(term, strategy=strategy,
+                                 query_classes=classify_query(parsed))
+
+    def evaluate_centralized(self, term: Term) -> Relation:
+        """Reference single-node evaluation (used for testing and baselines)."""
+        return Evaluator(self.database).evaluate(term)
+
+    # -- Introspection -----------------------------------------------------------------
+
+    def explain(self, query: str | UCRPQ) -> str:
+        """Return a human-readable account of the optimisation of a query."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        term = self.translate(parsed)
+        best, ranked = self.optimize(term)
+        lines = [
+            f"query: {parsed}",
+            f"classes: {','.join(sorted(classify_query(parsed))) or 'none'}",
+            f"plans explored: {len(ranked)}",
+            f"selected cost: {best.cost:.1f}",
+            f"selected plan: {best.term}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"DistMuRA(relations={len(self.database)}, "
+                f"workers={self.cluster.num_workers}, "
+                f"optimize={self.optimize_plans}, strategy={self.strategy!r})")

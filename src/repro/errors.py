@@ -1,0 +1,79 @@
+"""Exception hierarchy for the Dist-mu-RA reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything coming out of the library with a single ``except``
+clause while still being able to distinguish precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relational operation was applied to incompatible schemas.
+
+    Examples: union of relations with different columns, renaming a column
+    that does not exist, joining relations whose common columns were
+    expected but missing.
+    """
+
+
+class AlgebraError(ReproError):
+    """A mu-RA term is malformed or violates a structural requirement."""
+
+
+class FixpointConditionError(AlgebraError):
+    """A fixpoint term does not satisfy the Fcond conditions.
+
+    The conditions (positive, linear, non mutually recursive) are required
+    by Proposition 1 of the paper for the fixpoint to be well defined and
+    for the semi-naive evaluation and fixpoint-splitting techniques to be
+    applicable.
+    """
+
+
+class EvaluationError(ReproError):
+    """Evaluation of a term failed (unknown relation, missing column...)."""
+
+
+class QueryParseError(ReproError):
+    """A UCRPQ query string could not be parsed."""
+
+
+class TranslationError(ReproError):
+    """A query could not be translated into the target representation."""
+
+
+class RewriteError(ReproError):
+    """A rewrite rule was applied to a term it does not match."""
+
+
+class CostEstimationError(ReproError):
+    """The cost model could not produce an estimate for a term."""
+
+
+class DistributionError(ReproError):
+    """The distributed runtime was used incorrectly."""
+
+
+class PlanSelectionError(ReproError):
+    """No physical plan could be generated or selected for a term."""
+
+
+class DatalogError(ReproError):
+    """A Datalog program is malformed or cannot be evaluated."""
+
+
+class PregelError(ReproError):
+    """A Pregel/GraphX-style computation was configured incorrectly."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""
+
+
+class BenchmarkError(ReproError):
+    """The benchmark harness was configured incorrectly."""

@@ -1,0 +1,236 @@
+"""Abstract syntax of UCRPQ queries.
+
+A UCRPQ (Union of Conjunctive Regular Path Queries) is, per the paper's
+frontend, a rule of the form::
+
+    ?x,?y <- ?x  isMarriedTo/livesIn/IsL+  Argentina, ?y isConnectedTo+ ?x
+
+i.e. a head (a list of output variables) and a body made of *atoms*.  Each
+atom relates a subject and an object (either variables ``?x`` or node
+constants) through a *regular path expression* over edge labels: label
+steps, inverse steps (``-label``), concatenation (``/``), alternation
+(``|``) and transitive closure (``+``).  A union of several rules with the
+same head is also supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryParseError
+
+
+class PathExpr:
+    """Base class of regular path expressions."""
+
+    def labels(self) -> frozenset[str]:
+        """All edge labels mentioned (without the inverse marker)."""
+        raise NotImplementedError
+
+    def contains_closure(self) -> bool:
+        """True when the expression contains a ``+`` (or ``*``) closure."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Label(PathExpr):
+    """A single navigation step along edges with the given label.
+
+    ``inverse=True`` navigates edges backwards (the ``-label`` syntax).
+    """
+
+    name: str
+    inverse: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryParseError("edge labels must be non-empty")
+
+    def labels(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def contains_closure(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"-{self.name}" if self.inverse else self.name
+
+
+@dataclass(frozen=True)
+class Concat(PathExpr):
+    """Concatenation ``p1/p2/.../pn`` of path expressions."""
+
+    parts: tuple[PathExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise QueryParseError("a concatenation needs at least two parts")
+
+    def labels(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for part in self.parts:
+            result |= part.labels()
+        return result
+
+    def contains_closure(self) -> bool:
+        return any(part.contains_closure() for part in self.parts)
+
+    def __str__(self) -> str:
+        return "/".join(_wrap(part) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Alternation(PathExpr):
+    """Alternation ``p1|p2|...|pn`` of path expressions."""
+
+    options: tuple[PathExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise QueryParseError("an alternation needs at least two options")
+
+    def labels(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for option in self.options:
+            result |= option.labels()
+        return result
+
+    def contains_closure(self) -> bool:
+        return any(option.contains_closure() for option in self.options)
+
+    def __str__(self) -> str:
+        return "|".join(_wrap(option) for option in self.options)
+
+
+@dataclass(frozen=True)
+class Plus(PathExpr):
+    """Transitive closure ``p+`` (one or more repetitions)."""
+
+    inner: PathExpr
+
+    def labels(self) -> frozenset[str]:
+        return self.inner.labels()
+
+    def contains_closure(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+def _wrap(expr: PathExpr) -> str:
+    text = str(expr)
+    if isinstance(expr, (Concat, Alternation)):
+        return f"({text})"
+    return text
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, written ``?x`` in the surface syntax."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryParseError("variable names must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A node constant, written as a bare identifier in the surface syntax."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Endpoint = Variable | Constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One regular-path atom ``subject path object``."""
+
+    subject: Endpoint
+    path: PathExpr
+    obj: Endpoint
+
+    def variables(self) -> tuple[Variable, ...]:
+        found = []
+        for endpoint in (self.subject, self.obj):
+            if isinstance(endpoint, Variable) and endpoint not in found:
+                found.append(endpoint)
+        return tuple(found)
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.path} {self.obj}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """One rule: head variables and a conjunction of atoms."""
+
+    head: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise QueryParseError("a conjunctive query needs at least one atom")
+        body_variables = {v for atom in self.atoms for v in atom.variables()}
+        unknown = [v for v in self.head if v not in body_variables]
+        if unknown:
+            raise QueryParseError(
+                f"head variables {[str(v) for v in unknown]} do not appear in the body"
+            )
+
+    def variables(self) -> tuple[Variable, ...]:
+        found: list[Variable] = []
+        for atom in self.atoms:
+            for variable in atom.variables():
+                if variable not in found:
+                    found.append(variable)
+        return tuple(found)
+
+    def __str__(self) -> str:
+        head = ",".join(str(v) for v in self.head)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{head} <- {body}"
+
+
+@dataclass(frozen=True)
+class UCRPQ:
+    """A union of conjunctive regular path queries sharing the same head."""
+
+    rules: tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise QueryParseError("a UCRPQ needs at least one rule")
+        heads = {tuple(v.name for v in rule.head) for rule in self.rules}
+        if len(heads) != 1:
+            raise QueryParseError(
+                f"all rules of a UCRPQ must share the same head, got {sorted(heads)}"
+            )
+
+    @property
+    def head(self) -> tuple[Variable, ...]:
+        return self.rules[0].head
+
+    def labels(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for rule in self.rules:
+            for atom in rule.atoms:
+                result |= atom.path.labels()
+        return result
+
+    def contains_closure(self) -> bool:
+        return any(atom.path.contains_closure()
+                   for rule in self.rules for atom in rule.atoms)
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(rule) for rule in self.rules)

@@ -1,0 +1,229 @@
+"""Parser for the UCRPQ surface syntax.
+
+The syntax accepted is the one used in the paper's query figures::
+
+    ?x,?y <- ?x (actedIn/-actedIn)+/hasChild+ ?y
+    ?x    <- ?x isMarriedTo/livesIn/IsL+/dw+ Argentina
+    ?x    <- C  (occ/-occ)+ ?x, ?x int+ ?y
+
+Grammar (informal)::
+
+    query   := head ('<-' | '←') body (';' body)*        # ';' separates union rules
+    head    := endpointvar (',' endpointvar)*
+    body    := atom (',' atom)*
+    atom    := endpoint path endpoint
+    endpoint:= '?'name | name                              # variable or constant
+    path    := alt
+    alt     := seq ('|' seq)*
+    seq     := item ('/' item)*
+    item    := atom_expr '+'?
+    atom_expr := '-'? name | '(' alt ')'
+
+Identifiers may contain letters, digits, ``_``, ``:`` and ``.`` so that
+labels such as ``rdfs:subClassOf`` and constants such as
+``John_Lawrence_Toole`` parse directly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QueryParseError
+from .ast import (Alternation, Atom, Concat, ConjunctiveQuery, Constant,
+                  Endpoint, Label, PathExpr, Plus, UCRPQ, Variable)
+
+_IDENTIFIER = re.compile(r"[A-Za-z0-9_:.][A-Za-z0-9_:.\-]*")
+
+_TOKEN_SPEC = [
+    ("ARROW", re.compile(r"<-|←")),
+    ("VARIABLE", re.compile(r"\?[A-Za-z0-9_]+")),
+    ("LPAREN", re.compile(r"\(")),
+    ("RPAREN", re.compile(r"\)")),
+    ("PLUS", re.compile(r"\+")),
+    ("SLASH", re.compile(r"/")),
+    ("PIPE", re.compile(r"\|")),
+    ("COMMA", re.compile(r",")),
+    ("SEMICOLON", re.compile(r";")),
+    ("DASH", re.compile(r"-")),
+    ("IDENT", _IDENTIFIER),
+]
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        for kind, pattern in _TOKEN_SPEC:
+            match = pattern.match(text, position)
+            if match:
+                tokens.append(_Token(kind, match.group(), position))
+                position = match.end()
+                break
+        else:
+            raise QueryParseError(
+                f"unexpected character {char!r} at position {position} in query"
+            )
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- Token helpers --------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query: {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise QueryParseError(
+                f"expected {kind} but found {token.text!r} at position "
+                f"{token.position} in {self._source!r}"
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    # -- Grammar --------------------------------------------------------------
+
+    def parse_query(self) -> UCRPQ:
+        head = self._parse_head()
+        self._expect("ARROW")
+        rules = [ConjunctiveQuery(head, self._parse_body())]
+        while self._accept("SEMICOLON"):
+            rules.append(ConjunctiveQuery(head, self._parse_body()))
+        if self._peek() is not None:
+            token = self._peek()
+            raise QueryParseError(
+                f"trailing input {token.text!r} at position {token.position}"
+            )
+        return UCRPQ(tuple(rules))
+
+    def _parse_head(self) -> tuple[Variable, ...]:
+        variables = [self._parse_head_variable()]
+        while self._accept("COMMA"):
+            variables.append(self._parse_head_variable())
+        return tuple(variables)
+
+    def _parse_head_variable(self) -> Variable:
+        token = self._expect("VARIABLE")
+        return Variable(token.text[1:])
+
+    def _parse_body(self) -> tuple[Atom, ...]:
+        atoms = [self._parse_atom()]
+        while self._accept("COMMA"):
+            atoms.append(self._parse_atom())
+        return tuple(atoms)
+
+    def _parse_atom(self) -> Atom:
+        subject = self._parse_endpoint()
+        path = self._parse_alternation()
+        obj = self._parse_endpoint()
+        return Atom(subject, path, obj)
+
+    def _parse_endpoint(self) -> Endpoint:
+        token = self._next()
+        if token.kind == "VARIABLE":
+            return Variable(token.text[1:])
+        if token.kind == "IDENT":
+            return Constant(token.text)
+        raise QueryParseError(
+            f"expected a variable or constant but found {token.text!r} at "
+            f"position {token.position}"
+        )
+
+    def _parse_alternation(self) -> PathExpr:
+        options = [self._parse_sequence()]
+        while self._accept("PIPE"):
+            options.append(self._parse_sequence())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    def _parse_sequence(self) -> PathExpr:
+        parts = [self._parse_item()]
+        while self._accept("SLASH"):
+            parts.append(self._parse_item())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _parse_item(self) -> PathExpr:
+        expr = self._parse_step()
+        while self._accept("PLUS"):
+            expr = Plus(expr)
+        return expr
+
+    def _parse_step(self) -> PathExpr:
+        if self._accept("LPAREN"):
+            expr = self._parse_alternation()
+            self._expect("RPAREN")
+            return expr
+        inverse = self._accept("DASH") is not None
+        token = self._expect("IDENT")
+        return Label(token.text, inverse=inverse)
+
+
+def parse_query(text: str) -> UCRPQ:
+    """Parse a UCRPQ query string into its AST.
+
+    >>> query = parse_query("?x,?y <- ?x hasChild+ ?y")
+    >>> [v.name for v in query.head]
+    ['x', 'y']
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty query string")
+    return _Parser(tokens, text).parse_query()
+
+
+def parse_path(text: str) -> PathExpr:
+    """Parse a bare regular path expression such as ``(actedIn/-actedIn)+``."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty path expression")
+    parser = _Parser(tokens, text)
+    expr = parser._parse_alternation()
+    if parser._peek() is not None:
+        token = parser._peek()
+        raise QueryParseError(
+            f"trailing input {token.text!r} at position {token.position}"
+        )
+    return expr

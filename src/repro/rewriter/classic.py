@@ -1,0 +1,128 @@
+"""Classic relational-algebra rewrite rules (non fixpoint-specific).
+
+These are the textbook rules the MuRewriter uses to move filters and
+anti-projections around so that the fixpoint-specific rules can then fire:
+a filter written above a whole path expression must first travel down
+through compositions (anti-projection + join + renamings) before it can be
+pushed inside a closure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..algebra.terms import (AntiProject, Antijoin, Filter, Join, Rename,
+                             Term, Union)
+from ..data.predicates import And
+from ..errors import EvaluationError, SchemaError
+from .rules import RewriteContext, RewriteRule
+
+
+class PushFilterThroughJoin(RewriteRule):
+    """``sigma_p(A |><| B)`` becomes ``sigma_p(A) |><| B`` (or the mirror)."""
+
+    name = "push-filter-through-join"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if not isinstance(node, Filter) or not isinstance(node.child, Join):
+            return
+        join = node.child
+        columns = node.predicate.columns()
+        for side in ("left", "right"):
+            operand = getattr(join, side)
+            try:
+                schema = context.schema_of(operand)
+            except (SchemaError, EvaluationError):
+                continue
+            if columns <= set(schema):
+                if side == "left":
+                    yield Join(Filter(node.predicate, join.left), join.right)
+                else:
+                    yield Join(join.left, Filter(node.predicate, join.right))
+
+
+class PushFilterThroughUnion(RewriteRule):
+    """``sigma_p(A U B)`` becomes ``sigma_p(A) U sigma_p(B)``."""
+
+    name = "push-filter-through-union"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if isinstance(node, Filter) and isinstance(node.child, Union):
+            union = node.child
+            yield Union(Filter(node.predicate, union.left),
+                        Filter(node.predicate, union.right))
+
+
+class PushFilterThroughAntijoin(RewriteRule):
+    """``sigma_p(A |> B)`` becomes ``sigma_p(A) |> B``."""
+
+    name = "push-filter-through-antijoin"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if isinstance(node, Filter) and isinstance(node.child, Antijoin):
+            antijoin = node.child
+            yield Antijoin(Filter(node.predicate, antijoin.left), antijoin.right)
+
+
+class PushFilterThroughRename(RewriteRule):
+    """``sigma_p(rho_a->b(A))`` becomes ``rho_a->b(sigma_p[b->a](A))``."""
+
+    name = "push-filter-through-rename"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if isinstance(node, Filter) and isinstance(node.child, Rename):
+            rename = node.child
+            rewritten = node.predicate.rename(rename.new, rename.old)
+            yield Rename(rename.old, rename.new, Filter(rewritten, rename.child))
+
+
+class PushFilterThroughAntiProject(RewriteRule):
+    """``sigma_p(antiproj_c(A))`` becomes ``antiproj_c(sigma_p(A))``.
+
+    Always valid: the filter cannot reference the dropped columns since they
+    are absent from its input schema.
+    """
+
+    name = "push-filter-through-antiproject"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if isinstance(node, Filter) and isinstance(node.child, AntiProject):
+            antiproject = node.child
+            yield AntiProject(antiproject.columns,
+                              Filter(node.predicate, antiproject.child))
+
+
+class MergeFilters(RewriteRule):
+    """``sigma_p(sigma_q(A))`` becomes ``sigma_{p and q}(A)``."""
+
+    name = "merge-filters"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if isinstance(node, Filter) and isinstance(node.child, Filter):
+            inner = node.child
+            yield Filter(And(node.predicate, inner.predicate), inner.child)
+
+
+class MergeAntiProjects(RewriteRule):
+    """``antiproj_c1(antiproj_c2(A))`` becomes ``antiproj_{c1 U c2}(A)``."""
+
+    name = "merge-antiprojects"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if isinstance(node, AntiProject) and isinstance(node.child, AntiProject):
+            inner = node.child
+            combined = tuple(sorted(set(node.columns) | set(inner.columns)))
+            yield AntiProject(combined, inner.child)
+
+
+def classic_rules() -> list[RewriteRule]:
+    """The default set of classic rules, in the order the engine tries them."""
+    return [
+        PushFilterThroughJoin(),
+        PushFilterThroughUnion(),
+        PushFilterThroughAntijoin(),
+        PushFilterThroughRename(),
+        PushFilterThroughAntiProject(),
+        MergeFilters(),
+        MergeAntiProjects(),
+    ]

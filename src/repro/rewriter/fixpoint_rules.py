@@ -1,0 +1,235 @@
+"""Fixpoint-specific rewrite rules.
+
+These are the rules that distinguish mu-RA from classic relational algebra
+(Section IV of the paper) and that Datalog engines cannot reproduce:
+
+* :class:`ReverseClosure` — evaluate ``a+`` left-to-right or right-to-left,
+* :class:`PushFilterIntoFixpoint` — filter the constant part instead of the
+  whole fixpoint (valid on stable columns),
+* :class:`PushJoinIntoClosure` — start the recursion from an already-joined
+  seed instead of materialising the whole closure and joining afterwards,
+* :class:`MergeClosures` — evaluate ``a+/b+`` as a single fixpoint that
+  grows the path on both ends, avoiding the materialisation of either
+  closure,
+* :class:`PushAntiProjectIntoFixpoint` — drop unused columns before the
+  recursion instead of after it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..algebra.builders import (LEFT_TO_RIGHT, RIGHT_TO_LEFT, compose,
+                                fresh_fixpoint_variable)
+from ..algebra.conditions import decompose
+from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
+                             Rename, RelVar, Term, Union)
+from ..algebra.variables import is_constant_in
+from ..algebra.visitors import walk
+from ..errors import EvaluationError, SchemaError
+from .patterns import match_closure, match_compose
+from .rules import RewriteContext, RewriteRule
+
+
+class ReverseClosure(RewriteRule):
+    """Reverse the evaluation direction of a *pure* transitive closure.
+
+    ``mu(X = E U compose(X, E))`` and ``mu(X = E U compose(E, X))`` both
+    compute ``E+``; switching between them changes which column (src or trg)
+    is stable, and therefore which filters and joins can subsequently be
+    pushed inside the fixpoint.
+    """
+
+    name = "reverse-closure"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if not isinstance(node, Fixpoint):
+            return
+        shape = match_closure(node)
+        if shape is None or not shape.is_pure:
+            return
+        var = fresh_fixpoint_variable()
+        recursive = RelVar(var)
+        if shape.direction == LEFT_TO_RIGHT:
+            step = compose(shape.step, recursive)
+            direction = RIGHT_TO_LEFT
+        else:
+            step = compose(recursive, shape.step)
+            direction = LEFT_TO_RIGHT
+        yield Fixpoint(var, Union(shape.seed, step), direction=direction)
+
+
+class PushFilterIntoFixpoint(RewriteRule):
+    """``sigma_p(mu(X = R U phi))`` becomes ``mu(X = sigma_p(R) U phi)``.
+
+    Sound when every column referenced by the filter is *stable*: each tuple
+    of the fixpoint carries, at a stable column, the value of the constant-
+    part tuple it derives from, so filtering before or after the recursion
+    selects exactly the same tuples (Section III-B of the paper).
+    """
+
+    name = "push-filter-into-fixpoint"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if not isinstance(node, Filter) or not isinstance(node.child, Fixpoint):
+            return
+        fixpoint = node.child
+        try:
+            stable = context.stable_columns_of(fixpoint)
+        except (SchemaError, EvaluationError):
+            return
+        if not node.predicate.columns() <= stable:
+            return
+        decomposition = decompose(fixpoint)
+        filtered_constant = Filter(node.predicate, decomposition.constant_part)
+        yield decomposition.rebuild(constant_part=filtered_constant)
+
+
+class PushJoinIntoClosure(RewriteRule):
+    """Push a composition into a closure-shaped fixpoint.
+
+    For a left-to-right closure ``F = mu(X = S U compose(X, E))`` (which
+    denotes ``S . E*``), the composition ``compose(C, F) = C . S . E*`` can
+    be evaluated as ``mu(X = compose(C, S) U compose(X, E))``: the recursion
+    starts from the joined seed instead of materialising ``F`` and joining
+    afterwards.  Symmetrically for right-to-left closures composed on the
+    right.  This is the "pushing joins into fixpoints" rule of the paper.
+    """
+
+    name = "push-join-into-closure"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        shape = match_compose(node)
+        if shape is None:
+            return
+        # compose(C, F) with F a left-to-right closure.
+        if isinstance(shape.right, Fixpoint):
+            closure = match_closure(shape.right)
+            if closure is not None and closure.direction == LEFT_TO_RIGHT:
+                if is_constant_in(shape.left, closure.var):
+                    var = fresh_fixpoint_variable()
+                    seed = compose(shape.left, closure.seed)
+                    step = compose(RelVar(var), closure.step)
+                    yield Fixpoint(var, Union(seed, step), direction=LEFT_TO_RIGHT)
+        # compose(F, C) with F a right-to-left closure.
+        if isinstance(shape.left, Fixpoint):
+            closure = match_closure(shape.left)
+            if closure is not None and closure.direction == RIGHT_TO_LEFT:
+                if is_constant_in(shape.right, closure.var):
+                    var = fresh_fixpoint_variable()
+                    seed = compose(closure.seed, shape.right)
+                    step = compose(closure.step, RelVar(var))
+                    yield Fixpoint(var, Union(seed, step), direction=RIGHT_TO_LEFT)
+
+
+class MergeClosures(RewriteRule):
+    """Merge a concatenation of two pure closures into a single fixpoint.
+
+    ``compose(A+, B+)`` is rewritten as::
+
+        mu(X = compose(A, B) U compose(A, X) U compose(X, B))
+
+    which grows paths by prepending an ``A`` edge or appending a ``B`` edge,
+    without ever materialising ``A+`` or ``B+`` — the optimisation the paper
+    identifies as impossible for Datalog engines.
+    """
+
+    name = "merge-closures"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        shape = match_compose(node)
+        if shape is None:
+            return
+        if not isinstance(shape.left, Fixpoint) or not isinstance(shape.right, Fixpoint):
+            return
+        left = match_closure(shape.left)
+        right = match_closure(shape.right)
+        if left is None or right is None:
+            return
+        if not left.is_pure or not right.is_pure:
+            return
+        var = fresh_fixpoint_variable()
+        recursive = RelVar(var)
+        seed = compose(left.step, right.step)
+        prepend = compose(left.step, recursive)
+        append = compose(recursive, right.step)
+        body = Union(seed, Union(prepend, append))
+        yield Fixpoint(var, body, direction="merged")
+
+
+class PushAntiProjectIntoFixpoint(RewriteRule):
+    """``antiproj_c(mu(X = R U phi))`` becomes ``mu(X = antiproj_c(R) U phi)``.
+
+    Sound when the dropped columns are stable *and* play no role in the
+    variable part: they are not mentioned by its renamings, filters or
+    anti-projections, and they do not occur in the schema of any constant
+    operand of a join/union/antijoin inside the variable part (otherwise
+    dropping them would change which columns the natural joins equate, or
+    break union compatibility).
+    """
+
+    name = "push-antiproject-into-fixpoint"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        if not isinstance(node, AntiProject) or not isinstance(node.child, Fixpoint):
+            return
+        fixpoint = node.child
+        dropped = set(node.columns)
+        try:
+            stable = context.stable_columns_of(fixpoint)
+            schema = context.schema_of(fixpoint)
+        except (SchemaError, EvaluationError):
+            return
+        if not dropped <= stable:
+            return
+        if dropped >= set(schema):
+            # Dropping every column would leave a zero-column fixpoint;
+            # handling it buys nothing, so do not rewrite.
+            return
+        decomposition = decompose(fixpoint)
+        if decomposition.variable_part is None:
+            return
+        if not self._columns_unused(decomposition.variable_part, fixpoint.var,
+                                    dropped, context):
+            return
+        reduced_constant = AntiProject(tuple(sorted(dropped)),
+                                       decomposition.constant_part)
+        yield decomposition.rebuild(constant_part=reduced_constant)
+
+    def _columns_unused(self, variable_part: Term, var: str, dropped: set[str],
+                        context: RewriteContext) -> bool:
+        for node in walk(variable_part):
+            # Annotations only matter on the recursive path: a rename/filter
+            # applied to a constant operand never sees the dropped X columns.
+            on_recursive_path = not is_constant_in(node, var)
+            if isinstance(node, Rename) and on_recursive_path:
+                if node.old in dropped or node.new in dropped:
+                    return False
+            elif isinstance(node, AntiProject) and on_recursive_path:
+                if dropped & set(node.columns):
+                    return False
+            elif isinstance(node, Filter) and on_recursive_path:
+                if dropped & node.predicate.columns():
+                    return False
+            elif isinstance(node, (Join, Union, Antijoin)):
+                for operand in (node.left, node.right):
+                    if not is_constant_in(operand, var):
+                        continue
+                    try:
+                        operand_schema = context.schema_of(operand)
+                    except (SchemaError, EvaluationError):
+                        return False
+                    if dropped & set(operand_schema):
+                        return False
+        return True
+
+
+def fixpoint_rules() -> list[RewriteRule]:
+    """The default set of fixpoint rules, in the order the engine tries them."""
+    return [
+        ReverseClosure(),
+        PushFilterIntoFixpoint(),
+        PushJoinIntoClosure(),
+        MergeClosures(),
+        PushAntiProjectIntoFixpoint(),
+    ]

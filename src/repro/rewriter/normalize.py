@@ -1,0 +1,124 @@
+"""Canonical normalization of terms for plan-space deduplication.
+
+The term builders generate *fresh* internal column names (``_m12``) and
+fresh fixpoint variable names (``X_7``) so that independently built terms
+never clash.  The downside is that two syntactically identical plans built
+at different times differ in those generated names, which would make the
+plan-space exploration believe they are different plans (and explode).
+
+:func:`canonicalize` renames, deterministically and consistently:
+
+* every generated column name (any name starting with ``_``) to ``_n0``,
+  ``_n1``, ... in pre-order first-encounter order, and
+* every fixpoint variable to ``%X0``, ``%X1``, ... in pre-order.
+
+Two plans that differ only by generated names therefore normalise to the
+same term, which is what the engine uses as the plan identity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from ..algebra.terms import (AntiProject, Filter, Fixpoint, Rename, Term)
+from ..algebra.variables import substitute
+from ..algebra.terms import RelVar
+from ..algebra.visitors import walk
+
+#: Prefix identifying machine-generated column names.
+GENERATED_COLUMN_PREFIX = "_"
+#: Prefix used for canonical fixpoint variable names.
+CANONICAL_VARIABLE_PREFIX = "%X"
+
+
+def substitute_columns(term: Term, mapping: Mapping[str, str]) -> Term:
+    """Rename column names wherever they appear syntactically in a term.
+
+    Only operator annotations are rewritten (renames, anti-projections and
+    filter predicates); relation variables and literals are left untouched
+    because generated names never appear in base relations.
+    """
+    if not mapping:
+        return term
+
+    def rename(column: str) -> str:
+        return mapping.get(column, column)
+
+    def rewrite(node: Term) -> Term:
+        if isinstance(node, Rename):
+            return Rename(rename(node.old), rename(node.new), node.child)
+        if isinstance(node, AntiProject):
+            return AntiProject(tuple(rename(c) for c in node.columns), node.child)
+        if isinstance(node, Filter):
+            # Apply the mapping simultaneously (it may contain swaps): go
+            # through unique temporaries so sequential renames cannot chain.
+            predicate = node.predicate
+            temporaries = {old: f"__tmp_subst_{index}__"
+                           for index, old in enumerate(mapping)}
+            for old, temporary in temporaries.items():
+                predicate = predicate.rename(old, temporary)
+            for old, new in mapping.items():
+                predicate = predicate.rename(temporaries[old], new)
+            return Filter(predicate, node.child)
+        return node
+
+    return _transform_bottom_up(term, rewrite)
+
+
+def canonicalize(term: Term) -> Term:
+    """Return the canonical form of ``term`` (see module docstring)."""
+    term = _canonicalize_variables(term)
+    return _canonicalize_columns(term)
+
+
+def _canonicalize_variables(term: Term) -> Term:
+    counter = itertools.count()
+
+    def rename_fixpoints(node: Term) -> Term:
+        if isinstance(node, Fixpoint):
+            canonical = f"{CANONICAL_VARIABLE_PREFIX}{next(counter)}"
+            if node.var != canonical:
+                body = substitute(node.body, node.var, RelVar(canonical))
+                node = Fixpoint(canonical, body, direction=node.direction)
+        children = node.children()
+        if not children:
+            return node
+        new_children = tuple(rename_fixpoints(child) for child in children)
+        if new_children != children:
+            node = node.with_children(new_children)
+        return node
+
+    return rename_fixpoints(term)
+
+
+def _canonicalize_columns(term: Term) -> Term:
+    mapping: dict[str, str] = {}
+    counter = itertools.count()
+    for node in walk(term):
+        for column in _generated_columns_of(node):
+            if column not in mapping:
+                mapping[column] = f"_n{next(counter)}"
+    # Drop identity renamings to avoid useless work.
+    mapping = {old: new for old, new in mapping.items() if old != new}
+    return substitute_columns(term, mapping)
+
+
+def _generated_columns_of(node: Term) -> list[str]:
+    columns: list[str] = []
+    if isinstance(node, Rename):
+        columns.extend([node.old, node.new])
+    elif isinstance(node, AntiProject):
+        columns.extend(node.columns)
+    elif isinstance(node, Filter):
+        columns.extend(sorted(node.predicate.columns()))
+    return [c for c in columns if c.startswith(GENERATED_COLUMN_PREFIX)]
+
+
+def _transform_bottom_up(term: Term, fn) -> Term:
+    children = term.children()
+    if children:
+        new_children = tuple(_transform_bottom_up(child, fn) for child in children)
+        if new_children != children:
+            term = term.with_children(new_children)
+    return fn(term)

@@ -1,0 +1,73 @@
+"""Rewrite-rule framework.
+
+A rewrite rule matches a pattern at the *root* of a sub-term and returns
+zero or more semantically equivalent replacements.  The exploration engine
+(:mod:`repro.rewriter.engine`) is responsible for trying every rule at every
+position of a term and for assembling the space of equivalent plans.
+
+Rules receive a :class:`RewriteContext` giving access to the base relation
+schemas, because several fixpoint rules (pushing filters, joins or
+anti-projections into a fixpoint) are conditioned on the *stable columns*
+of the fixpoint, a property that depends on the schemas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..algebra.schema import Schema, infer_schema
+from ..algebra.stability import stable_columns
+from ..algebra.terms import Fixpoint, Term
+from ..errors import RewriteError
+
+
+@dataclass
+class RewriteContext:
+    """Static information shared by all rules during an exploration."""
+
+    base_schemas: Mapping[str, Schema]
+    #: Schemas of recursive variables bound above the current position.
+    env: dict[str, Schema] = field(default_factory=dict)
+
+    def schema_of(self, term: Term) -> Schema:
+        """Infer the schema of a term in this context."""
+        return infer_schema(term, self.base_schemas, self.env)
+
+    def stable_columns_of(self, fixpoint: Fixpoint) -> frozenset[str]:
+        """Stable columns of a fixpoint in this context."""
+        return stable_columns(fixpoint, self.base_schemas, self.env)
+
+    def child(self, extra_env: Mapping[str, Schema]) -> "RewriteContext":
+        """Context extended with additional recursive-variable bindings."""
+        env = dict(self.env)
+        env.update(extra_env)
+        return RewriteContext(base_schemas=self.base_schemas, env=env)
+
+
+class RewriteRule:
+    """Base class of all rewrite rules."""
+
+    #: Human-readable rule name, used in explanations and tests.
+    name: str = "rule"
+
+    def apply(self, node: Term, context: RewriteContext) -> Iterable[Term]:
+        """Return the possible rewritings of ``node`` (matched at its root).
+
+        Implementations must return an empty iterable when the rule does not
+        apply; they must never raise for a non-matching node.
+        """
+        raise NotImplementedError
+
+    def apply_or_raise(self, node: Term, context: RewriteContext) -> Term:
+        """Apply the rule and return the first rewriting, or raise.
+
+        Convenience used in tests and in targeted rewriting (when the caller
+        knows the rule should fire).
+        """
+        for rewritten in self.apply(node, context):
+            return rewritten
+        raise RewriteError(f"rule {self.name!r} does not apply to {node}")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,31 @@
+"""Benchmark workloads: Yago, Uniprot, concatenated closures, non-regular."""
+
+from .closures import concatenated_closure_queries, concatenated_closure_query
+from .common import WorkloadQuery, mu_ra_query, ucrpq_query
+from .nonregular import (anbn_datalog, anbn_term, filtered_same_generation_term,
+                         joined_same_generation_term, nonregular_queries,
+                         same_generation_datalog, same_generation_facts_datalog,
+                         same_generation_facts_term, same_generation_term)
+from .uniprot_queries import UNIPROT_QUICK_SUBSET, uniprot_queries
+from .yago_queries import YAGO_QUICK_SUBSET, yago_queries
+
+__all__ = [
+    "UNIPROT_QUICK_SUBSET",
+    "WorkloadQuery",
+    "YAGO_QUICK_SUBSET",
+    "anbn_datalog",
+    "anbn_term",
+    "concatenated_closure_queries",
+    "concatenated_closure_query",
+    "filtered_same_generation_term",
+    "joined_same_generation_term",
+    "mu_ra_query",
+    "nonregular_queries",
+    "same_generation_datalog",
+    "same_generation_facts_datalog",
+    "same_generation_facts_term",
+    "same_generation_term",
+    "ucrpq_query",
+    "uniprot_queries",
+    "yago_queries",
+]

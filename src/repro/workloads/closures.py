@@ -1,0 +1,28 @@
+"""Concatenated-closure workload (Fig. 12): a1+/a2+/.../an+ queries.
+
+These queries exercise class C6 at increasing depth: the rewriter can merge
+or push the fixpoints (never materialising the intermediate closures), while
+a Datalog engine must materialise every closure before joining, which is why
+BigDatalog fails beyond n = 4 in the paper.
+"""
+
+from __future__ import annotations
+
+from .common import WorkloadQuery, ucrpq_query
+
+
+def concatenated_closure_query(depth: int, label_prefix: str = "a") -> WorkloadQuery:
+    """Build the query ``?x,?y <- ?x a1+/a2+/.../a<depth>+ ?y``."""
+    if depth < 2:
+        raise ValueError("a concatenated-closure query needs depth >= 2")
+    path = "/".join(f"{label_prefix}{i}+" for i in range(1, depth + 1))
+    text = f"?x,?y <- ?x {path} ?y"
+    return ucrpq_query(f"CC{depth}", text,
+                       description=f"concatenation of {depth} closures")
+
+
+def concatenated_closure_queries(max_depth: int = 10,
+                                 label_prefix: str = "a") -> list[WorkloadQuery]:
+    """The full Fig. 12 workload: depths 2 to ``max_depth``."""
+    return [concatenated_closure_query(depth, label_prefix)
+            for depth in range(2, max_depth + 1)]

@@ -1,0 +1,46 @@
+"""Common structures shared by the workload definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.terms import Term
+from ..query.ast import UCRPQ
+from ..query.classes import classify_query
+from ..query.parser import parse_query
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One benchmark query: either a UCRPQ text or a raw mu-RA term (C7)."""
+
+    qid: str
+    text: str | None = None
+    term: Term | None = None
+    classes: frozenset[str] = field(default_factory=frozenset)
+    description: str = ""
+
+    @property
+    def is_ucrpq(self) -> bool:
+        return self.text is not None
+
+    def parsed(self) -> UCRPQ:
+        if self.text is None:
+            raise ValueError(f"{self.qid} is a raw mu-RA workload query")
+        return parse_query(self.text)
+
+    def __str__(self) -> str:
+        return f"{self.qid}: {self.text if self.text else '<mu-RA term>'}"
+
+
+def ucrpq_query(qid: str, text: str, description: str = "") -> WorkloadQuery:
+    """Build a UCRPQ workload entry, classifying it automatically."""
+    classes = classify_query(parse_query(text))
+    return WorkloadQuery(qid=qid, text=text, classes=classes,
+                         description=description)
+
+
+def mu_ra_query(qid: str, term: Term, description: str = "") -> WorkloadQuery:
+    """Build a raw mu-RA workload entry (class C7: non-regular recursion)."""
+    return WorkloadQuery(qid=qid, term=term, classes=frozenset({"C7"}),
+                         description=description)

@@ -1,0 +1,190 @@
+"""Non-regular (class C7) workloads: anbn and same-generation queries.
+
+These queries cannot be written as UCRPQs; they are expressed directly as
+mu-RA terms (Section V-D of the paper).  For the BigDatalog comparison the
+module also provides the equivalent Datalog programs, so both systems
+evaluate exactly the same semantics.
+
+* :func:`anbn_term` — pairs of nodes connected by ``a^n b^n`` paths,
+* :func:`same_generation_term` — pairs of nodes at the same depth below a
+  common ancestor (edges point child -> parent),
+* :func:`same_generation_facts_term` — the per-predicate variant over the
+  (src, pred, trg) facts table, whose output keeps the ``pred`` column so it
+  can be filtered (:func:`filtered_same_generation_term`) or joined with a
+  predicate list (:func:`joined_same_generation_term`), exactly as in the
+  paper's Filtered SG and Joined SG queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..algebra.builders import compose, fresh_fixpoint_variable, swap_src_trg
+from ..algebra.terms import (Filter, Fixpoint, Join, Literal, RelVar, Term,
+                             Union)
+from ..baselines.datalog.ast import Atom, Const, Program, Rule, Var
+from ..data.graph import PRED, SRC, TRG
+from ..data.predicates import Eq
+from ..data.relation import Relation
+from .common import WorkloadQuery, mu_ra_query
+
+# ---------------------------------------------------------------------------
+# anbn
+# ---------------------------------------------------------------------------
+
+
+def anbn_term(a_label: str = "a", b_label: str = "b") -> Fixpoint:
+    """The a^n b^n query as a mu-RA fixpoint.
+
+    ``mu(X = compose(a, b) U compose(a, compose(X, b)))``: the base case is
+    one ``a`` edge followed by one ``b`` edge; the recursive case wraps an
+    existing a^n b^n path with one more ``a`` on the left and one more ``b``
+    on the right.  The fixpoint has no stable column, which is the paper's
+    example of a query where stable-column partitioning cannot apply (the
+    split falls back to round-robin).
+    """
+    var = fresh_fixpoint_variable("ANBN")
+    a, b = RelVar(a_label), RelVar(b_label)
+    base = compose(a, b)
+    step = compose(a, compose(RelVar(var), b))
+    return Fixpoint(var, Union(base, step), direction="both-ends")
+
+
+def anbn_datalog(a_label: str = "a", b_label: str = "b") -> Program:
+    """The same a^n b^n query as a Datalog program (goal ``answer``)."""
+    x, y, m, n = Var("x"), Var("y"), Var("m"), Var("n")
+    program = Program(goal="answer")
+    program.add(Rule(Atom("anbn", (x, y)),
+                     (Atom(a_label, (x, m)), Atom(b_label, (m, y)))))
+    program.add(Rule(Atom("anbn", (x, y)),
+                     (Atom(a_label, (x, m)), Atom("anbn", (m, n)),
+                      Atom(b_label, (n, y)))))
+    program.add(Rule(Atom("answer", (x, y)), (Atom("anbn", (x, y)),)))
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Same generation (single edge relation)
+# ---------------------------------------------------------------------------
+
+
+def same_generation_term(edge_label: str = "edge") -> Fixpoint:
+    """Same-generation pairs over a child -> parent edge relation.
+
+    ``sg(x, y)`` holds when x and y share a parent, or when their parents
+    are themselves of the same generation::
+
+        mu(X = compose(R, R^-1) U compose(compose(R, X), R^-1))
+    """
+    var = fresh_fixpoint_variable("SG")
+    up = RelVar(edge_label)
+    down = swap_src_trg(up)
+    base = compose(up, down)
+    step = compose(compose(up, RelVar(var)), down)
+    return Fixpoint(var, Union(base, step), direction="both-ends")
+
+
+def same_generation_datalog(edge_label: str = "edge") -> Program:
+    """The equivalent Datalog program (goal ``answer``)."""
+    x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+    program = Program(goal="answer")
+    program.add(Rule(Atom("sg", (x, y)),
+                     (Atom(edge_label, (x, z)), Atom(edge_label, (y, z)))))
+    program.add(Rule(Atom("sg", (x, y)),
+                     (Atom(edge_label, (x, z)), Atom("sg", (z, w)),
+                      Atom(edge_label, (y, w)))))
+    program.add(Rule(Atom("answer", (x, y)), (Atom("sg", (x, y)),)))
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Same generation over the facts table (keeps the predicate column)
+# ---------------------------------------------------------------------------
+
+
+def same_generation_facts_term(facts: str = "facts") -> Fixpoint:
+    """Per-predicate same generation: output columns (src, trg, pred).
+
+    ``sg(x, y, p)`` holds when x and y are of the same generation following
+    edges labelled ``p`` only.  This is the TSG term of the paper, whose
+    ``pred`` column survives so that Filtered SG and Joined SG can be
+    expressed on top of it.
+    """
+    var = fresh_fixpoint_variable("TSG")
+    # A(src, pred, m): an edge from src to the shared ancestor m.
+    a_side = RelVar(facts).rename(TRG, "_sgm")
+    # B(trg, pred, m): an edge from trg to the same ancestor m.
+    b_side = RelVar(facts).rename(TRG, "_sgm").rename(SRC, TRG)
+    base = Join(a_side, b_side).antiproject("_sgm")
+    # Recursive case: the ancestors of src and trg are of the same generation.
+    x_mid = RelVar(var).rename(SRC, "_sgm").rename(TRG, "_sgn")
+    c_side = RelVar(facts).rename(TRG, "_sgn").rename(SRC, TRG)
+    step = Join(Join(a_side, x_mid), c_side).antiproject(("_sgm", "_sgn"))
+    return Fixpoint(var, Union(base, step), direction="both-ends")
+
+
+def filtered_same_generation_term(predicate: str, facts: str = "facts") -> Term:
+    """Filtered SG: same-generation pairs for one particular predicate."""
+    return Filter(Eq(PRED, predicate), same_generation_facts_term(facts))
+
+
+def joined_same_generation_term(predicates: Iterable[str],
+                                facts: str = "facts") -> Term:
+    """Joined SG: same-generation pairs for a set of predicates.
+
+    The predicate set is a one-column relation joined with the TSG term on
+    the ``pred`` column, exactly as in the paper.
+    """
+    rows = [{PRED: predicate} for predicate in predicates]
+    predicate_relation = (Relation.from_dicts(rows, columns=(PRED,))
+                          if rows else Relation.empty((PRED,)))
+    return Join(Literal(predicate_relation, name="P"),
+                same_generation_facts_term(facts))
+
+
+def same_generation_facts_datalog(facts: str = "facts",
+                                  predicate: str | None = None) -> Program:
+    """Datalog counterpart of the facts-table same-generation query.
+
+    With ``predicate`` the goal is restricted to that predicate (Filtered
+    SG); otherwise all (src, trg, pred) triples are returned.
+    """
+    x, y, z, w, p = Var("x"), Var("y"), Var("z"), Var("w"), Var("p")
+    program = Program(goal="answer")
+    program.add(Rule(Atom("sg", (x, y, p)),
+                     (Atom(facts, (x, p, z)), Atom(facts, (y, p, z)))))
+    program.add(Rule(Atom("sg", (x, y, p)),
+                     (Atom(facts, (x, p, z)), Atom("sg", (z, w, p)),
+                      Atom(facts, (y, p, w)))))
+    if predicate is None:
+        program.add(Rule(Atom("answer", (x, y, p)), (Atom("sg", (x, y, p)),)))
+    else:
+        program.add(Rule(Atom("answer", (x, y)),
+                         (Atom("sg", (x, y, Const(predicate))),)))
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Workload entries
+# ---------------------------------------------------------------------------
+
+
+def nonregular_queries(edge_label: str = "edge",
+                       filtered_predicate: str | None = None,
+                       joined_predicates: Iterable[str] = ()) -> list[WorkloadQuery]:
+    """The C7 workload entries used by the Fig. 11 benchmark."""
+    queries = [
+        mu_ra_query("anbn", anbn_term(), description="a^n b^n paths"),
+        mu_ra_query("SG", same_generation_term(edge_label),
+                    description="same generation"),
+    ]
+    if filtered_predicate is not None:
+        queries.append(mu_ra_query(
+            "FilteredSG", filtered_same_generation_term(filtered_predicate),
+            description=f"same generation filtered on {filtered_predicate!r}"))
+    joined = list(joined_predicates)
+    if joined:
+        queries.append(mu_ra_query(
+            "JoinedSG", joined_same_generation_term(joined),
+            description="same generation joined with a predicate list"))
+    return queries

@@ -1,0 +1,72 @@
+"""The Uniprot workload: the 25 UCRPQs of Fig. 8, over the Uniprot-like graph.
+
+The abbreviations of the paper map to the predicates of
+:func:`repro.datasets.uniprot_graph` unchanged (``int``, ``enc``, ``occ``,
+``hKw``, ``ref``, ``auth``, ``pub``).  The opaque constants ``C`` of the
+paper are instantiated per graph with :func:`repro.datasets.uniprot_constants`
+so that the filtered queries select well-connected entities.
+"""
+
+from __future__ import annotations
+
+from ..data.graph import LabeledGraph
+from ..datasets.uniprot import uniprot_constants
+from .common import WorkloadQuery, ucrpq_query
+
+#: Query templates; ``{protein}``, ``{gene}``, ``{tissue}``, ``{keyword}``,
+#: ``{publication}``, ``{author}`` and ``{journal}`` are substituted per graph.
+_UNIPROT_TEMPLATES: dict[str, str] = {
+    "Q26": "?x,?y <- ?x -hKw/(ref/-ref)+ ?y",
+    "Q27": "?x,?y <- ?x -hKw/(enc/-enc)+ ?y",
+    "Q28": "?x <- {protein} (occ/-occ)+ ?x",
+    "Q29": "?x,?y <- ?x int+/(occ/-occ)+/(hKw/-hKw)+ ?y",
+    "Q30": "?x <- ?x (enc/-enc|occ/-occ)+ {protein}",
+    "Q31": "?x,?y <- ?x int+/(occ/-occ)+ ?y",
+    "Q32": "?x,?y <- ?x int+/(enc/-enc)+ ?y",
+    "Q33": "?x,?y <- ?x int/(enc/-enc)+ ?y",
+    "Q34": "?x,?y <- ?x -hKw/int/ref/(auth/-auth)+ ?y",
+    "Q35": "?x,?y <- ?x (enc/-enc)+/hKw ?y",
+    "Q36": "?x <- ?x (enc/-enc)+ {protein}",
+    "Q37": "?x,?y,?z,?t <- ?x (enc/-enc)+ ?y, ?x int+ ?z, ?x ref ?t",
+    "Q38": "?x,?y <- ?x (int|(enc/-enc))+ ?y, {protein} (occ/-occ)+ ?y",
+    "Q39": "?x <- ?x int+/ref ?y, {publication} (auth/-auth)+ ?y",
+    "Q40": "?x <- ?x int+/ref ?y, {journal} pub/(auth/-auth)+ ?y",
+    "Q41": "?x <- {journal} pub/(auth/-auth)+ ?x",
+    "Q42": "?x,?y <- ?x -occ/int+/occ ?y",
+    "Q43": "?x,?y <- ?x (-ref/ref)+ ?y",
+    "Q44": "?x,?y <- ?x int/ref/(-ref/ref)+ ?y",
+    "Q45": "?x <- {protein} (ref/-ref)+ ?x",
+    "Q46": "?x,?y <- ?x (-ref/ref)+/auth ?y",
+    "Q47": "?x,?y <- ?x int/(occ/-occ)+ ?y",
+    "Q48": "?x <- {protein} int/(enc/-enc|occ/-occ)+ ?x",
+    "Q49": "?x <- {gene} (enc/-enc)+ ?x",
+    "Q50": "?x,?y <- ?x -hKw/(occ/-occ)+ ?y",
+}
+
+
+def uniprot_queries(graph: LabeledGraph,
+                    subset: tuple[str, ...] | None = None) -> list[WorkloadQuery]:
+    """Instantiate the Uniprot workload for one generated graph."""
+    constants = uniprot_constants(graph)
+    constants.setdefault("gene", _busiest_gene(graph))
+    selected = subset if subset is not None else tuple(_UNIPROT_TEMPLATES)
+    queries = []
+    for qid in selected:
+        text = _UNIPROT_TEMPLATES[qid].format(**constants)
+        queries.append(ucrpq_query(qid, text))
+    return queries
+
+
+def _busiest_gene(graph: LabeledGraph) -> str:
+    edges = graph.edges("enc")
+    if not edges:
+        return "gene_0"
+    counts: dict[str, int] = {}
+    for row in edges.to_dicts():
+        counts[row["src"]] = counts.get(row["src"], 0) + 1
+    return max(sorted(counts), key=lambda node: counts[node])
+
+
+#: Subset used by quick benchmark runs.
+UNIPROT_QUICK_SUBSET = ("Q28", "Q30", "Q33", "Q36", "Q41", "Q42", "Q45",
+                        "Q47", "Q49")

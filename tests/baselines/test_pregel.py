@@ -1,0 +1,114 @@
+"""Tests of the Pregel engine, the RPQ automata and the GraphX baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.baselines.pregel import (GraphXRPQEngine, PregelEngine,
+                                    path_to_automaton)
+from repro.errors import PregelError
+from repro.query import parse_path, parse_query, translate_query
+
+
+class TestAutomaton:
+    def test_single_label(self):
+        automaton = path_to_automaton(parse_path("a"))
+        assert automaton.accepts(["a"])
+        assert not automaton.accepts(["b"])
+        assert not automaton.accepts([])
+
+    def test_concatenation(self):
+        automaton = path_to_automaton(parse_path("a/b"))
+        assert automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["a"])
+        assert not automaton.accepts(["b", "a"])
+
+    def test_alternation(self):
+        automaton = path_to_automaton(parse_path("a|b"))
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["b"])
+        assert not automaton.accepts(["a", "b"])
+
+    def test_plus(self):
+        automaton = path_to_automaton(parse_path("a+"))
+        for length in range(1, 5):
+            assert automaton.accepts(["a"] * length)
+        assert not automaton.accepts([])
+        assert not automaton.accepts(["a", "b"])
+
+    def test_inverse_label_symbol(self):
+        automaton = path_to_automaton(parse_path("(actedIn/-actedIn)+"))
+        assert automaton.accepts(["actedIn", "-actedIn"])
+        assert automaton.accepts(["actedIn", "-actedIn"] * 3)
+        assert not automaton.accepts(["actedIn", "actedIn"])
+
+    def test_grouped_alternation_under_plus(self):
+        automaton = path_to_automaton(parse_path("(a|b/c)+"))
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["b", "c"])
+        assert automaton.accepts(["a", "b", "c", "a"])
+        assert not automaton.accepts(["b"])
+
+
+class TestPregelEngine:
+    def test_message_propagation_counts_supersteps(self):
+        from repro.datasets import chain_graph
+        graph = chain_graph(5)
+        engine = PregelEngine(num_workers=2)
+
+        def forward(vertex, state, messages):
+            new_value = max(messages)
+            outgoing = {}
+            for neighbour in graph.successors(vertex, "edge"):
+                outgoing[neighbour] = [new_value + 1]
+            return max(state, new_value), outgoing
+
+        states = engine.run({node: 0 for node in graph.nodes}, {0: [0]}, forward)
+        assert engine.stats.supersteps == 6
+        assert states[5] == 5
+
+    def test_message_budget_enforced(self):
+        from repro.datasets import chain_graph
+        graph = chain_graph(20)
+        engine = PregelEngine(num_workers=2, max_messages=3)
+
+        def forward(vertex, state, messages):
+            outgoing = {n: [1] for n in graph.successors(vertex, "edge")}
+            return state, outgoing
+
+        with pytest.raises(PregelError):
+            engine.run({node: 0 for node in graph.nodes}, {0: [0]}, forward)
+
+
+class TestGraphXBaseline:
+    QUERIES = [
+        "?x,?y <- ?x knows+ ?y",
+        "?x <- grenoble isLocatedIn+ ?x",
+        "?x <- ?x isLocatedIn+ europe",
+        "?x,?y <- ?x livesIn/isLocatedIn+ ?y",
+        "?x,?y <- ?x knows|livesIn ?y",
+        "?x,?y <- ?x -knows ?y",
+        "?x <- ?x (knows/-knows)+ ?x",
+        "?x,?c <- ?x knows+ ?y, ?y livesIn ?c",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_agrees_with_mu_ra_evaluation(self, query_text, small_labeled_graph):
+        engine = GraphXRPQEngine(small_labeled_graph)
+        graphx_result = engine.run_query(query_text)
+        reference = evaluate(translate_query(parse_query(query_text)),
+                             small_labeled_graph.relations())
+        assert graphx_result.relation == reference
+
+    def test_constant_subject_sends_fewer_messages(self, small_labeled_graph):
+        filtered = GraphXRPQEngine(small_labeled_graph)
+        filtered.run_query("?x <- grenoble isLocatedIn+ ?x")
+        unfiltered = GraphXRPQEngine(small_labeled_graph)
+        unfiltered.run_query("?x,?y <- ?x isLocatedIn+ ?y")
+        assert filtered._stats.messages_sent < unfiltered._stats.messages_sent
+
+    def test_message_budget_reported_as_failure(self, small_labeled_graph):
+        engine = GraphXRPQEngine(small_labeled_graph, max_messages=2)
+        with pytest.raises(PregelError):
+            engine.run_query("?x,?y <- ?x knows+ ?y")

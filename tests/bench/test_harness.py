@@ -1,0 +1,81 @@
+"""Tests of the benchmark harness and its reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (BIG_DATALOG, DIST_MU_RA, GRAPHX, MeasuredRun,
+                         comparison_table, run_bigdatalog, run_distmura,
+                         run_graphx, series_table, speedup_summary)
+from repro.workloads import mu_ra_query, same_generation_term, ucrpq_query
+
+
+@pytest.fixture
+def closure_query():
+    return ucrpq_query("TC", "?x,?y <- ?x knows+ ?y")
+
+
+class TestSystemAdapters:
+    def test_all_three_systems_agree(self, small_labeled_graph, closure_query):
+        distmura = run_distmura(small_labeled_graph, closure_query)
+        bigdatalog = run_bigdatalog(small_labeled_graph, closure_query)
+        graphx = run_graphx(small_labeled_graph, closure_query)
+        assert distmura.succeeded and bigdatalog.succeeded and graphx.succeeded
+        assert distmura.rows == bigdatalog.rows == graphx.rows
+        assert {distmura.system, bigdatalog.system, graphx.system} == {
+            DIST_MU_RA, BIG_DATALOG, GRAPHX}
+
+    def test_distmura_metrics_are_attached(self, small_labeled_graph, closure_query):
+        run = run_distmura(small_labeled_graph, closure_query)
+        assert "shuffles" in run.metrics
+        assert run.seconds > 0
+
+    def test_mu_ra_term_query_runs_on_distmura(self, small_labeled_graph):
+        query = mu_ra_query("SG", same_generation_term("knows"))
+        run = run_distmura(small_labeled_graph, query)
+        assert run.succeeded
+
+    def test_graphx_reports_c7_as_unsupported(self, small_labeled_graph):
+        query = mu_ra_query("SG", same_generation_term("knows"))
+        run = run_graphx(small_labeled_graph, query)
+        assert run.status == "unsupported"
+        assert run.cell() == "n/a"
+
+    def test_bigdatalog_without_program_for_c7_is_unsupported(self, small_labeled_graph):
+        query = mu_ra_query("SG", same_generation_term("knows"))
+        run = run_bigdatalog(small_labeled_graph, query)
+        assert run.status == "unsupported"
+
+    def test_budget_failure_is_reported_not_raised(self, small_labeled_graph,
+                                                   closure_query):
+        run = run_bigdatalog(small_labeled_graph, closure_query, max_facts=2)
+        assert run.status == "failed"
+        assert run.cell() == "X"
+        graphx = run_graphx(small_labeled_graph, closure_query, max_messages=1)
+        assert graphx.status == "failed"
+
+
+class TestReporting:
+    def _runs(self):
+        return [
+            MeasuredRun("A", "Q1", "g", 1.0, 10),
+            MeasuredRun("B", "Q1", "g", 2.0, 10),
+            MeasuredRun("A", "Q2", "g", 0.5, 5),
+            MeasuredRun("B", "Q2", "g", 0.1, 5, status="failed"),
+        ]
+
+    def test_comparison_table_contains_all_cells(self):
+        table = comparison_table(self._runs(), "demo")
+        assert "Q1" in table and "Q2" in table
+        assert "1.000s" in table and "X" in table
+
+    def test_speedup_summary_counts_wins_and_failures(self):
+        summary = speedup_summary(self._runs(), baseline_system="B",
+                                  contender_system="A")
+        assert "A is at least as fast: 1" in summary
+        assert "B failures: 1" in summary
+
+    def test_series_table(self):
+        table = series_table([(1, {"s1": 0.5, "s2": 1.5}),
+                              (2, {"s1": 0.7})], "sweep", x_label="n")
+        assert "sweep" in table and "0.500" in table and "-" in table

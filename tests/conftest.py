@@ -1,0 +1,49 @@
+"""Shared fixtures: the paper's running example graph and small databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import LabeledGraph, Relation
+
+
+@pytest.fixture
+def paper_edges() -> Relation:
+    """The edge relation E of Fig. 2 of the paper."""
+    pairs = [
+        (1, 2), (1, 4), (2, 3), (4, 5), (3, 5), (5, 6),
+        (10, 11), (10, 13), (11, 13), (11, 5), (13, 12), (12, 12),
+        (12, 10), (13, 11),
+    ]
+    return Relation.from_pairs(pairs, columns=("src", "trg"))
+
+
+@pytest.fixture
+def paper_start_edges() -> Relation:
+    """The start-edge relation S of Fig. 2 (edges leaving the roots 1 and 10)."""
+    pairs = [(1, 2), (1, 4), (10, 11), (10, 13)]
+    return Relation.from_pairs(pairs, columns=("src", "trg"))
+
+
+@pytest.fixture
+def paper_database(paper_edges, paper_start_edges) -> dict:
+    return {"E": paper_edges, "S": paper_start_edges}
+
+
+@pytest.fixture
+def small_labeled_graph() -> LabeledGraph:
+    """A small knowledge graph exercising several predicates."""
+    graph = LabeledGraph(name="small-kg")
+    graph.add_edges([
+        ("alice", "knows", "bob"),
+        ("bob", "knows", "carol"),
+        ("carol", "knows", "dave"),
+        ("alice", "livesIn", "grenoble"),
+        ("bob", "livesIn", "lyon"),
+        ("grenoble", "isLocatedIn", "france"),
+        ("lyon", "isLocatedIn", "france"),
+        ("france", "isLocatedIn", "europe"),
+        ("alice", "worksAt", "inria"),
+        ("inria", "isLocatedIn", "grenoble"),
+    ])
+    return graph

@@ -1,0 +1,116 @@
+"""Tests of the dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (available_datasets, chain_graph, erdos_renyi_graph,
+                            load_dataset, preferential_attachment_graph,
+                            random_tree, register_dataset, relabel_for_anbn,
+                            social_graph_suite, uniprot_constants,
+                            uniprot_graph, yago_like_graph)
+from repro.errors import DatasetError
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_edge_count(self):
+        graph = erdos_renyi_graph(100, num_edges=300, seed=1)
+        assert graph.edge_count() == 300
+
+    def test_erdos_renyi_is_deterministic(self):
+        first = erdos_renyi_graph(50, num_edges=100, seed=42)
+        second = erdos_renyi_graph(50, num_edges=100, seed=42)
+        assert set(first.iter_triples()) == set(second.iter_triples())
+
+    def test_erdos_renyi_labels(self):
+        labels = ("a1", "a2", "a3")
+        graph = erdos_renyi_graph(80, num_edges=200, labels=labels, seed=2)
+        assert set(graph.labels) <= set(labels)
+        assert len(graph.labels) == 3
+
+    def test_probability_and_edges_are_exclusive(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(10, edge_probability=0.1, num_edges=5)
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(10)
+
+    def test_random_tree_has_n_minus_one_edges(self):
+        graph = random_tree(100, seed=3)
+        assert graph.edge_count() == 99
+        # Every non-root node has exactly one parent.
+        edges = graph.edges("edge")
+        assert len(edges.column_values("src")) == 99
+
+    def test_chain_graph(self):
+        graph = chain_graph(10)
+        assert graph.edge_count() == 10
+        assert graph.successors(0, "edge") == {1}
+
+
+class TestKnowledgeGraphs:
+    def test_yago_like_contains_required_predicates(self):
+        graph = yago_like_graph(scale=60, seed=0)
+        for predicate in ("isLocatedIn", "dealsWith", "hasChild", "isMarriedTo",
+                          "actedIn", "isConnectedTo", "hasWonPrize", "type"):
+            assert graph.edge_count(predicate) > 0, predicate
+
+    def test_yago_like_contains_named_entities(self):
+        graph = yago_like_graph(scale=60, seed=0)
+        nodes = graph.nodes
+        for entity in ("Argentina", "Kevin_Bacon", "Marie_Curie",
+                       "Shannon_Airport", "wikicat_Capitals_in_Europe"):
+            assert entity in nodes, entity
+
+    def test_yago_location_hierarchy_is_deep(self):
+        from repro.algebra import RelVar, closure, evaluate
+        graph = yago_like_graph(scale=60, seed=0)
+        reachability = evaluate(closure(RelVar("isLocatedIn")), graph.relations())
+        # Cities reach continents: at least 3 levels of nesting exist.
+        assert len(reachability) > graph.edge_count("isLocatedIn")
+
+    def test_scale_grows_the_graph(self):
+        small = yago_like_graph(scale=50, seed=0)
+        large = yago_like_graph(scale=200, seed=0)
+        assert len(large) > len(small)
+
+    def test_uniprot_contains_schema_predicates(self):
+        graph = uniprot_graph(num_edges=1_000, seed=0)
+        for predicate in ("int", "enc", "occ", "hKw", "ref", "auth", "pub"):
+            assert graph.edge_count(predicate) > 0, predicate
+
+    def test_uniprot_edge_budget_is_respected(self):
+        graph = uniprot_graph(num_edges=2_000, seed=0)
+        assert 1_500 <= len(graph) <= 2_100
+
+    def test_uniprot_constants_exist_in_graph(self):
+        graph = uniprot_graph(num_edges=1_000, seed=0)
+        constants = uniprot_constants(graph)
+        for name in ("protein", "tissue", "keyword"):
+            assert constants[name] in graph.nodes
+
+
+class TestSocialSuiteAndRegistry:
+    def test_suite_contains_expected_graph_names(self):
+        suite = social_graph_suite(scale=0.2)
+        for name in ("AcTree", "Facebook", "Epinions", "Wikitree"):
+            assert name in suite
+            assert len(suite[name]) > 0
+
+    def test_relabel_for_anbn(self):
+        graph = preferential_attachment_graph(60, seed=1)
+        relabelled = relabel_for_anbn(graph, seed=1)
+        assert set(relabelled.labels) <= {"a", "b"}
+        assert len(relabelled) == len(graph)
+
+    def test_registry_loads_known_datasets(self):
+        assert "yago_like_small" in available_datasets()
+        graph = load_dataset("rnd_small")
+        assert len(graph) > 0
+
+    def test_registry_rejects_unknown_names(self):
+        with pytest.raises(DatasetError):
+            load_dataset("no-such-dataset")
+
+    def test_registry_accepts_custom_factories(self):
+        register_dataset("tiny-chain", lambda: chain_graph(3))
+        assert len(load_dataset("tiny-chain")) == 3

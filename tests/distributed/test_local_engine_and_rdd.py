@@ -1,0 +1,143 @@
+"""Tests of the per-worker local engine, the RDD abstractions and the
+physical plan generator/executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (Filter, RelVar, closure, closure_from_seed,
+                           evaluate)
+from repro.data import Eq, Relation
+from repro.distributed import (AUTO, DistributedQueryExecutor,
+                               DistributedRelation, LocalSQLEngine,
+                               PPLW_POSTGRES, PPLW_SPARK,
+                               PhysicalPlanGenerator, SetRDD, SparkCluster,
+                               fixpoint_to_sql)
+from repro.errors import DistributionError, EvaluationError
+
+
+class TestLocalSQLEngine:
+    def test_fixpoint_matches_reference_evaluator(self, paper_database):
+        engine = LocalSQLEngine(paper_database)
+        term = closure(RelVar("E"), var="X")
+        assert engine.evaluate_fixpoint(term) == evaluate(term, paper_database)
+
+    def test_seed_override_restricts_the_recursion(self, paper_database):
+        engine = LocalSQLEngine(paper_database)
+        term = closure(RelVar("E"), var="X")
+        seed = Relation.from_pairs([(1, 2)], columns=("src", "trg"))
+        restricted = engine.evaluate_fixpoint(term, seed_override=seed)
+        full = engine.evaluate_fixpoint(term)
+        assert restricted.rows < full.rows
+        assert all(row["src"] == 1 for row in restricted.to_dicts())
+
+    def test_indexes_are_built_once_and_reused(self, paper_database):
+        engine = LocalSQLEngine(paper_database)
+        term = closure(RelVar("E"), var="X")
+        engine.evaluate_fixpoint(term)
+        assert engine.stats.index_builds == 1
+        assert engine.stats.indexed_probes > 0
+        assert engine.stats.iterations >= 3
+
+    def test_filtered_seed_term(self, paper_database):
+        engine = LocalSQLEngine(paper_database)
+        term = closure_from_seed(Filter(Eq("src", 1), RelVar("S")), RelVar("E"),
+                                 var="X")
+        assert engine.evaluate_fixpoint(term) == evaluate(term, paper_database)
+
+    def test_unknown_table_raises(self, paper_database):
+        engine = LocalSQLEngine(paper_database)
+        with pytest.raises(EvaluationError):
+            engine.evaluate(RelVar("missing"))
+
+    def test_sql_rendering_mentions_recursive_cte(self, paper_database):
+        term = closure(RelVar("E"), var="X")
+        sql = fixpoint_to_sql(term)
+        assert "WITH RECURSIVE" in sql
+        assert "constant_part" in sql
+
+
+class TestDistributedRelation:
+    def test_partition_count_matches_workers(self, paper_edges):
+        cluster = SparkCluster(num_workers=3)
+        dataset = DistributedRelation.from_relation(cluster, paper_edges)
+        assert len(dataset.partitions) == 3
+        assert dataset.count() == len(paper_edges)
+        assert dataset.collect() == paper_edges
+
+    def test_key_partitioning_is_consistent(self, paper_edges):
+        cluster = SparkCluster(num_workers=4)
+        dataset = DistributedRelation.from_relation(cluster, paper_edges,
+                                                    key_columns=("src",))
+        for value in paper_edges.column_values("src"):
+            holders = [i for i, part in enumerate(dataset.partitions)
+                       if value in part.column_values("src")]
+            assert len(holders) == 1
+
+    def test_distinct_records_a_shuffle(self, paper_edges):
+        cluster = SparkCluster(num_workers=2)
+        dataset = DistributedRelation.from_relation(cluster, paper_edges)
+        dataset.distinct()
+        assert cluster.metrics.shuffles == 1
+        assert cluster.metrics.tuples_shuffled == len(paper_edges)
+
+    def test_broadcast_join_matches_local_join(self, paper_edges, paper_start_edges):
+        cluster = SparkCluster(num_workers=2)
+        renamed = paper_start_edges.rename("trg", "mid")
+        dataset = DistributedRelation.from_relation(cluster, renamed)
+        other = paper_edges.rename("src", "mid")
+        joined = dataset.join_broadcast(other)
+        assert joined.collect() == renamed.natural_join(other)
+        assert cluster.metrics.broadcasts == 1
+
+    def test_mismatched_schemas_rejected(self, paper_edges, paper_start_edges):
+        cluster = SparkCluster(num_workers=2)
+        left = DistributedRelation.from_relation(cluster, paper_edges)
+        right = DistributedRelation.from_relation(
+            cluster, paper_start_edges.rename("trg", "other"))
+        with pytest.raises(DistributionError):
+            left.union_distinct(right)
+
+    def test_setrdd_partitionwise_operations_do_not_shuffle(self, paper_edges):
+        cluster = SparkCluster(num_workers=2)
+        rdd = SetRDD.from_relation(cluster, paper_edges)
+        union = rdd.union_partitionwise(rdd)
+        difference = rdd.difference_partitionwise(rdd)
+        assert union.collect() == paper_edges
+        assert difference.count() == 0
+        assert cluster.metrics.shuffles == 0
+
+
+class TestPhysicalPlanGenerator:
+    def test_generates_all_three_strategies(self, paper_database):
+        cluster = SparkCluster(num_workers=2)
+        generator = PhysicalPlanGenerator(cluster, paper_database)
+        plans = generator.generate(closure(RelVar("E"), var="X"))
+        assert sorted(plan.strategy for plan in plans) == sorted(
+            generator.candidate_strategies())
+
+    def test_heuristic_switches_on_memory_budget(self, paper_database):
+        cluster = SparkCluster(num_workers=2)
+        term = closure(RelVar("E"), var="X")
+        spacious = PhysicalPlanGenerator(cluster, paper_database,
+                                         memory_per_task=10_000)
+        cramped = PhysicalPlanGenerator(cluster, paper_database,
+                                        memory_per_task=2)
+        assert spacious.select(term).strategy == PPLW_SPARK
+        assert cramped.select(term).strategy == PPLW_POSTGRES
+
+    def test_executor_handles_terms_around_fixpoints(self, paper_database):
+        cluster = SparkCluster(num_workers=2)
+        executor = DistributedQueryExecutor(cluster, paper_database, strategy=AUTO)
+        term = Filter(Eq("src", 1), closure(RelVar("E"), var="X"))
+        outcome = executor.execute(term)
+        assert outcome.relation == evaluate(term, paper_database)
+        assert len(outcome.physical_plans) == 1
+
+    def test_executor_rejects_unknown_strategy(self, paper_database):
+        from repro.errors import PlanSelectionError
+        cluster = SparkCluster(num_workers=2)
+        executor = DistributedQueryExecutor(cluster, paper_database,
+                                            strategy="not-a-plan")
+        with pytest.raises(PlanSelectionError):
+            executor.execute(closure(RelVar("E"), var="X"))

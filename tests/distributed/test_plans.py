@@ -1,0 +1,136 @@
+"""Tests of the distributed fixpoint plans (Pgld, Pplw^s, Pplw^pg).
+
+Correctness: every plan must return exactly the relation the centralized
+evaluator returns.  Communication: Pgld must shuffle at every iteration,
+Pplw must not shuffle during the recursion (and must skip the final union
+when a stable column exists).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import RelVar, closure, closure_from_seed, evaluate
+from repro.data import Eq, Relation
+from repro.distributed import (PGLD, PPLW_POSTGRES, PPLW_SPARK, SparkCluster,
+                               make_plan, plan_partitioning)
+from repro.algebra import Filter, schemas_of_database
+
+
+@pytest.fixture
+def database(paper_database):
+    return paper_database
+
+
+@pytest.fixture
+def closure_term():
+    return closure(RelVar("E"), var="X")
+
+
+@pytest.fixture
+def seeded_term():
+    return closure_from_seed(RelVar("S"), RelVar("E"), var="X")
+
+
+ALL_PLANS = [PGLD, PPLW_SPARK, PPLW_POSTGRES]
+
+
+class TestPlanCorrectness:
+    @pytest.mark.parametrize("strategy", ALL_PLANS)
+    def test_closure_matches_centralized(self, strategy, database, closure_term):
+        cluster = SparkCluster(num_workers=4)
+        plan = make_plan(strategy, cluster, database)
+        distributed = plan.execute(closure_term)
+        assert distributed == evaluate(closure_term, database)
+
+    @pytest.mark.parametrize("strategy", ALL_PLANS)
+    def test_seeded_closure_matches_centralized(self, strategy, database, seeded_term):
+        cluster = SparkCluster(num_workers=4)
+        plan = make_plan(strategy, cluster, database)
+        distributed = plan.execute(seeded_term)
+        assert distributed == evaluate(seeded_term, database)
+
+    @pytest.mark.parametrize("strategy", ALL_PLANS)
+    @pytest.mark.parametrize("workers", [1, 2, 3, 8])
+    def test_result_is_independent_of_worker_count(self, strategy, workers,
+                                                   database, closure_term):
+        cluster = SparkCluster(num_workers=workers)
+        plan = make_plan(strategy, cluster, database)
+        assert plan.execute(closure_term) == evaluate(closure_term, database)
+
+    @pytest.mark.parametrize("strategy", ALL_PLANS)
+    def test_fixpoint_with_filtered_seed(self, strategy, database):
+        term = closure_from_seed(Filter(Eq("src", 1), RelVar("E")), RelVar("E"),
+                                 var="X")
+        cluster = SparkCluster(num_workers=4)
+        plan = make_plan(strategy, cluster, database)
+        assert plan.execute(term) == evaluate(term, database)
+
+    def test_unknown_strategy_rejected(self, database):
+        from repro.errors import DistributionError
+        with pytest.raises(DistributionError):
+            make_plan("mapreduce", SparkCluster(), database)
+
+
+class TestCommunicationBehaviour:
+    def test_pgld_shuffles_every_iteration(self, database, closure_term):
+        cluster = SparkCluster(num_workers=4)
+        plan = make_plan(PGLD, cluster, database)
+        plan.execute(closure_term)
+        metrics = cluster.metrics
+        assert metrics.global_iterations >= 2
+        # At least one shuffle per iteration (the paper's argument).
+        assert metrics.shuffles >= metrics.global_iterations
+
+    def test_pplw_does_not_shuffle_during_recursion(self, database, closure_term):
+        cluster = SparkCluster(num_workers=4)
+        plan = make_plan(PPLW_SPARK, cluster, database)
+        plan.execute(closure_term)
+        metrics = cluster.metrics
+        assert metrics.local_iterations >= 2
+        # No shuffle at all: the stable-column partitioning makes even the
+        # final union shuffle-free.
+        assert metrics.shuffles == 0
+        assert metrics.final_union_skipped
+
+    def test_pplw_shuffles_less_than_pgld(self, database, closure_term):
+        pgld_cluster = SparkCluster(num_workers=4)
+        make_plan(PGLD, pgld_cluster, database).execute(closure_term)
+        pplw_cluster = SparkCluster(num_workers=4)
+        make_plan(PPLW_SPARK, pplw_cluster, database).execute(closure_term)
+        assert (pplw_cluster.metrics.tuples_shuffled
+                < pgld_cluster.metrics.tuples_shuffled)
+
+    def test_stable_column_partitioning_detected(self, database, closure_term):
+        decision = plan_partitioning(closure_term, schemas_of_database(database))
+        assert decision.strategy == "stable-column"
+        assert decision.disjoint
+        assert "src" in decision.key_columns
+
+    def test_pplw_postgres_reports_marshalling(self, database, closure_term):
+        cluster = SparkCluster(num_workers=4)
+        make_plan(PPLW_POSTGRES, cluster, database).execute(closure_term)
+        assert cluster.metrics.tuples_marshalled > 0
+
+    def test_broadcast_recorded_for_variable_part(self, database, closure_term):
+        cluster = SparkCluster(num_workers=4)
+        make_plan(PPLW_SPARK, cluster, database).execute(closure_term)
+        assert cluster.metrics.broadcasts >= 1
+        assert cluster.metrics.tuples_broadcast >= len(database["E"])
+
+
+class TestRoundRobinFallback:
+    def test_no_stable_column_still_correct(self, database):
+        # A fixpoint over a "same-generation"-like step has no stable column;
+        # the split falls back to round-robin and the final union dedups.
+        from repro.algebra import compose
+        step = compose(compose(RelVar("E"), RelVar("X")), RelVar("E"))
+        from repro.algebra import Fixpoint, Union
+        term = Fixpoint("X", Union(RelVar("E"), step))
+        schemas = schemas_of_database(database)
+        decision = plan_partitioning(term, schemas)
+        assert decision.strategy == "round-robin"
+        cluster = SparkCluster(num_workers=3)
+        plan = make_plan(PPLW_SPARK, cluster, database)
+        assert plan.execute(term) == evaluate(term, database)
+        assert not cluster.metrics.final_union_skipped

@@ -1,0 +1,118 @@
+"""Tests of the UCRPQ parser against the syntax used in the paper's figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query import (Alternation, Concat, Constant, Label, Plus, Variable,
+                         parse_path, parse_query)
+
+
+class TestPathExpressions:
+    def test_single_label(self):
+        assert parse_path("hasChild") == Label("hasChild")
+
+    def test_inverse_label(self):
+        assert parse_path("-actedIn") == Label("actedIn", inverse=True)
+
+    def test_closure(self):
+        assert parse_path("hasChild+") == Plus(Label("hasChild"))
+
+    def test_concatenation(self):
+        expr = parse_path("isMarriedTo/livesIn")
+        assert expr == Concat((Label("isMarriedTo"), Label("livesIn")))
+
+    def test_alternation(self):
+        expr = parse_path("IsL|dw")
+        assert expr == Alternation((Label("IsL"), Label("dw")))
+
+    def test_parenthesised_group_closure(self):
+        expr = parse_path("(actedIn/-actedIn)+")
+        assert expr == Plus(Concat((Label("actedIn"),
+                                    Label("actedIn", inverse=True))))
+
+    def test_precedence_of_slash_over_pipe(self):
+        expr = parse_path("a/b|c")
+        assert isinstance(expr, Alternation)
+        assert expr.options[0] == Concat((Label("a"), Label("b")))
+        assert expr.options[1] == Label("c")
+
+    def test_namespaced_label(self):
+        expr = parse_path("(IsL|dw|rdfs:subClassOf|isConnectedTo)+")
+        assert isinstance(expr, Plus)
+        assert "rdfs:subClassOf" in expr.labels()
+
+    def test_nested_alternation_in_concat(self):
+        expr = parse_path("-type/(IsL+/dw|dw)")
+        assert isinstance(expr, Concat)
+        assert expr.parts[0] == Label("type", inverse=True)
+        assert isinstance(expr.parts[1], Alternation)
+
+    def test_labels_collection(self):
+        expr = parse_path("int+/(occ/-occ)+/(hKw/-hKw)+")
+        assert expr.labels() == frozenset({"int", "occ", "hKw"})
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_path("")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_path("a+ )")
+
+
+class TestQueries:
+    def test_q1_shape(self):
+        query = parse_query("?x,?y <- ?x hasChild+ ?y")
+        assert [v.name for v in query.head] == ["x", "y"]
+        assert len(query.rules) == 1
+        atom = query.rules[0].atoms[0]
+        assert atom.subject == Variable("x")
+        assert atom.obj == Variable("y")
+        assert atom.path == Plus(Label("hasChild"))
+
+    def test_q3_with_constant_object(self):
+        query = parse_query("?x <- ?x isMarriedTo/livesIn/IsL+/dw+ Argentina")
+        atom = query.rules[0].atoms[0]
+        assert atom.obj == Constant("Argentina")
+        assert atom.path.contains_closure()
+
+    def test_constant_subject(self):
+        query = parse_query("?x <- Marie_Curie (hWP/-hWP)+ ?x")
+        atom = query.rules[0].atoms[0]
+        assert atom.subject == Constant("Marie_Curie")
+
+    def test_conjunction_of_atoms(self):
+        query = parse_query(
+            "?x,?y,?z,?t <- ?x (enc/-enc)+ ?y, ?x int+ ?z, ?x ref ?t")
+        assert len(query.rules[0].atoms) == 3
+        assert [v.name for v in query.head] == ["x", "y", "z", "t"]
+
+    def test_union_rules(self):
+        query = parse_query("?x <- ?x a+ C ; ?x b+ C")
+        assert len(query.rules) == 2
+        assert query.rules[0].head == query.rules[1].head
+
+    def test_unicode_arrow(self):
+        query = parse_query("?x,?y ← ?x isConnectedTo+ ?y")
+        assert len(query.rules) == 1
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryParseError):
+            parse_query("?x,?z <- ?x a+ ?y")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("?x ?x a+ ?y")
+
+    def test_same_variable_both_ends(self):
+        query = parse_query("?x <- ?x (isConnectedTo/-isConnectedTo)+ ?x")
+        atom = query.rules[0].atoms[0]
+        assert atom.subject == atom.obj == Variable("x")
+
+    def test_roundtrip_str_is_parseable(self):
+        text = "?x,?y <- ?x (actedIn/-actedIn)+/hasChild+ ?y"
+        query = parse_query(text)
+        reparsed = parse_query(str(query).replace(" UNION ", " ; "))
+        assert reparsed == query

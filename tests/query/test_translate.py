@@ -1,0 +1,122 @@
+"""End-to-end tests: parse a UCRPQ, translate it to mu-RA, evaluate it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import LEFT_TO_RIGHT, RIGHT_TO_LEFT, evaluate
+from repro.query import (classify_query, output_columns, parse_query,
+                         translate_query)
+
+
+def run_query(text: str, graph, direction: str = LEFT_TO_RIGHT):
+    """Parse, translate and evaluate a query over a LabeledGraph."""
+    query = parse_query(text)
+    term = translate_query(query, direction=direction)
+    return evaluate(term, graph.relations())
+
+
+class TestTranslationOnSmallGraph:
+    def test_single_label_step(self, small_labeled_graph):
+        result = run_query("?x,?y <- ?x knows ?y", small_labeled_graph)
+        assert result.to_pairs("x", "y") == {
+            ("alice", "bob"), ("bob", "carol"), ("carol", "dave")}
+
+    def test_transitive_closure(self, small_labeled_graph):
+        result = run_query("?x,?y <- ?x knows+ ?y", small_labeled_graph)
+        pairs = result.to_pairs("x", "y")
+        assert ("alice", "dave") in pairs
+        assert ("alice", "bob") in pairs
+        assert ("dave", "alice") not in pairs
+
+    def test_closure_directions_agree(self, small_labeled_graph):
+        left = run_query("?x,?y <- ?x knows+ ?y", small_labeled_graph,
+                         direction=LEFT_TO_RIGHT)
+        right = run_query("?x,?y <- ?x knows+ ?y", small_labeled_graph,
+                          direction=RIGHT_TO_LEFT)
+        assert left == right
+
+    def test_constant_object_filter(self, small_labeled_graph):
+        result = run_query("?x <- ?x isLocatedIn+ europe", small_labeled_graph)
+        assert result.column_values("x") == {"grenoble", "lyon", "france", "inria"}
+
+    def test_constant_subject_filter(self, small_labeled_graph):
+        result = run_query("?x <- grenoble isLocatedIn+ ?x", small_labeled_graph)
+        assert result.column_values("x") == {"france", "europe"}
+
+    def test_concatenation_before_closure(self, small_labeled_graph):
+        result = run_query("?x <- ?x livesIn/isLocatedIn+ europe",
+                           small_labeled_graph)
+        assert result.column_values("x") == {"alice", "bob"}
+
+    def test_inverse_step(self, small_labeled_graph):
+        result = run_query("?x,?y <- ?x -knows ?y", small_labeled_graph)
+        assert ("bob", "alice") in result.to_pairs("x", "y")
+
+    def test_alternation(self, small_labeled_graph):
+        result = run_query("?x,?y <- ?x knows|livesIn ?y", small_labeled_graph)
+        pairs = result.to_pairs("x", "y")
+        assert ("alice", "bob") in pairs
+        assert ("alice", "grenoble") in pairs
+
+    def test_conjunction_joins_on_shared_variable(self, small_labeled_graph):
+        result = run_query(
+            "?x,?c <- ?x knows+ ?y, ?y livesIn ?c", small_labeled_graph)
+        pairs = result.to_pairs("x", "c")
+        assert ("alice", "lyon") in pairs        # alice knows+ bob, bob lives in lyon
+        assert ("alice", "grenoble") not in pairs  # nobody alice knows lives in grenoble
+
+    def test_head_projection_drops_intermediate_variables(self, small_labeled_graph):
+        result = run_query(
+            "?x <- ?x knows ?y, ?y livesIn ?c", small_labeled_graph)
+        assert result.columns == ("x",)
+
+    def test_same_variable_both_ends(self, small_labeled_graph):
+        result = run_query(
+            "?x <- ?x (knows/-knows)+ ?x", small_labeled_graph)
+        # Every node with an outgoing knows edge loops back to itself.
+        assert result.column_values("x") == {"alice", "bob", "carol"}
+
+    def test_swapped_variable_names(self, small_labeled_graph):
+        # The head variables reverse the roles of source and target.
+        result = run_query("?y,?x <- ?x knows ?y", small_labeled_graph)
+        assert result.to_pairs("x", "y") == {
+            ("alice", "bob"), ("bob", "carol"), ("carol", "dave")}
+
+    def test_union_rules(self, small_labeled_graph):
+        result = run_query("?x <- ?x livesIn grenoble ; ?x livesIn lyon",
+                           small_labeled_graph)
+        assert result.column_values("x") == {"alice", "bob"}
+
+    def test_output_columns_helper(self):
+        query = parse_query("?b,?a <- ?a knows ?b")
+        assert output_columns(query) == ("a", "b")
+
+
+class TestClassification:
+    @pytest.mark.parametrize("text,expected", [
+        ("?x,?y <- ?x a+ ?y", {"C1"}),
+        ("?x <- ?x a+ C", {"C2"}),
+        ("?x <- C a+ ?x", {"C3"}),
+        ("?x,?y <- ?x a+/b ?y", {"C4"}),
+        ("?x,?y <- ?x b/a+ ?y", {"C5"}),
+        ("?x,?y <- ?x a+/b+ ?y", {"C6"}),
+    ])
+    def test_paper_examples(self, text, expected):
+        assert set(classify_query(parse_query(text))) == expected
+
+    def test_q3_is_c2_c5_c6(self):
+        query = parse_query("?x <- ?x isMarriedTo/livesIn/IsL+/dw+ Argentina")
+        classes = classify_query(query)
+        assert "C2" in classes
+        assert "C5" in classes
+        assert "C6" in classes
+
+    def test_combined_filter_and_concatenation(self):
+        query = parse_query("?x <- C a/b+ ?x")
+        classes = classify_query(query)
+        assert "C3" in classes
+        assert "C5" in classes
+
+    def test_non_recursive_query_has_no_class(self):
+        assert classify_query(parse_query("?x,?y <- ?x a/b ?y")) == frozenset()

@@ -1,0 +1,111 @@
+"""Tests of the plan-space exploration engine.
+
+The main invariant: every plan in the explored space evaluates to the same
+relation as the original query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (Fixpoint, evaluate, schemas_of_database,
+                           subterms_of_type)
+from repro.query import parse_query, translate_query
+from repro.rewriter import MuRewriter, canonicalize, explore_plans
+
+
+@pytest.fixture
+def database(small_labeled_graph):
+    return small_labeled_graph.relations()
+
+
+@pytest.fixture
+def schemas(database):
+    return schemas_of_database(database)
+
+
+def explore_query(text: str, schemas, max_plans: int = 80):
+    term = translate_query(parse_query(text))
+    return term, explore_plans(term, schemas, max_plans=max_plans)
+
+
+ALL_EQUIVALENT_QUERIES = [
+    "?x,?y <- ?x knows+ ?y",
+    "?x <- ?x isLocatedIn+ europe",
+    "?x <- grenoble isLocatedIn+ ?x",
+    "?x,?y <- ?x livesIn/isLocatedIn+ ?y",
+    "?x,?y <- ?x knows+/livesIn ?y",
+    "?x,?y <- ?x knows+/livesIn+ ?y",
+    "?x <- ?x livesIn/isLocatedIn+ europe",
+]
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("query_text", ALL_EQUIVALENT_QUERIES)
+    def test_all_plans_compute_the_same_result(self, query_text, database, schemas):
+        term, plans = explore_query(query_text, schemas)
+        reference = evaluate(term, database)
+        assert len(plans) >= 2, "exploration should find alternative plans"
+        for plan in plans:
+            assert evaluate(plan, database) == reference
+
+    def test_original_plan_is_included_first(self, schemas):
+        term, plans = explore_query("?x,?y <- ?x knows+ ?y", schemas)
+        assert plans[0] == canonicalize(term)
+
+
+class TestPlanSpaceContents:
+    def test_filtered_closure_gets_pushed_plan(self, database, schemas):
+        # ?x <- ?x isLocatedIn+ europe (class C2) needs reversal + pushing:
+        # some plan must contain a fixpoint whose constant part is filtered,
+        # and that plan must produce far fewer intermediate tuples.
+        from repro.algebra import EvaluationStats
+        term, plans = explore_query("?x <- ?x isLocatedIn+ europe", schemas)
+        baseline = EvaluationStats()
+        evaluate(term, database, stats=baseline)
+        best_tuples = baseline.tuples_produced
+        for plan in plans[1:]:
+            stats = EvaluationStats()
+            evaluate(plan, database, stats=stats)
+            best_tuples = min(best_tuples, stats.tuples_produced)
+        assert best_tuples < baseline.tuples_produced
+
+    def test_concatenated_closures_get_merged_plan(self, schemas):
+        term, plans = explore_query("?x,?y <- ?x knows+/livesIn+ ?y", schemas)
+        merged_plans = [
+            plan for plan in plans
+            if len(subterms_of_type(plan, Fixpoint)) == 1
+        ]
+        assert merged_plans, "merge-closures should produce a single-fixpoint plan"
+
+    def test_exploration_respects_max_plans(self, schemas):
+        term = translate_query(parse_query("?x,?y <- ?x knows+/livesIn+ ?y"))
+        plans = explore_plans(term, schemas, max_plans=5)
+        assert len(plans) <= 5
+
+    def test_exploration_is_deterministic(self, schemas):
+        term = translate_query(parse_query("?x <- ?x isLocatedIn+ europe"))
+        first = explore_plans(term, schemas)
+        second = explore_plans(term, schemas)
+        assert first == second
+
+    def test_non_recursive_query_still_explores(self, database, schemas):
+        term = translate_query(parse_query("?x,?y <- ?x knows/livesIn ?y"))
+        plans = explore_plans(term, schemas)
+        reference = evaluate(term, database)
+        for plan in plans:
+            assert evaluate(plan, database) == reference
+
+
+class TestRewriterConfiguration:
+    def test_engine_with_no_rules_returns_input_only(self, schemas):
+        term = translate_query(parse_query("?x,?y <- ?x knows+ ?y"))
+        rewriter = MuRewriter(rules=[])
+        assert rewriter.explore(term, schemas) == [canonicalize(term)]
+
+    def test_rewrites_at_root_only(self, schemas):
+        from repro.algebra import RelVar, closure, compose
+        term = compose(closure(RelVar("knows")), closure(RelVar("livesIn")))
+        rewriter = MuRewriter()
+        rewrites = rewriter.rewrites_at_root(term, schemas)
+        assert any(isinstance(rewrite, Fixpoint) for rewrite in rewrites)

@@ -1,0 +1,183 @@
+"""Tests of the fixpoint-specific rewrite rules.
+
+The key property checked throughout: every rewriting produced by a rule
+evaluates to exactly the same relation as the original term.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (LEFT_TO_RIGHT, RIGHT_TO_LEFT, Filter, Fixpoint,
+                           RelVar, closure, compose, evaluate,
+                           schemas_of_database, stable_columns)
+from repro.data import Eq
+from repro.rewriter import (MergeClosures, PushAntiProjectIntoFixpoint,
+                            PushFilterIntoFixpoint, PushJoinIntoClosure,
+                            ReverseClosure, RewriteContext, match_closure,
+                            match_compose)
+
+
+@pytest.fixture
+def database(small_labeled_graph):
+    return small_labeled_graph.relations()
+
+
+@pytest.fixture
+def context(database):
+    return RewriteContext(base_schemas=schemas_of_database(database))
+
+
+class TestPatternMatching:
+    def test_match_compose(self):
+        term = compose(RelVar("a"), RelVar("b"))
+        shape = match_compose(term)
+        assert shape is not None
+        assert shape.left == RelVar("a")
+        assert shape.right == RelVar("b")
+
+    def test_match_compose_rejects_other_terms(self):
+        assert match_compose(RelVar("a")) is None
+        assert match_compose(RelVar("a").join(RelVar("b"))) is None
+
+    def test_match_closure_left_to_right(self):
+        fixpoint = closure(RelVar("knows"), direction=LEFT_TO_RIGHT)
+        shape = match_closure(fixpoint)
+        assert shape is not None
+        assert shape.direction == LEFT_TO_RIGHT
+        assert shape.step == RelVar("knows")
+        assert shape.is_pure
+
+    def test_match_closure_right_to_left(self):
+        fixpoint = closure(RelVar("knows"), direction=RIGHT_TO_LEFT)
+        shape = match_closure(fixpoint)
+        assert shape is not None
+        assert shape.direction == RIGHT_TO_LEFT
+
+    def test_seeded_closure_is_not_pure(self):
+        seeded = Filter(Eq("src", "alice"), RelVar("knows"))
+        fixpoint = closure(RelVar("knows"), direction=LEFT_TO_RIGHT)
+        from repro.algebra import closure_from_seed
+        term = closure_from_seed(seeded, RelVar("knows"))
+        shape = match_closure(term)
+        assert shape is not None
+        assert not shape.is_pure
+        assert match_closure(fixpoint).is_pure
+
+
+class TestReverseClosure:
+    def test_reversal_preserves_semantics(self, database, context):
+        original = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        reversed_plans = list(ReverseClosure().apply(original, context))
+        assert len(reversed_plans) == 1
+        reversed_term = reversed_plans[0]
+        assert isinstance(reversed_term, Fixpoint)
+        assert evaluate(original, database) == evaluate(reversed_term, database)
+
+    def test_reversal_flips_stable_column(self, database, context):
+        schemas = schemas_of_database(database)
+        original = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        assert stable_columns(original, schemas) == frozenset({"src"})
+        reversed_term = ReverseClosure().apply_or_raise(original, context)
+        assert stable_columns(reversed_term, schemas) == frozenset({"trg"})
+
+    def test_seeded_closure_is_not_reversed(self, database, context):
+        from repro.algebra import closure_from_seed
+        seeded = closure_from_seed(Filter(Eq("src", "alice"), RelVar("knows")),
+                                   RelVar("knows"))
+        assert list(ReverseClosure().apply(seeded, context)) == []
+
+
+class TestPushFilterIntoFixpoint:
+    def test_filter_on_stable_column_is_pushed(self, database, context):
+        fixpoint = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        term = Filter(Eq("src", "grenoble"), fixpoint)
+        rewritten = PushFilterIntoFixpoint().apply_or_raise(term, context)
+        assert isinstance(rewritten, Fixpoint)
+        assert evaluate(term, database) == evaluate(rewritten, database)
+
+    def test_filter_on_unstable_column_is_not_pushed(self, database, context):
+        fixpoint = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        term = Filter(Eq("trg", "europe"), fixpoint)
+        assert list(PushFilterIntoFixpoint().apply(term, context)) == []
+
+    def test_reversal_then_push_handles_target_filters(self, database, context):
+        fixpoint = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        original = Filter(Eq("trg", "europe"), fixpoint)
+        reversed_fix = ReverseClosure().apply_or_raise(fixpoint, context)
+        pushed = PushFilterIntoFixpoint().apply_or_raise(
+            Filter(Eq("trg", "europe"), reversed_fix), context)
+        assert evaluate(original, database) == evaluate(pushed, database)
+
+    def test_pushed_plan_avoids_full_closure(self, database, context):
+        # The pushed plan only explores paths from the filtered sources,
+        # which shows up as fewer produced tuples.
+        from repro.algebra import EvaluationStats
+        fixpoint = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        term = Filter(Eq("src", "grenoble"), fixpoint)
+        rewritten = PushFilterIntoFixpoint().apply_or_raise(term, context)
+        stats_original = EvaluationStats()
+        stats_pushed = EvaluationStats()
+        evaluate(term, database, stats=stats_original)
+        evaluate(rewritten, database, stats=stats_pushed)
+        assert stats_pushed.tuples_produced < stats_original.tuples_produced
+
+
+class TestPushJoinIntoClosure:
+    def test_left_composition_into_ltr_closure(self, database, context):
+        term = compose(RelVar("livesIn"),
+                       closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT))
+        rewritten = PushJoinIntoClosure().apply_or_raise(term, context)
+        assert isinstance(rewritten, Fixpoint)
+        assert evaluate(term, database) == evaluate(rewritten, database)
+
+    def test_right_composition_into_rtl_closure(self, database, context):
+        term = compose(closure(RelVar("knows"), direction=RIGHT_TO_LEFT),
+                       RelVar("livesIn"))
+        rewritten = PushJoinIntoClosure().apply_or_raise(term, context)
+        assert isinstance(rewritten, Fixpoint)
+        assert evaluate(term, database) == evaluate(rewritten, database)
+
+    def test_wrong_direction_is_not_pushed(self, database, context):
+        term = compose(RelVar("livesIn"),
+                       closure(RelVar("isLocatedIn"), direction=RIGHT_TO_LEFT))
+        assert list(PushJoinIntoClosure().apply(term, context)) == []
+
+    def test_composition_of_plain_relations_is_not_rewritten(self, context):
+        term = compose(RelVar("livesIn"), RelVar("isLocatedIn"))
+        assert list(PushJoinIntoClosure().apply(term, context)) == []
+
+
+class TestMergeClosures:
+    def test_merge_preserves_semantics(self, database, context):
+        term = compose(closure(RelVar("knows")), closure(RelVar("livesIn")))
+        rewritten = MergeClosures().apply_or_raise(term, context)
+        assert isinstance(rewritten, Fixpoint)
+        assert evaluate(term, database) == evaluate(rewritten, database)
+
+    def test_merged_fixpoint_is_single_fixpoint(self, database, context):
+        from repro.algebra import Fixpoint as FixpointNode, subterms_of_type
+        term = compose(closure(RelVar("knows")), closure(RelVar("isLocatedIn")))
+        rewritten = MergeClosures().apply_or_raise(term, context)
+        assert len(subterms_of_type(rewritten, FixpointNode)) == 1
+
+    def test_merge_requires_pure_closures(self, database, context):
+        from repro.algebra import closure_from_seed
+        seeded = closure_from_seed(Filter(Eq("src", "alice"), RelVar("knows")),
+                                   RelVar("knows"))
+        term = compose(seeded, closure(RelVar("livesIn")))
+        assert list(MergeClosures().apply(term, context)) == []
+
+
+class TestPushAntiProjectIntoFixpoint:
+    def test_drop_stable_column_before_recursion(self, database, context):
+        fixpoint = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        term = fixpoint.antiproject("src")
+        rewritten = PushAntiProjectIntoFixpoint().apply_or_raise(term, context)
+        assert isinstance(rewritten, Fixpoint)
+        assert evaluate(term, database) == evaluate(rewritten, database)
+
+    def test_unstable_column_is_not_pushed(self, database, context):
+        fixpoint = closure(RelVar("isLocatedIn"), direction=LEFT_TO_RIGHT)
+        term = fixpoint.antiproject("trg")
+        assert list(PushAntiProjectIntoFixpoint().apply(term, context)) == []

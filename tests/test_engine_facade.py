@@ -1,0 +1,79 @@
+"""End-to-end tests of the DistMuRA session facade."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DistMuRA, PGLD, PPLW_SPARK
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def engine(small_labeled_graph):
+    return DistMuRA(small_labeled_graph, num_workers=3)
+
+
+class TestQueryExecution:
+    def test_simple_closure_query(self, engine):
+        result = engine.query("?x,?y <- ?x knows+ ?y")
+        assert ("alice", "dave") in result.relation.to_pairs("x", "y")
+        assert result.plans_explored >= 1
+        assert not math.isnan(result.estimated_cost)
+
+    def test_filtered_query_classes_are_reported(self, engine):
+        result = engine.query("?x <- ?x isLocatedIn+ europe")
+        assert "C2" in result.query_classes
+        assert result.relation.column_values("x") == {
+            "grenoble", "lyon", "france", "inria"}
+
+    def test_conjunctive_query(self, engine):
+        result = engine.query("?x,?c <- ?x knows+ ?y, ?y livesIn ?c")
+        assert ("alice", "lyon") in result.relation.to_pairs("x", "c")
+
+    def test_strategies_produce_identical_results(self, small_labeled_graph):
+        query = "?x,?y <- ?x knows+/livesIn+ ?y"
+        baseline = DistMuRA(small_labeled_graph, strategy=PGLD).query(query)
+        parallel = DistMuRA(small_labeled_graph, strategy=PPLW_SPARK).query(query)
+        automatic = DistMuRA(small_labeled_graph).query(query)
+        assert baseline.relation == parallel.relation == automatic.relation
+
+    def test_optimizer_can_be_disabled(self, small_labeled_graph):
+        optimized = DistMuRA(small_labeled_graph, optimize=True).query(
+            "?x <- grenoble isLocatedIn+ ?x")
+        unoptimized = DistMuRA(small_labeled_graph, optimize=False).query(
+            "?x <- grenoble isLocatedIn+ ?x")
+        assert optimized.relation == unoptimized.relation
+        assert unoptimized.plans_explored == 1
+
+    def test_unknown_label_raises(self, engine):
+        with pytest.raises(TranslationError):
+            engine.query("?x,?y <- ?x unknownLabel+ ?y")
+
+    def test_metrics_are_attached(self, engine):
+        result = engine.query("?x,?y <- ?x knows+ ?y", strategy=PGLD)
+        assert result.metrics.global_iterations >= 1
+        assert result.metrics.shuffles >= 1
+
+    def test_summary_is_flat_dictionary(self, engine):
+        result = engine.query("?x,?y <- ?x knows+ ?y")
+        summary = result.summary()
+        assert summary["rows"] == len(result.relation)
+        assert "shuffles" in summary
+        assert "partitioning" in summary
+
+
+class TestIntrospection:
+    def test_explain_mentions_classes_and_plans(self, engine):
+        text = engine.explain("?x <- ?x isLocatedIn+ europe")
+        assert "C2" in text
+        assert "plans explored" in text
+
+    def test_repr_is_informative(self, engine):
+        assert "workers=3" in repr(engine)
+
+    def test_accepts_plain_database_dict(self, small_labeled_graph):
+        engine = DistMuRA(small_labeled_graph.relations())
+        result = engine.query("?x,?y <- ?x knows ?y")
+        assert len(result.relation) == 3

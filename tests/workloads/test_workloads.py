@@ -1,0 +1,136 @@
+"""Tests of the workload definitions (Yago, Uniprot, closures, non-regular)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.baselines.datalog import SemiNaiveEngine, graph_to_edb
+from repro.data import Relation
+from repro.datasets import random_tree, uniprot_graph, yago_like_graph
+from repro.query import translate_query
+from repro.workloads import (anbn_datalog, anbn_term,
+                             concatenated_closure_queries,
+                             filtered_same_generation_term,
+                             joined_same_generation_term, nonregular_queries,
+                             same_generation_datalog, same_generation_term,
+                             uniprot_queries, yago_queries)
+
+
+class TestYagoWorkload:
+    def test_all_25_queries_parse_and_classify(self):
+        queries = yago_queries()
+        assert len(queries) == 25
+        for query in queries:
+            assert query.is_ucrpq
+            parsed = query.parsed()
+            assert parsed.contains_closure()
+
+    def test_queries_use_only_generated_predicates(self):
+        graph = yago_like_graph(scale=60, seed=0)
+        labels = set(graph.labels)
+        for query in yago_queries():
+            missing = query.parsed().labels() - labels
+            assert not missing, f"{query.qid} references missing labels {missing}"
+
+    def test_subset_selection(self):
+        queries = yago_queries(subset=("Q1", "Q5"))
+        assert [q.qid for q in queries] == ["Q1", "Q5"]
+
+    def test_classes_match_paper_for_key_queries(self):
+        by_id = {q.qid: q for q in yago_queries()}
+        assert by_id["Q1"].classes == frozenset({"C1"})
+        assert "C2" in by_id["Q5"].classes
+        assert "C6" in by_id["Q8"].classes
+        assert "C3" in by_id["Q12"].classes
+        assert "C4" in by_id["Q15"].classes
+
+
+class TestUniprotWorkload:
+    def test_all_25_queries_instantiate(self):
+        graph = uniprot_graph(num_edges=500, seed=1)
+        queries = uniprot_queries(graph)
+        assert len(queries) == 25
+        labels = set(graph.labels)
+        for query in queries:
+            assert not query.parsed().labels() - labels
+
+    def test_constants_are_substituted(self):
+        graph = uniprot_graph(num_edges=500, seed=1)
+        queries = {q.qid: q for q in uniprot_queries(graph)}
+        assert "{protein}" not in queries["Q28"].text
+        assert "protein_" in queries["Q28"].text
+
+
+class TestClosureWorkload:
+    def test_depths_two_to_ten(self):
+        queries = concatenated_closure_queries(max_depth=10)
+        assert [q.qid for q in queries] == [f"CC{i}" for i in range(2, 11)]
+        assert all("C6" in q.classes for q in queries)
+
+    def test_depth_below_two_rejected(self):
+        from repro.workloads import concatenated_closure_query
+        with pytest.raises(ValueError):
+            concatenated_closure_query(1)
+
+
+class TestNonRegularWorkload:
+    def test_same_generation_matches_datalog(self):
+        graph = random_tree(60, seed=2)
+        mu_result = evaluate(same_generation_term("edge"), graph.relations())
+        program = same_generation_datalog("edge")
+        facts = SemiNaiveEngine().evaluate(program, graph_to_edb(graph))
+        assert mu_result.to_pairs("src", "trg") == facts["answer"]
+
+    def test_anbn_matches_datalog(self):
+        from repro.datasets import preferential_attachment_graph, relabel_for_anbn
+        graph = relabel_for_anbn(preferential_attachment_graph(50, seed=3), seed=3)
+        mu_result = evaluate(anbn_term("a", "b"), graph.relations())
+        facts = SemiNaiveEngine().evaluate(anbn_datalog("a", "b"),
+                                           graph_to_edb(graph))
+        assert mu_result.to_pairs("src", "trg") == facts["answer"]
+
+    def test_anbn_on_known_chain(self):
+        # a a b b: the anbn pairs are (0,4) [a^2 b^2] and (1,3) [a^1 b^1].
+        from repro.data import LabeledGraph
+        graph = LabeledGraph()
+        graph.add_edges([(0, "a", 1), (1, "a", 2), (2, "b", 3), (3, "b", 4)])
+        result = evaluate(anbn_term("a", "b"), graph.relations())
+        assert result.to_pairs("src", "trg") == {(1, 3), (0, 4)}
+
+    def test_same_generation_contains_siblings(self):
+        from repro.data import LabeledGraph
+        graph = LabeledGraph()
+        # children 1 and 2 share parent 0; grandchildren 3 (of 1) and 4 (of 2).
+        graph.add_edges([(1, "edge", 0), (2, "edge", 0),
+                         (3, "edge", 1), (4, "edge", 2)])
+        pairs = evaluate(same_generation_term("edge"),
+                         graph.relations()).to_pairs("src", "trg")
+        assert (1, 2) in pairs
+        assert (3, 4) in pairs
+        assert (1, 3) not in pairs
+
+    def test_filtered_sg_restricts_to_one_predicate(self):
+        from repro.data import LabeledGraph
+        graph = LabeledGraph()
+        graph.add_edges([(1, "p", 0), (2, "p", 0), (5, "q", 0), (6, "q", 0)])
+        filtered = evaluate(filtered_same_generation_term("p"), graph.relations())
+        pairs = filtered.to_pairs("src", "trg")
+        assert (1, 2) in pairs
+        assert (5, 6) not in pairs
+
+    def test_joined_sg_covers_selected_predicates(self):
+        from repro.data import LabeledGraph
+        graph = LabeledGraph()
+        graph.add_edges([(1, "p", 0), (2, "p", 0), (5, "q", 0), (6, "q", 0),
+                         (7, "r", 0), (8, "r", 0)])
+        joined = evaluate(joined_same_generation_term(["p", "q"]),
+                          graph.relations())
+        predicates = joined.column_values("pred")
+        assert predicates == {"p", "q"}
+
+    def test_nonregular_query_list(self):
+        queries = nonregular_queries("edge", filtered_predicate="p",
+                                     joined_predicates=["p", "q"])
+        assert [q.qid for q in queries] == ["anbn", "SG", "FilteredSG", "JoinedSG"]
+        assert all(q.classes == frozenset({"C7"}) for q in queries)
