@@ -1,0 +1,101 @@
+"""Parallel speedup of the Pplw local loops under the executor backends.
+
+The paper's central claim is that ``Pplw`` runs one complete fixpoint per
+worker *without coordination*; this benchmark verifies that the claim buys
+actual parallelism once the per-partition tasks are submitted to a
+concurrent executor backend.  The workload is fig14-style: the transitive
+closure of the ``int`` (protein interaction) relation on a generated
+Uniprot graph, the recursion that dominates the paper's scalability sweep.
+
+For every executor backend (``serial``, ``threads``, ``processes``) the
+same plan is executed on the same 4-worker cluster; reported times follow
+the harness convention (wall clock + simulated communication delay + the
+simulated task-schedule adjustment), so the speedup reflects the cluster's
+parallel makespan regardless of the host's physical core count.  The
+headline assertion: Pplw^s with 4 thread workers must beat the serial
+backend by more than 1.5x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import RelVar, closure
+from repro.bench import MeasuredRun, run_distmura
+from repro.datasets import uniprot_graph
+from repro.distributed import PPLW_POSTGRES, PPLW_SPARK
+from repro.workloads.common import mu_ra_query
+
+FIGURE_TITLE = "Parallel speedup - Pplw local loops per executor backend"
+
+EXECUTORS = ("serial", "threads", "processes")
+STRATEGIES = (PPLW_SPARK, PPLW_POSTGRES)
+NUM_WORKERS = 4
+#: Minimum acceptable threads-vs-serial speedup for Pplw^s (the acceptance
+#: bar of the concurrent-executor work).
+SPEEDUP_FLOOR = 1.5
+
+#: (strategy, executor) -> MeasuredRun, filled by the matrix test below and
+#: consumed by the speedup assertions.
+_RESULTS: dict[tuple[str, str], MeasuredRun] = {}
+
+
+@pytest.fixture(scope="module")
+def speedup_graph():
+    """Fig. 14-style Uniprot stand-in (the paper's uniprot_1M, scaled)."""
+    return uniprot_graph(num_edges=6_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def closure_query():
+    """Transitive closure of the protein-interaction relation."""
+    return mu_ra_query("TCint", closure(RelVar("int"), var="X"),
+                       description="transitive closure of int")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_executor_matrix(benchmark, figure_report, speedup_graph,
+                         closure_query, executor, strategy):
+    def run():
+        measured = run_distmura(speedup_graph, closure_query,
+                                strategy=strategy, num_workers=NUM_WORKERS,
+                                optimize=False, executor=executor)
+        measured.query_id = f"{closure_query.qid}[{strategy}/{executor}]"
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure_report.add(measured)
+    _RESULTS[(strategy, executor)] = measured
+    assert measured.succeeded
+
+
+def test_threads_speedup_exceeds_floor(figure_report):
+    """Pplw^s with 4 thread workers must be >1.5x faster than serial."""
+    serial = _RESULTS.get((PPLW_SPARK, "serial"))
+    threads = _RESULTS.get((PPLW_SPARK, "threads"))
+    if serial is None or threads is None:
+        pytest.skip("matrix runs were deselected")
+    lines = [f"speedup vs serial backend ({NUM_WORKERS} workers):"]
+    for strategy in STRATEGIES:
+        base = _RESULTS.get((strategy, "serial"))
+        for executor in EXECUTORS[1:]:
+            run = _RESULTS.get((strategy, executor))
+            if base is None or run is None:
+                continue
+            lines.append(f"  {strategy:12s} {executor:10s} "
+                         f"{base.seconds / run.seconds:5.2f}x")
+    figure_report.add_section("\n".join(lines))
+    speedup = serial.seconds / threads.seconds
+    assert speedup > SPEEDUP_FLOOR, (
+        f"Pplw^s threads speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x floor")
+
+
+def test_all_backends_agree(figure_report):
+    """Every (strategy, executor) combination returns the same row count."""
+    row_counts = {key: run.rows for key, run in _RESULTS.items()
+                  if run.succeeded}
+    if len(row_counts) < 2:
+        pytest.skip("matrix runs were deselected")
+    assert len(set(row_counts.values())) == 1, row_counts

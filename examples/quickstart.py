@@ -57,6 +57,17 @@ def main() -> None:
               f"local_iterations={metrics.local_iterations:3d} "
               f"global_iterations={metrics.global_iterations:3d}")
 
+    print("\n== Executor backends (concurrent Pplw local loops) ==")
+    for backend in ("serial", "threads"):
+        with DistMuRA(graph, num_workers=4, executor=backend) as concurrent:
+            run = concurrent.query("?x,?y <- ?x knows+ ?y",
+                                   strategy=PPLW_SPARK)
+            metrics = run.metrics
+            print(f"  {backend:8s} tasks={metrics.tasks_launched:2d} "
+                  f"waves={metrics.task_waves} "
+                  f"straggler={metrics.slowest_task_seconds:.6f}s "
+                  f"compute_skew={metrics.compute_skew():.2f}")
+
 
 if __name__ == "__main__":
     main()

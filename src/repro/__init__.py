@@ -16,21 +16,26 @@ from .data.relation import Relation
 from .data.tuples import Tup
 from .engine import DistMuRA, QueryResult
 from .distributed.cluster import SparkCluster
+from .distributed.executor import EXECUTOR_BACKENDS, PROCESSES, SERIAL, THREADS
 from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DistMuRA",
+    "EXECUTOR_BACKENDS",
     "LabeledGraph",
     "PGLD",
     "PPLW_POSTGRES",
     "PPLW_SPARK",
+    "PROCESSES",
     "QueryResult",
     "Relation",
     "ReproError",
+    "SERIAL",
     "SparkCluster",
+    "THREADS",
     "Tup",
     "__version__",
 ]

@@ -2,6 +2,9 @@
 
 from .cluster import (DEFAULT_NUM_WORKERS, ClusterMetrics, SparkCluster,
                       Worker)
+from .executor import (EXECUTOR_BACKENDS, PROCESSES, SERIAL, THREADS,
+                       ExecutorBackend, ProcessExecutor, SerialExecutor,
+                       TaskOutcome, ThreadExecutor, make_executor)
 from .local_engine import (LocalExecutionStats, LocalSQLEngine,
                            fixpoint_to_sql)
 from .partitioner import (ROUND_ROBIN, STABLE_COLUMN, PartitioningDecision,
@@ -22,7 +25,9 @@ __all__ = [
     "DistributedFixpointPlan",
     "DistributedQueryExecutor",
     "DistributedRelation",
+    "EXECUTOR_BACKENDS",
     "ExecutionOutcome",
+    "ExecutorBackend",
     "GlobalLoopOnDriver",
     "LocalExecutionStats",
     "LocalSQLEngine",
@@ -30,18 +35,26 @@ __all__ = [
     "PLAN_CLASSES",
     "PPLW_POSTGRES",
     "PPLW_SPARK",
+    "PROCESSES",
     "ParallelLocalLoops",
     "ParallelLocalLoopsPostgres",
     "ParallelLocalLoopsSpark",
     "PartitioningDecision",
     "PhysicalPlan",
     "PhysicalPlanGenerator",
+    "ProcessExecutor",
     "ROUND_ROBIN",
+    "SERIAL",
     "STABLE_COLUMN",
+    "SerialExecutor",
     "SetRDD",
     "SparkCluster",
+    "THREADS",
+    "TaskOutcome",
+    "ThreadExecutor",
     "Worker",
     "fixpoint_to_sql",
+    "make_executor",
     "make_plan",
     "plan_partitioning",
     "split_constant_part",

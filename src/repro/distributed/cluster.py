@@ -16,13 +16,27 @@ substrate for reproducing those claims in-process:
 The execution itself is faithful to the dataflow: work is performed
 partition by partition, and any operation that would need a repartition on
 Spark goes through :meth:`SparkCluster.record_shuffle`.
+
+Per-partition work is submitted to a pluggable
+:class:`~repro.distributed.executor.ExecutorBackend` (``serial``,
+``threads`` or ``processes``) through :meth:`SparkCluster.run_tasks`.
+Every task wave is accounted the same way shuffles are: each task reports
+the CPU time it consumed, the cluster packs those times onto the available
+worker slots, and the difference between that simulated makespan and the
+wave's measured wall time becomes :attr:`SparkCluster.simulated_executor_adjustment`
+— so reported times reflect the parallel schedule of a real cluster even
+when the host offers less physical parallelism than the simulation.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..errors import DistributionError
+from .executor import SERIAL, ExecutorBackend, TaskOutcome, make_executor
 
 #: Default number of workers, mirroring the 4-machine cluster of the paper.
 DEFAULT_NUM_WORKERS = 4
@@ -36,6 +50,15 @@ DEFAULT_NUM_WORKERS = 4
 DEFAULT_SHUFFLE_COST_PER_TUPLE = 2e-6
 #: Default fixed cost of initiating a shuffle (barrier + scheduling).
 DEFAULT_SHUFFLE_LATENCY = 0.02
+
+
+def _max_over_mean(loads) -> float:
+    """Imbalance factor of a load distribution (1.0 when perfectly even)."""
+    loads = list(loads)
+    total = sum(loads)
+    if not loads or total == 0:
+        return 1.0
+    return max(loads) * len(loads) / total
 
 
 @dataclass
@@ -56,6 +79,14 @@ class ClusterMetrics:
     #: Tuples exchanged between the Spark worker and its local PostgreSQL
     #: instance (Pplw^pg only): constant part sent + results iterated back.
     tuples_marshalled: int = 0
+    #: Name of the executor backend the cluster ran tasks on.
+    executor: str = SERIAL
+    #: Number of task waves (one wave = one batch of per-partition tasks).
+    task_waves: int = 0
+    #: CPU seconds of task work accumulated per worker slot.
+    task_seconds_per_worker: dict[int, float] = field(default_factory=dict)
+    #: CPU seconds of the single slowest task seen (the straggler).
+    slowest_task_seconds: float = 0.0
 
     def record_worker_tuples(self, worker_id: int, count: int) -> None:
         current = self.tuples_processed_per_worker.get(worker_id, 0)
@@ -73,11 +104,23 @@ class ClusterMetrics:
 
     def skew(self) -> float:
         """Load imbalance: max worker load divided by the mean load."""
-        loads = list(self.tuples_processed_per_worker.values())
-        if not loads or sum(loads) == 0:
-            return 1.0
-        mean = sum(loads) / len(loads)
-        return max(loads) / mean if mean else 1.0
+        return _max_over_mean(self.tuples_processed_per_worker.values())
+
+    @property
+    def max_worker_seconds(self) -> float:
+        """Wall time of the busiest worker slot (CPU seconds of its tasks)."""
+        if not self.task_seconds_per_worker:
+            return 0.0
+        return max(self.task_seconds_per_worker.values())
+
+    @property
+    def total_task_seconds(self) -> float:
+        """CPU seconds summed over every task of the execution."""
+        return sum(self.task_seconds_per_worker.values())
+
+    def compute_skew(self) -> float:
+        """Straggler factor: busiest worker's seconds over the mean."""
+        return _max_over_mean(self.task_seconds_per_worker.values())
 
     def communication_cost(self, per_tuple: float = 1.0, per_shuffle: float = 0.0) -> float:
         """Abstract communication cost: shuffled tuples weighted by volume."""
@@ -100,6 +143,12 @@ class ClusterMetrics:
             "tuples_marshalled": self.tuples_marshalled,
             "total_tuples_processed": self.total_tuples_processed,
             "skew": round(self.skew(), 3),
+            "executor": self.executor,
+            "task_waves": self.task_waves,
+            "max_worker_seconds": round(self.max_worker_seconds, 6),
+            "total_task_seconds": round(self.total_task_seconds, 6),
+            "slowest_task_seconds": round(self.slowest_task_seconds, 6),
+            "compute_skew": round(self.compute_skew(), 3),
         }
 
 
@@ -118,47 +167,149 @@ class SparkCluster:
 
     def __init__(self, num_workers: int = DEFAULT_NUM_WORKERS,
                  shuffle_cost_per_tuple: float = DEFAULT_SHUFFLE_COST_PER_TUPLE,
-                 shuffle_latency: float = DEFAULT_SHUFFLE_LATENCY):
+                 shuffle_latency: float = DEFAULT_SHUFFLE_LATENCY,
+                 executor: str | ExecutorBackend = SERIAL):
         if num_workers <= 0:
             raise DistributionError("a cluster needs at least one worker")
         self.num_workers = num_workers
         self.workers = tuple(Worker(worker_id) for worker_id in range(num_workers))
         self.shuffle_cost_per_tuple = shuffle_cost_per_tuple
         self.shuffle_latency = shuffle_latency
-        self.metrics = ClusterMetrics()
+        self.executor = make_executor(executor, max_workers=num_workers)
+        self.metrics = ClusterMetrics(executor=self.executor.name)
         self._simulated_delay = 0.0
+        self._executor_adjustment = 0.0
+        # Metrics are normally mutated on the driver thread only (tasks are
+        # pure and report back via their return values); the lock guards the
+        # record_* entry points for task code that calls them anyway.
+        self._lock = threading.Lock()
+
+    # -- Task execution --------------------------------------------------------
+
+    def run_tasks(self, fn: Callable, args_list: Sequence[tuple]) -> list[TaskOutcome]:
+        """Run one wave of independent tasks on the executor backend.
+
+        Returns the per-task outcomes in submission order and accounts the
+        wave in the metrics (task count, per-worker seconds, straggler, and
+        the simulated-makespan adjustment).
+        """
+        wave_started = time.perf_counter()
+        outcomes = self.executor.map_tasks(fn, args_list)
+        wave_elapsed = time.perf_counter() - wave_started
+        self.record_task_wave([outcome.seconds for outcome in outcomes],
+                              wave_elapsed)
+        return outcomes
+
+    def _wave_makespan(self, task_seconds: Sequence[float]) -> float:
+        """Simulated completion time of a task wave on this cluster.
+
+        With one execution lane per worker (the usual configuration) task
+        *i* runs on worker ``i % num_workers`` — the same attribution
+        :meth:`record_task_wave` uses — and the wave ends when the busiest
+        worker finishes.  An executor narrower than the cluster (custom
+        backends) packs the queue greedily onto its lanes instead; a serial
+        executor is a single lane, so the wave costs the sum of its tasks.
+        """
+        lanes = min(self.num_workers, max(1, self.executor.parallelism))
+        if lanes <= 1:
+            return sum(task_seconds)
+        if self.executor.parallelism >= self.num_workers:
+            bins = [0.0] * self.num_workers
+            for index, seconds in enumerate(task_seconds):
+                bins[index % self.num_workers] += seconds
+            return max(bins)
+        loads = [0.0] * lanes
+        for seconds in task_seconds:
+            index = loads.index(min(loads))
+            loads[index] += seconds
+        return max(loads)
 
     # -- Metric recording ------------------------------------------------------
 
     def reset_metrics(self) -> None:
         """Clear the metrics before a new execution."""
-        self.metrics = ClusterMetrics()
-        self._simulated_delay = 0.0
+        with self._lock:
+            self.metrics = ClusterMetrics(executor=self.executor.name)
+            self._simulated_delay = 0.0
+            self._executor_adjustment = 0.0
 
     def record_shuffle(self, tuple_count: int) -> None:
         """Record one repartitioning of ``tuple_count`` tuples."""
-        self.metrics.shuffles += 1
-        self.metrics.tuples_shuffled += tuple_count
-        self._simulated_delay += (self.shuffle_latency
-                                  + tuple_count * self.shuffle_cost_per_tuple)
+        with self._lock:
+            self.metrics.shuffles += 1
+            self.metrics.tuples_shuffled += tuple_count
+            self._simulated_delay += (self.shuffle_latency
+                                      + tuple_count * self.shuffle_cost_per_tuple)
 
     def record_broadcast(self, tuple_count: int) -> None:
         """Record the broadcast of a relation to every worker."""
-        self.metrics.broadcasts += 1
-        self.metrics.tuples_broadcast += tuple_count * self.num_workers
-        self._simulated_delay += (tuple_count * self.num_workers
-                                  * self.shuffle_cost_per_tuple)
+        with self._lock:
+            self.metrics.broadcasts += 1
+            self.metrics.tuples_broadcast += tuple_count * self.num_workers
+            self._simulated_delay += (tuple_count * self.num_workers
+                                      * self.shuffle_cost_per_tuple)
 
     def record_tasks(self, count: int) -> None:
-        self.metrics.tasks_launched += count
+        with self._lock:
+            self.metrics.tasks_launched += count
+
+    def record_task_wave(self, task_seconds: Sequence[float],
+                         wave_elapsed: float | None = None) -> None:
+        """Account one wave of tasks: counters, per-worker time, makespan.
+
+        ``wave_elapsed`` is the wall time the wave actually took on the host;
+        the difference between the simulated makespan and that measurement is
+        accumulated into :attr:`simulated_executor_adjustment` so reported
+        times reflect the cluster's schedule rather than the host's.
+        """
+        makespan = self._wave_makespan(task_seconds)
+        with self._lock:
+            self.metrics.tasks_launched += len(task_seconds)
+            self.metrics.task_waves += 1
+            for index, seconds in enumerate(task_seconds):
+                slot = index % self.num_workers
+                current = self.metrics.task_seconds_per_worker.get(slot, 0.0)
+                self.metrics.task_seconds_per_worker[slot] = current + seconds
+                if seconds > self.metrics.slowest_task_seconds:
+                    self.metrics.slowest_task_seconds = seconds
+            measured = (wave_elapsed if wave_elapsed is not None
+                        else sum(task_seconds))
+            self._executor_adjustment += makespan - measured
 
     def record_worker_tuples(self, worker_id: int, count: int) -> None:
-        self.metrics.record_worker_tuples(worker_id, count)
+        with self._lock:
+            self.metrics.record_worker_tuples(worker_id, count)
 
     @property
     def simulated_communication_delay(self) -> float:
         """Total simulated network delay accumulated so far (seconds)."""
         return self._simulated_delay
 
+    @property
+    def simulated_executor_adjustment(self) -> float:
+        """Simulated-makespan correction for the task waves run so far.
+
+        Negative when the executor (or the cost model) packed the tasks
+        tighter than the host machine could physically run them; roughly
+        zero when the host's parallelism matched the simulated cluster's.
+        """
+        return self._executor_adjustment
+
+    @property
+    def reported_time_adjustment(self) -> float:
+        """What the benchmark harness adds to the measured wall time."""
+        return self._simulated_delay + self._executor_adjustment
+
+    def close(self) -> None:
+        """Shut down the executor backend (pools hold OS resources)."""
+        self.executor.close()
+
+    def __enter__(self) -> "SparkCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def __repr__(self) -> str:
-        return f"SparkCluster(num_workers={self.num_workers})"
+        return (f"SparkCluster(num_workers={self.num_workers}, "
+                f"executor={self.executor.name!r})")

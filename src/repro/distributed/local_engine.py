@@ -65,8 +65,12 @@ class _HashIndex:
 class LocalSQLEngine:
     """A single-node relational engine with prebuilt join indexes."""
 
-    def __init__(self, database: Mapping[str, Relation]):
+    def __init__(self, database: Mapping[str, Relation],
+                 max_iterations: int | None = None):
         self.database = dict(database)
+        #: Iteration bound for the semi-naive loop; ``None`` defers to the
+        #: module-level :data:`MAX_LOCAL_ITERATIONS` at evaluation time.
+        self.max_iterations = max_iterations
         self.stats = LocalExecutionStats()
         self.stats.tables_registered = len(self.database)
         self._constant_cache: dict[Term, Relation] = {}
@@ -106,11 +110,14 @@ class LocalSQLEngine:
         result = seed
         delta = seed
         iterations = 0
+        limit = (self.max_iterations if self.max_iterations is not None
+                 else MAX_LOCAL_ITERATIONS)
         while delta:
             iterations += 1
-            if iterations > MAX_LOCAL_ITERATIONS:
+            if iterations > limit:
                 raise EvaluationError(
-                    f"local fixpoint on {var!r} did not converge")
+                    f"local fixpoint on {var!r} did not converge "
+                    f"within {limit} iterations")
             produced = self._evaluate(variable_part, {var: delta})
             if produced.columns != result.columns:
                 raise EvaluationError(

@@ -63,6 +63,8 @@ class ExecutionOutcome:
 
     relation: Relation
     physical_plans: list[PhysicalPlan] = field(default_factory=list)
+    #: Name of the executor backend the cluster ran the plan's tasks on.
+    executor: str = "serial"
 
     @property
     def strategies(self) -> tuple[str, ...]:
@@ -143,7 +145,8 @@ class DistributedQueryExecutor:
         rewritten = self._execute_fixpoints(term, physical_plans)
         evaluator = Evaluator(self.database)
         relation = evaluator.evaluate(rewritten)
-        return ExecutionOutcome(relation=relation, physical_plans=physical_plans)
+        return ExecutionOutcome(relation=relation, physical_plans=physical_plans,
+                                executor=self.cluster.executor.name)
 
     # -- Internals ------------------------------------------------------------------
 

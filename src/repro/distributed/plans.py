@@ -22,6 +22,7 @@ Spark cluster:
 from __future__ import annotations
 
 from collections.abc import Mapping
+from dataclasses import dataclass
 
 from ..algebra.conditions import decompose
 from ..algebra.evaluate import Evaluator
@@ -31,6 +32,7 @@ from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
 from ..algebra.variables import free_variables, is_constant_in
 from ..data.relation import Relation
 from ..errors import DistributionError, EvaluationError
+from . import local_engine as local_engine_module
 from .cluster import SparkCluster
 from .local_engine import LocalSQLEngine
 from .partitioner import (PartitioningDecision, plan_partitioning,
@@ -107,7 +109,8 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
             iterations += 1
             if iterations > MAX_GLOBAL_ITERATIONS:
                 raise EvaluationError(
-                    f"global loop on {var!r} did not converge")
+                    f"global loop on {var!r} did not converge "
+                    f"within {MAX_GLOBAL_ITERATIONS} iterations")
             self.cluster.metrics.global_iterations += 1
             produced = self._evaluate_distributed(variable_part, var, delta, evaluator)
             # new = phi(new) \ X        (global set difference: shuffle)
@@ -189,14 +192,69 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
             "antijoin (Fcond positivity)")
 
 
+@dataclass(frozen=True)
+class LocalLoopOutcome:
+    """What one worker's local fixpoint task reports back to the driver.
+
+    The tasks run on the executor backend — possibly in another thread or
+    process — so everything they observe (iteration counts, marshalled
+    tuples) travels back as data instead of being written into the shared
+    :class:`~repro.distributed.cluster.ClusterMetrics` mid-flight.
+    """
+
+    relation: Relation
+    iterations: int
+    tuples_marshalled: int = 0
+
+
+def run_spark_local_loop(fixpoint: Fixpoint, database: Mapping[str, Relation],
+                         chunk: Relation, max_iterations: int) -> LocalLoopOutcome:
+    """One worker's ``Pplw^s`` local fixpoint (semi-naive, Spark-style ops).
+
+    Module-level so process-pool executors can ship it by name; ``database``
+    holds only the broadcast relations the variable part needs.
+    """
+    decomposition = decompose(fixpoint)
+    evaluator = Evaluator(database)
+    result = chunk
+    delta = chunk
+    iterations = 0
+    while delta:
+        iterations += 1
+        if iterations > max_iterations:
+            raise EvaluationError(
+                f"local fixpoint on {fixpoint.var!r} did not converge "
+                f"within {max_iterations} iterations")
+        produced = evaluator.evaluate(decomposition.variable_part,
+                                      env={fixpoint.var: delta})
+        delta = produced.difference(result)
+        result = result.union(delta)
+    return LocalLoopOutcome(relation=result, iterations=iterations)
+
+
+def run_postgres_local_loop(fixpoint: Fixpoint, database: Mapping[str, Relation],
+                            chunk: Relation, max_iterations: int) -> LocalLoopOutcome:
+    """One worker's ``Pplw^pg`` local fixpoint, delegated to the local engine."""
+    engine = LocalSQLEngine(database, max_iterations=max_iterations)
+    marshalled = len(chunk)
+    result = engine.evaluate_fixpoint(fixpoint, seed_override=chunk)
+    marshalled += len(result)
+    return LocalLoopOutcome(relation=result, iterations=engine.stats.iterations,
+                            tuples_marshalled=marshalled)
+
+
 class ParallelLocalLoops(DistributedFixpointPlan):
     """Common machinery of the two ``Pplw`` variants.
 
     Splits the constant part (by stable column when possible), broadcasts
-    the recursion-constant relations of the variable part, and runs one
-    local fixpoint per worker; subclasses define how a single local fixpoint
-    is computed.
+    the recursion-constant relations of the variable part, and submits one
+    local-fixpoint task per worker to the cluster's executor backend — the
+    tasks share no state, which is exactly the paper's claim that the local
+    loops run without coordination.  Subclasses pick the task function.
     """
+
+    #: Module-level function computing one worker's local fixpoint.
+    local_loop_task = None
 
     def execute(self, fixpoint: Fixpoint) -> Relation:
         self._check_closed(fixpoint)
@@ -208,29 +266,42 @@ class ParallelLocalLoops(DistributedFixpointPlan):
         decision = self._partitioning(fixpoint)
         self.cluster.metrics.partitioning = decision.strategy
         chunks = split_constant_part(constant, self.cluster, decision)
-        self._broadcast_variable_part(decomposition.variable_part, fixpoint.var)
-        self.cluster.record_tasks(self.cluster.num_workers)
+        broadcast_names = self._broadcast_variable_part(
+            decomposition.variable_part, fixpoint.var)
+        # The worker tasks receive exactly the broadcast relations: the
+        # constant part arrives pre-evaluated as the chunk, so this is what
+        # a real cluster would put on the wire (and what the process
+        # backend pickles per task).
+        shipped = {name: self.database[name] for name in broadcast_names}
+        max_iterations = local_engine_module.MAX_LOCAL_ITERATIONS
+        outcomes = self.cluster.run_tasks(
+            type(self).local_loop_task,
+            [(fixpoint, shipped, chunk, max_iterations) for chunk in chunks])
         local_results: list[Relation] = []
-        for worker_id, chunk in enumerate(chunks):
-            local = self._local_fixpoint(fixpoint, chunk, worker_id)
-            self.cluster.record_worker_tuples(worker_id, len(local))
-            local_results.append(local)
+        for worker_id, outcome in enumerate(outcomes):
+            loop: LocalLoopOutcome = outcome.value
+            self.cluster.record_worker_tuples(worker_id, len(loop.relation))
+            self.cluster.metrics.local_iterations += loop.iterations
+            self.cluster.metrics.tuples_marshalled += loop.tuples_marshalled
+            local_results.append(loop.relation)
         return self._final_union(local_results, constant.columns, decision)
-
-    # -- Hooks ---------------------------------------------------------------------
-
-    def _local_fixpoint(self, fixpoint: Fixpoint, chunk: Relation,
-                        worker_id: int) -> Relation:
-        raise NotImplementedError
 
     # -- Shared steps ----------------------------------------------------------------
 
-    def _broadcast_variable_part(self, variable_part: Term, var: str) -> None:
-        """Record the broadcast of every base relation used by the recursion."""
-        broadcast_names = sorted(free_variables(variable_part) - {var})
+    def _broadcast_variable_part(self, variable_part: Term,
+                                 var: str) -> list[str]:
+        """Record the broadcast of every base relation used by the recursion.
+
+        Returns the broadcast relation names; the caller ships exactly
+        those to the worker tasks, keeping the communication accounting
+        and the actual task payload in lockstep.
+        """
+        broadcast_names = sorted(name
+                                 for name in free_variables(variable_part) - {var}
+                                 if name in self.database)
         for name in broadcast_names:
-            if name in self.database:
-                self.cluster.record_broadcast(len(self.database[name]))
+            self.cluster.record_broadcast(len(self.database[name]))
+        return broadcast_names
 
     def _final_union(self, locals_: list[Relation], columns: tuple[str, ...],
                      decision: PartitioningDecision) -> Relation:
@@ -259,21 +330,7 @@ class ParallelLocalLoopsSpark(ParallelLocalLoops):
     """
 
     name = PPLW_SPARK
-
-    def _local_fixpoint(self, fixpoint: Fixpoint, chunk: Relation,
-                        worker_id: int) -> Relation:
-        decomposition = decompose(fixpoint)
-        variable_part = decomposition.variable_part
-        evaluator = self._central_evaluator()
-        result = chunk
-        delta = chunk
-        while delta:
-            self.cluster.metrics.local_iterations += 1
-            produced = evaluator.evaluate(variable_part,
-                                          env={fixpoint.var: delta})
-            delta = produced.difference(result)
-            result = result.union(delta)
-        return result
+    local_loop_task = staticmethod(run_spark_local_loop)
 
 
 class ParallelLocalLoopsPostgres(ParallelLocalLoops):
@@ -287,15 +344,7 @@ class ParallelLocalLoopsPostgres(ParallelLocalLoops):
     """
 
     name = PPLW_POSTGRES
-
-    def _local_fixpoint(self, fixpoint: Fixpoint, chunk: Relation,
-                        worker_id: int) -> Relation:
-        engine = LocalSQLEngine(self.database)
-        self.cluster.metrics.tuples_marshalled += len(chunk)
-        result = engine.evaluate_fixpoint(fixpoint, seed_override=chunk)
-        self.cluster.metrics.tuples_marshalled += len(result)
-        self.cluster.metrics.local_iterations += engine.stats.iterations
-        return result
+    local_loop_task = staticmethod(run_postgres_local_loop)
 
 
 #: Registry used by the physical plan generator and the benchmarks.

@@ -25,6 +25,12 @@ from ..errors import DistributionError
 from .cluster import SparkCluster
 
 
+def _apply_partition_task(fn: Callable[[Relation, int], Relation],
+                          partition: Relation, worker_id: int) -> Relation:
+    """Module-level task body so pooled executors can address it by name."""
+    return fn(partition, worker_id)
+
+
 class DistributedRelation:
     """A relation split into one partition per worker."""
 
@@ -85,13 +91,20 @@ class DistributedRelation:
     # -- Narrow (per-partition) transformations ---------------------------------
 
     def map_partitions(self, fn: Callable[[Relation, int], Relation]) -> "DistributedRelation":
-        """Apply a function to every partition (one task per partition)."""
-        self.cluster.record_tasks(len(self.partitions))
+        """Apply a function to every partition (one task per partition).
+
+        The tasks are independent, so they are submitted as one wave to the
+        cluster's executor backend and run concurrently when the backend
+        allows it.
+        """
+        outcomes = self.cluster.run_tasks(
+            _apply_partition_task,
+            [(fn, partition, worker_id)
+             for worker_id, partition in enumerate(self.partitions)])
         new_partitions = []
-        for worker_id, partition in enumerate(self.partitions):
-            result = fn(partition, worker_id)
-            self.cluster.record_worker_tuples(worker_id, len(result))
-            new_partitions.append(result)
+        for worker_id, outcome in enumerate(outcomes):
+            self.cluster.record_worker_tuples(worker_id, len(outcome.value))
+            new_partitions.append(outcome.value)
         return type(self)(self.cluster, new_partitions)
 
     def filter(self, predicate: Predicate) -> "DistributedRelation":

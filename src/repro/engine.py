@@ -13,9 +13,15 @@ Typical use::
     from repro import DistMuRA
     from repro.datasets import yago_like_graph
 
-    engine = DistMuRA(yago_like_graph(scale=1000), num_workers=4)
+    engine = DistMuRA(yago_like_graph(scale=1000), num_workers=4,
+                      executor="threads")
     result = engine.query("?x,?y <- ?x isLocatedIn+/dealsWith+ ?y")
     print(len(result.relation), result.physical_strategies, result.metrics.shuffles)
+
+The ``executor`` argument selects the backend per-partition tasks run on
+(``serial``, ``threads`` or ``processes`` — see
+:mod:`repro.distributed.executor`); thread/process pools are released with
+:meth:`DistMuRA.close` or by using the engine as a context manager.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from .cost.selection import RankedPlan, rank_plans
 from .data.graph import LabeledGraph
 from .data.relation import Relation
 from .distributed.cluster import ClusterMetrics, SparkCluster
+from .distributed.executor import SERIAL, ExecutorBackend
 from .distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
                                    DistributedQueryExecutor)
 from .errors import TranslationError
@@ -79,6 +86,7 @@ class DistMuRA:
                  num_workers: int = 4,
                  optimize: bool = True,
                  strategy: str = AUTO,
+                 executor: str | ExecutorBackend = SERIAL,
                  memory_per_task: int = DEFAULT_MEMORY_PER_TASK,
                  max_plans: int = 64,
                  max_rounds: int = 8):
@@ -86,7 +94,7 @@ class DistMuRA:
             self.database: dict[str, Relation] = data.relations()
         else:
             self.database = dict(data)
-        self.cluster = SparkCluster(num_workers=num_workers)
+        self.cluster = SparkCluster(num_workers=num_workers, executor=executor)
         self.optimize_plans = optimize
         self.strategy = strategy
         self.memory_per_task = memory_per_task
@@ -155,6 +163,18 @@ class DistMuRA:
         """Reference single-node evaluation (used for testing and baselines)."""
         return Evaluator(self.database).evaluate(term)
 
+    # -- Lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the cluster's executor pools (threads/processes)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "DistMuRA":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- Introspection -----------------------------------------------------------------
 
     def explain(self, query: str | UCRPQ) -> str:
@@ -174,4 +194,5 @@ class DistMuRA:
     def __repr__(self) -> str:
         return (f"DistMuRA(relations={len(self.database)}, "
                 f"workers={self.cluster.num_workers}, "
+                f"executor={self.cluster.executor.name!r}, "
                 f"optimize={self.optimize_plans}, strategy={self.strategy!r})")

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.data import LabeledGraph, Relation
+from repro.datasets import erdos_renyi_graph, random_tree
 
 
 @pytest.fixture
@@ -28,6 +29,27 @@ def paper_start_edges() -> Relation:
 @pytest.fixture
 def paper_database(paper_edges, paper_start_edges) -> dict:
     return {"E": paper_edges, "S": paper_start_edges}
+
+
+@pytest.fixture(scope="session")
+def seeded_random_graph() -> LabeledGraph:
+    """Session-scoped seeded Erdos-Renyi graph shared by the differential
+    tests (building it once keeps the plan x executor matrix fast)."""
+    return erdos_renyi_graph(36, num_edges=85, seed=20260728,
+                             name="differential-er")
+
+
+@pytest.fixture(scope="session")
+def seeded_two_label_graph() -> LabeledGraph:
+    """Session-scoped two-label random graph for concatenation queries."""
+    return erdos_renyi_graph(30, num_edges=110, seed=4207,
+                             labels=("a", "b"), name="differential-ab")
+
+
+@pytest.fixture(scope="session")
+def seeded_tree_graph() -> LabeledGraph:
+    """Session-scoped random tree (child-to-parent edges, label ``edge``)."""
+    return random_tree(25, seed=97, name="differential-tree")
 
 
 @pytest.fixture

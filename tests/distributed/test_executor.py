@@ -1,0 +1,136 @@
+"""Unit tests of the pluggable executor backends and task-wave accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (EXECUTOR_BACKENDS, ExecutorBackend,
+                               SerialExecutor, SparkCluster, ThreadExecutor,
+                               make_executor)
+from repro.errors import DistributionError
+
+
+def _square(value):
+    return value * value
+
+
+def _fail(value):
+    raise ValueError(f"task {value} failed")
+
+
+class TestBackends:
+    @pytest.mark.parametrize("name", EXECUTOR_BACKENDS)
+    def test_results_preserve_submission_order(self, name):
+        with make_executor(name, max_workers=3) as executor:
+            outcomes = executor.map_tasks(_square, [(i,) for i in range(8)])
+        assert [outcome.value for outcome in outcomes] == [i * i for i in range(8)]
+        assert all(outcome.seconds >= 0.0 for outcome in outcomes)
+
+    @pytest.mark.parametrize("name", EXECUTOR_BACKENDS)
+    def test_task_exception_propagates(self, name):
+        with make_executor(name, max_workers=2) as executor:
+            with pytest.raises(ValueError, match="task 0 failed"):
+                executor.map_tasks(_fail, [(0,), (1,)])
+
+    @pytest.mark.parametrize("name", ("threads", "processes"))
+    def test_closures_supported(self, name):
+        offset = 10
+        with make_executor(name, max_workers=2) as executor:
+            outcomes = executor.map_tasks(lambda v: v + offset,
+                                          [(1,), (2,), (3,)])
+        assert [outcome.value for outcome in outcomes] == [11, 12, 13]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DistributionError, match="unknown executor"):
+            make_executor("mapreduce", max_workers=2)
+
+    def test_backend_instance_passes_through(self):
+        backend = SerialExecutor()
+        assert make_executor(backend, max_workers=4) is backend
+
+    def test_pool_sizes_validated(self):
+        with pytest.raises(DistributionError):
+            ThreadExecutor(0)
+
+    def test_parallelism_reported(self):
+        assert SerialExecutor().parallelism == 1
+        assert ThreadExecutor(5).parallelism == 5
+
+
+class TestClusterTaskAccounting:
+    def test_run_tasks_records_wave(self):
+        cluster = SparkCluster(num_workers=3, executor="serial")
+        outcomes = cluster.run_tasks(_square, [(i,) for i in range(3)])
+        assert [o.value for o in outcomes] == [0, 1, 4]
+        assert cluster.metrics.tasks_launched == 3
+        assert cluster.metrics.task_waves == 1
+        assert set(cluster.metrics.task_seconds_per_worker) <= {0, 1, 2}
+        assert cluster.metrics.executor == "serial"
+
+    def test_serial_makespan_is_sum(self):
+        cluster = SparkCluster(num_workers=4, executor="serial")
+        cluster.record_task_wave([1.0, 2.0, 3.0, 4.0], wave_elapsed=10.0)
+        # One slot: the wave completes after the sum of its tasks.
+        assert cluster.simulated_executor_adjustment == pytest.approx(0.0)
+
+    def test_concurrent_makespan_packs_slots(self):
+        cluster = SparkCluster(num_workers=4, executor="threads")
+        cluster.record_task_wave([1.0, 2.0, 3.0, 4.0], wave_elapsed=10.0)
+        # Four slots: makespan is the straggler (4.0), not the sum (10.0).
+        assert cluster.simulated_executor_adjustment == pytest.approx(-6.0)
+        assert cluster.metrics.slowest_task_seconds == pytest.approx(4.0)
+        assert cluster.metrics.max_worker_seconds == pytest.approx(4.0)
+        cluster.close()
+
+    def test_queueing_beyond_worker_count(self):
+        cluster = SparkCluster(num_workers=2, executor="threads")
+        cluster.record_task_wave([1.0, 1.0, 1.0, 1.0], wave_elapsed=4.0)
+        # Two slots, four unit tasks: the wave takes two units.
+        assert cluster.simulated_executor_adjustment == pytest.approx(-2.0)
+        cluster.close()
+
+    def test_reported_adjustment_combines_network_and_compute(self):
+        cluster = SparkCluster(num_workers=4, executor="threads",
+                               shuffle_latency=0.5, shuffle_cost_per_tuple=0.0)
+        cluster.record_shuffle(100)
+        cluster.record_task_wave([2.0, 2.0], wave_elapsed=4.0)
+        assert cluster.reported_time_adjustment == pytest.approx(0.5 - 2.0)
+        cluster.close()
+
+    def test_reset_clears_wave_accounting(self):
+        cluster = SparkCluster(num_workers=4, executor="threads")
+        cluster.record_task_wave([1.0, 2.0], wave_elapsed=3.0)
+        cluster.reset_metrics()
+        assert cluster.simulated_executor_adjustment == 0.0
+        assert cluster.metrics.task_waves == 0
+        assert cluster.metrics.executor == "threads"
+        cluster.close()
+
+    def test_metrics_summary_includes_executor_fields(self):
+        cluster = SparkCluster(num_workers=2, executor="serial")
+        cluster.run_tasks(_square, [(1,), (2,)])
+        summary = cluster.metrics.summary()
+        for key in ("executor", "task_waves", "max_worker_seconds",
+                    "total_task_seconds", "slowest_task_seconds",
+                    "compute_skew"):
+            assert key in summary
+
+    def test_compute_skew_of_unbalanced_workers(self):
+        cluster = SparkCluster(num_workers=2, executor="serial")
+        cluster.record_task_wave([3.0, 1.0])
+        assert cluster.metrics.compute_skew() == pytest.approx(1.5)
+
+
+class TestCustomBackend:
+    def test_cluster_accepts_custom_backend(self):
+        class Doubler(ExecutorBackend):
+            name = "doubler"
+            parallelism = 2
+
+            def map_tasks(self, fn, args_list):
+                return SerialExecutor().map_tasks(fn, args_list)
+
+        cluster = SparkCluster(num_workers=2, executor=Doubler())
+        outcomes = cluster.run_tasks(_square, [(3,)])
+        assert outcomes[0].value == 9
+        assert cluster.metrics.executor == "doubler"
