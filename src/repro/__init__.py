@@ -18,9 +18,10 @@ from .engine import DistMuRA, QueryResult
 from .distributed.cluster import SparkCluster
 from .distributed.executor import EXECUTOR_BACKENDS, PROCESSES, SERIAL, THREADS
 from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
-from .errors import ReproError
+from .errors import ReproError, ServiceError, ServiceOverloadError
+from .service import QueryService, ServedResult, ServiceMetrics
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DistMuRA",
@@ -31,9 +32,14 @@ __all__ = [
     "PPLW_SPARK",
     "PROCESSES",
     "QueryResult",
+    "QueryService",
     "Relation",
     "ReproError",
     "SERIAL",
+    "ServedResult",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadError",
     "SparkCluster",
     "THREADS",
     "Tup",

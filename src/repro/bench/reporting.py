@@ -5,6 +5,10 @@ compact textual table equivalent to the corresponding figure of the paper:
 one row per query (or parameter value), one column per system, each cell a
 time or a failure cross.  ``EXPERIMENTS.md`` records those tables next to
 the paper's reported shapes.
+
+All tables go through one shared renderer (:func:`render_table`), so the
+figure tables, the parameter sweeps and the serving-layer latency tables
+(:func:`latency_table`, with p50/p95/p99 columns) share one format.
 """
 
 from __future__ import annotations
@@ -12,7 +16,32 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Sequence
 
+from ..percentiles import DEFAULT_PERCENTILES
+from ..percentiles import percentiles as percentiles_of
 from .harness import MeasuredRun
+
+
+def render_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[str]],
+                 min_width: int = 10) -> str:
+    """Render a titled, column-aligned text table (the shared formatter).
+
+    Column widths fit the widest cell (with ``min_width`` as a floor for
+    every column but the first, matching the historical figure tables).
+    """
+    widths = [len(name) for name in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    widths = [widths[0]] + [max(width, min_width) for width in widths[1:]]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(name.ljust(width)
+                           for name, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
 
 
 def comparison_table(runs: Iterable[MeasuredRun], title: str,
@@ -30,18 +59,9 @@ def comparison_table(runs: Iterable[MeasuredRun], title: str,
         if key not in row_order:
             row_order.append(key)
         cells[key][run.system] = run.cell()
-    header = [row_key] + systems
-    widths = [max(len(header[0]), *(len(str(key)) for key in row_order) or [1])]
-    widths += [max(len(system), 10) for system in systems]
-    lines = [title, "=" * len(title)]
-    lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
-    lines.append("  ".join("-" * width for width in widths))
-    for key in row_order:
-        row = [str(key).ljust(widths[0])]
-        for system, width in zip(systems, widths[1:]):
-            row.append(cells[key].get(system, "-").ljust(width))
-        lines.append("  ".join(row))
-    return "\n".join(lines)
+    rows = [[str(key)] + [cells[key].get(system, "-") for system in systems]
+            for key in row_order]
+    return render_table(title, [row_key] + systems, rows)
 
 
 def series_table(points: Sequence[tuple[object, dict[str, float | str]]],
@@ -52,21 +72,44 @@ def series_table(points: Sequence[tuple[object, dict[str, float | str]]],
         for name in values:
             if name not in series_names:
                 series_names.append(name)
-    header = [x_label] + series_names
-    widths = [max(len(str(x)) for x, _ in points or [("x", {})])]
-    widths[0] = max(widths[0], len(x_label))
-    widths += [max(len(name), 10) for name in series_names]
-    lines = [title, "=" * len(title)]
-    lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
-    lines.append("  ".join("-" * width for width in widths))
+    rows = []
     for x, values in points:
-        row = [str(x).ljust(widths[0])]
-        for name, width in zip(series_names, widths[1:]):
+        row = [str(x)]
+        for name in series_names:
             value = values.get(name, "-")
-            text = f"{value:.3f}" if isinstance(value, float) else str(value)
-            row.append(text.ljust(width))
-        lines.append("  ".join(row))
-    return "\n".join(lines)
+            row.append(f"{value:.3f}" if isinstance(value, float) else str(value))
+        rows.append(row)
+    return render_table(title, [x_label] + series_names, rows)
+
+
+def latency_table(rows: Sequence[tuple[str, Sequence[float]]], title: str,
+                  row_label: str = "series",
+                  percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+                  unit: str = "s") -> str:
+    """Format latency distributions with count/mean/percentile/max columns.
+
+    ``rows`` maps a label to its raw latency samples; percentiles are
+    fractions (0.95 renders as the ``p95`` column).  Used by the serving
+    throughput benchmark and reusable by any table reporting latency
+    spreads rather than single times.
+    """
+    fractions = tuple(percentiles)
+    header = [row_label, "count", f"mean_{unit}"]
+    header += [f"p{fraction * 100:g}_{unit}" for fraction in fractions]
+    header += [f"max_{unit}"]
+    table_rows = []
+    for label, samples in rows:
+        samples = list(samples)
+        if samples:
+            mean = sum(samples) / len(samples)
+            spread = percentiles_of(samples, fractions)
+            cells = [f"{mean:.4f}"]
+            cells += [f"{spread[fraction]:.4f}" for fraction in fractions]
+            cells += [f"{max(samples):.4f}"]
+        else:
+            cells = ["-"] * (len(fractions) + 2)
+        table_rows.append([label, str(len(samples))] + cells)
+    return render_table(title, header, table_rows)
 
 
 def speedup_summary(runs: Iterable[MeasuredRun], baseline_system: str,

@@ -67,6 +67,25 @@ class StatisticsCatalog:
         """Store externally computed statistics (e.g. sampled estimates)."""
         self._stats[name] = stats
 
+    def invalidate(self, name: str) -> bool:
+        """Drop the statistics of ``name`` (after the relation changed).
+
+        Until the relation is re-``register``-ed the catalog falls back to
+        the conservative default of :meth:`get`, so stale estimates can
+        never survive a mutation.  Returns whether an entry was dropped.
+        """
+        return self._stats.pop(name, None) is not None
+
+    def refresh(self, name: str, relation: Relation) -> RelationStats:
+        """Invalidate and immediately re-register ``name`` from ``relation``.
+
+        This is the entry point used by the engine's mutation API: after
+        ``add_edges``/``remove_edges`` every touched relation goes through
+        ``refresh`` so cost estimates always reflect the current data.
+        """
+        self.invalidate(name)
+        return self.register(name, relation)
+
     def __contains__(self, name: str) -> bool:
         return name in self._stats
 

@@ -74,7 +74,12 @@ class LocalSQLEngine:
         self.stats = LocalExecutionStats()
         self.stats.tables_registered = len(self.database)
         self._constant_cache: dict[Term, Relation] = {}
-        self._index_cache: dict[tuple[int, tuple[str, ...]], _HashIndex] = {}
+        # Keyed on the relation object itself (held strongly), not on
+        # id(relation): CPython reuses addresses of collected objects, so an
+        # id-based key could silently serve a stale index built for a dead
+        # relation.  Relation equality/hash are value-based, which is also
+        # semantically right: an identical relation may share the index.
+        self._index_cache: dict[tuple[Relation, tuple[str, ...]], _HashIndex] = {}
 
     # -- Public API -----------------------------------------------------------
 
@@ -171,7 +176,7 @@ class LocalSQLEngine:
             common = tuple(c for c in variable_relation.columns
                            if c in constant_relation.columns)
             if common:
-                return self._indexed_join(variable_relation, constant_side,
+                return self._indexed_join(variable_relation,
                                           constant_relation, common)
             return variable_relation.natural_join(constant_relation)
         left = self._evaluate(term.left, env)
@@ -183,10 +188,9 @@ class LocalSQLEngine:
             self._constant_cache[term] = self._evaluate(term, {})
         return self._constant_cache[term]
 
-    def _indexed_join(self, probe: Relation, build_term: Term,
-                      build_relation: Relation,
+    def _indexed_join(self, probe: Relation, build_relation: Relation,
                       key_columns: tuple[str, ...]) -> Relation:
-        index = self._index_for(build_term, build_relation, key_columns)
+        index = self._index_for(build_relation, key_columns)
         probe_indices = [probe.columns.index(column) for column in key_columns]
         output_columns = tuple(sorted(set(probe.columns) | set(build_relation.columns)))
         plan = []
@@ -204,9 +208,9 @@ class LocalSQLEngine:
             self.stats.indexed_probes += 1
         return Relation(output_columns, rows)
 
-    def _index_for(self, term: Term, relation: Relation,
+    def _index_for(self, relation: Relation,
                    key_columns: tuple[str, ...]) -> _HashIndex:
-        cache_key = (id(relation), key_columns)
+        cache_key = (relation, key_columns)
         if cache_key not in self._index_cache:
             self._index_cache[cache_key] = _HashIndex(relation, key_columns)
             self.stats.index_builds += 1

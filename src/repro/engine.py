@@ -30,17 +30,20 @@ import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from collections.abc import Iterable
+
 from .algebra.evaluate import Evaluator
 from .algebra.schema import schemas_of_database
 from .algebra.terms import Term
 from .cost.selection import RankedPlan, rank_plans
-from .data.graph import LabeledGraph
+from .data.graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
 from .data.relation import Relation
+from .data.stats import StatisticsCatalog
 from .distributed.cluster import ClusterMetrics, SparkCluster
 from .distributed.executor import SERIAL, ExecutorBackend
 from .distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
                                    DistributedQueryExecutor)
-from .errors import TranslationError
+from .errors import EvaluationError, SchemaError, TranslationError
 from .query.ast import UCRPQ
 from .query.classes import classify_query
 from .query.parser import parse_query
@@ -100,6 +103,16 @@ class DistMuRA:
         self.memory_per_task = memory_per_task
         self.rewriter = MuRewriter(max_plans=max_plans, max_rounds=max_rounds)
         self._schemas = schemas_of_database(self.database)
+        #: Persistent statistics used by the cost-based plan ranking.  The
+        #: mutation API refreshes the touched entries, so estimates always
+        #: reflect the current data (see :meth:`add_edges`).
+        self.catalog = StatisticsCatalog(self.database)
+        #: Monotonic counters tracking mutations: the database version is
+        #: bumped on every mutation, and each touched relation records the
+        #: version it was last changed at.  The serving layer keys its
+        #: result cache on these counters.
+        self._database_version = 0
+        self._relation_versions: dict[str, int] = dict.fromkeys(self.database, 0)
 
     # -- Pipeline stages -----------------------------------------------------------
 
@@ -114,21 +127,33 @@ class DistMuRA:
         return translate_query(parsed)
 
     def optimize(self, term: Term) -> tuple[RankedPlan, list[RankedPlan]]:
-        """Explore equivalent plans and rank them with the cost model."""
+        """Explore equivalent plans and rank them with the cost model.
+
+        Ranking reads the session's persistent :attr:`catalog`, so cost
+        estimates follow mutations instead of being recomputed from the
+        full database on every call.
+        """
         plans = self.rewriter.explore(term, self._schemas)
-        ranked = rank_plans(plans, database=self.database)
+        ranked = rank_plans(plans, catalog=self.catalog)
         return ranked[0], ranked
 
     # -- Execution ------------------------------------------------------------------
 
     def execute_term(self, term: Term, strategy: str | None = None,
-                     query_classes: frozenset[str] = frozenset()) -> QueryResult:
-        """Optimize (optionally) and execute a mu-RA term."""
+                     query_classes: frozenset[str] = frozenset(),
+                     optimize: bool | None = None) -> QueryResult:
+        """Optimize (optionally) and execute a mu-RA term.
+
+        ``optimize`` overrides the session default for this call; the
+        serving layer passes ``False`` when it executes a plan it already
+        selected (and cached), skipping the rewriter and the cost ranking.
+        """
         started = time.perf_counter()
         original = term
         plans_explored = 1
         estimated_cost = float("nan")
-        if self.optimize_plans:
+        should_optimize = self.optimize_plans if optimize is None else optimize
+        if should_optimize:
             best, ranked = self.optimize(term)
             term = best.term
             plans_explored = len(ranked)
@@ -162,6 +187,100 @@ class DistMuRA:
     def evaluate_centralized(self, term: Term) -> Relation:
         """Reference single-node evaluation (used for testing and baselines)."""
         return Evaluator(self.database).evaluate(term)
+
+    # -- Mutations and versioning ---------------------------------------------------
+
+    @property
+    def database_version(self) -> int:
+        """Monotonic counter bumped by every mutation of the session."""
+        return self._database_version
+
+    def relation_version(self, name: str) -> int:
+        """Version at which relation ``name`` last changed (0 = unchanged)."""
+        return self._relation_versions.get(name, 0)
+
+    def relation_versions(self, names: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(name, version)`` snapshot of the given relations.
+
+        Unknown names are included with version 0, so a cache entry built
+        before a relation existed is invalidated when it appears.
+        """
+        return tuple((name, self.relation_version(name))
+                     for name in sorted(set(names)))
+
+    def add_edges(self, label: str,
+                  pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
+        """Add ``(src, trg)`` edges to the ``label`` relation.
+
+        The inverse relation ``-label`` and the ``facts`` triple table (when
+        the database has them) are kept consistent, the touched relations'
+        statistics are refreshed in :attr:`catalog`, and the database
+        version is bumped.  Returns the names of the touched relations.
+        """
+        return self._apply_edge_mutation(label, pairs, removing=False)
+
+    def remove_edges(self, label: str,
+                     pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
+        """Remove ``(src, trg)`` edges from the ``label`` relation.
+
+        Same consistency and invalidation contract as :meth:`add_edges`.
+        """
+        return self._apply_edge_mutation(label, pairs, removing=True)
+
+    def _apply_edge_mutation(self, label: str, pairs, removing: bool) -> tuple[str, ...]:
+        if label.startswith(INVERSE_PREFIX):
+            raise TranslationError(
+                f"mutate the base relation {label[len(INVERSE_PREFIX):]!r} "
+                f"instead of the inverse {label!r}")
+        edge_pairs = {(src, trg) for src, trg in pairs}
+        if removing and label not in self.database:
+            raise EvaluationError(
+                f"cannot remove edges from unknown relation {label!r}")
+        edge_columns = tuple(sorted((SRC, TRG)))
+        existing = self.database.get(label)
+        inverse = INVERSE_PREFIX + label
+        # Plan and validate every delta *before* touching the database, so a
+        # schema mismatch anywhere leaves the session completely unchanged
+        # (a partial mutation would desynchronize versions and caches).
+        planned: list[tuple[str, Relation | None, Relation]] = []
+        delta = Relation.from_pairs(edge_pairs, columns=(SRC, TRG))
+        planned.append((label, existing, delta))
+        if inverse in self.database or existing is None:
+            inverse_delta = Relation.from_pairs(
+                {(trg, src) for src, trg in edge_pairs}, columns=(SRC, TRG))
+            planned.append((inverse, self.database.get(inverse), inverse_delta))
+        facts = self.database.get("facts")
+        if facts is not None and facts.columns == tuple(sorted((SRC, PRED, TRG))):
+            # Rows align with the sorted schema ('pred', 'src', 'trg').
+            fact_delta = Relation(facts.columns,
+                                  [(label, src, trg) for src, trg in edge_pairs])
+            planned.append(("facts", facts, fact_delta))
+        for name, current, name_delta in planned:
+            if current is not None and current.columns != name_delta.columns:
+                raise SchemaError(
+                    f"relation {name!r} has schema {current.columns}; the "
+                    f"edge mutation API only supports {name_delta.columns} "
+                    f"relations")
+        touched: list[str] = []
+        for name, current, name_delta in planned:
+            base = (current if current is not None
+                    else Relation.empty(name_delta.columns))
+            self.database[name] = (base.difference(name_delta) if removing
+                                   else base.union(name_delta))
+            touched.append(name)
+        # Refresh the statistics *before* bumping the versions: a concurrent
+        # reader (the service's unlocked plan phase) that observes the new
+        # fingerprint must also observe the new statistics, otherwise it
+        # could cache a stale-ranked plan under a current-looking key.  The
+        # reverse interleaving (old fingerprint, new statistics) only wastes
+        # a cache slot that never hits again.
+        for name in touched:
+            self.catalog.refresh(name, self.database[name])
+        self._schemas = schemas_of_database(self.database)
+        self._database_version += 1
+        for name in touched:
+            self._relation_versions[name] = self._database_version
+        return tuple(touched)
 
     # -- Lifecycle -----------------------------------------------------------------
 

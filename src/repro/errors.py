@@ -77,3 +77,11 @@ class DatasetError(ReproError):
 
 class BenchmarkError(ReproError):
     """The benchmark harness was configured incorrectly."""
+
+
+class ServiceError(ReproError):
+    """The query-serving layer was used incorrectly or is shut down."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a query: the service queue is full."""

@@ -14,6 +14,12 @@ plan-space exploration believe they are different plans (and explode).
 
 Two plans that differ only by generated names therefore normalise to the
 same term, which is what the engine uses as the plan identity.
+
+:func:`cache_key` turns that identity into a *stable string*: because the
+canonical form erases every session-specific generated name, the same query
+translated in two different sessions (or twice in one session, with the
+fresh-name counters at different positions) maps to the same key.  The
+serving layer's plan and result caches are keyed on it.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from __future__ import annotations
 import itertools
 from collections.abc import Mapping
 
+from ..algebra.printer import term_to_string
 from ..algebra.terms import (AntiProject, Filter, Fixpoint, Rename, Term)
 from ..algebra.variables import substitute
 from ..algebra.terms import RelVar
@@ -70,6 +77,17 @@ def canonicalize(term: Term) -> Term:
     """Return the canonical form of ``term`` (see module docstring)."""
     term = _canonicalize_variables(term)
     return _canonicalize_columns(term)
+
+
+def cache_key(term: Term) -> str:
+    """Return a stable string identity of ``term`` for caching.
+
+    The key is the printed canonical form: independent of the state of the
+    fresh-name counters, of the session, and of ``PYTHONHASHSEED`` (it is a
+    plain string, not a hash), so it can safely key caches that outlive a
+    session or are shared between sessions.
+    """
+    return term_to_string(canonicalize(term))
 
 
 def _canonicalize_variables(term: Term) -> Term:

@@ -1,0 +1,43 @@
+"""Query-serving subsystem: caches + concurrent multi-client scheduling.
+
+This package wraps a :class:`~repro.engine.DistMuRA` session into a
+:class:`QueryService` able to serve many concurrent clients:
+
+* :mod:`repro.service.plan_cache` — memoizes the rewriter + cost-ranking
+  decision per canonical query,
+* :mod:`repro.service.result_cache` — memoizes whole query results against
+  the engine's relation version counters,
+* :mod:`repro.service.server` — admission control, scheduling, timeouts
+  and the mutation pass-through,
+* :mod:`repro.service.metrics` — throughput, latency percentiles and
+  cache hit rates.
+
+See the "Serving layer" section of ``DESIGN.md`` and ``examples/serve.py``.
+"""
+
+from .cache import CacheStats, LRUCache
+from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from .plan_cache import CachedPlan, PlanCache, PlanKey
+from .result_cache import CachedResult, ResultCache, ResultKey
+from .server import (DEFAULT_MAX_IN_FLIGHT, DEFAULT_QUEUE_CAPACITY, FAILED,
+                     OK, QueryService, ServedResult)
+
+__all__ = [
+    "CacheStats",
+    "CachedPlan",
+    "CachedResult",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_QUEUE_CAPACITY",
+    "FAILED",
+    "LRUCache",
+    "MetricsSnapshot",
+    "OK",
+    "PlanCache",
+    "PlanKey",
+    "QueryService",
+    "ResultCache",
+    "ResultKey",
+    "ServedResult",
+    "ServiceMetrics",
+    "percentile",
+]

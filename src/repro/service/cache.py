@@ -1,0 +1,136 @@
+"""Thread-safe bounded LRU cache shared by the plan and result caches.
+
+Both serving-layer caches need the same mechanics: a capacity bound with
+least-recently-used eviction, hit/miss/eviction counters, and safe access
+from the service's worker threads.  :class:`LRUCache` provides exactly
+that; the plan- and result-specific key construction and validity checks
+live in :mod:`repro.service.plan_cache` and
+:mod:`repro.service.result_cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..errors import ServiceError
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache (returned as an independent snapshot)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 3),
+        }
+
+
+class LRUCache:
+    """A bounded mapping with LRU eviction and lookup counters."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ServiceError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value (marking it most recently used) or None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return self._entries[key]
+            self._stats.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+            self._entries[key] = value
+
+    def demote_hit(self) -> None:
+        """Reclassify one counted hit as a miss.
+
+        Used by version-checked caches: the entry was found (the LRU layer
+        counted a hit) but turned out stale, which the caller reports as a
+        miss plus an invalidation.
+        """
+        with self._lock:
+            self._stats.hits -= 1
+            self._stats.misses += 1
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry without counting it as an LRU eviction."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self._stats.invalidations += 1
+                return True
+            return False
+
+    def discard_where(self, predicate) -> int:
+        """Drop every entry whose ``(key, value)`` satisfies ``predicate``."""
+        with self._lock:
+            doomed = [key for key, value in self._entries.items()
+                      if predicate(key, value)]
+            for key in doomed:
+                del self._entries[key]
+            self._stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        """Snapshot of the keys, LRU first (mostly for tests/debugging)."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        """An independent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(hits=self._stats.hits, misses=self._stats.misses,
+                              evictions=self._stats.evictions,
+                              invalidations=self._stats.invalidations)

@@ -1,0 +1,154 @@
+"""Service-level metrics: throughput, latency percentiles, cache hit rates.
+
+The serving layer reports the quantities an operator of a multi-tenant
+query service watches: how many queries were admitted/served/failed/
+rejected, the distribution of end-to-end latency and of time spent waiting
+in the admission queue (p50/p95/p99), the served throughput, and the hit
+rates of the plan and result caches.
+
+Percentiles come from :mod:`repro.percentiles`, the implementation shared
+with the benchmark reporting, so the serving benchmark and the
+paper-figure tables use one formatter.
+
+The latency and queue-wait samples are kept in bounded sliding windows
+(:data:`DEFAULT_SAMPLE_CAPACITY` most recent samples): a long-running
+service must not grow its metrics without bound, and sorting a bounded
+window keeps :meth:`ServiceMetrics.snapshot` cheap.  The counters remain
+exact over the whole lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..percentiles import DEFAULT_PERCENTILES, percentile, percentiles
+
+#: Size of the sliding windows of latency / queue-wait samples.
+DEFAULT_SAMPLE_CAPACITY = 8192
+
+
+@dataclass
+class MetricsSnapshot:
+    """Immutable view of the service counters at one point in time."""
+
+    submitted: int
+    served: int
+    failed: int
+    rejected: int
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_percentiles: dict[str, float]
+    queue_wait_percentiles: dict[str, float]
+    plan_cache_hits: int
+    result_cache_hits: int
+    plan_cache_hit_rate: float
+    result_cache_hit_rate: float
+
+    def summary(self) -> dict[str, object]:
+        """Flat dictionary (the shape the benchmark reports consume)."""
+        flat: dict[str, object] = {
+            "submitted": self.submitted,
+            "served": self.served,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "throughput_qps": round(self.throughput_qps, 2),
+            "plan_cache_hits": self.plan_cache_hits,
+            "result_cache_hits": self.result_cache_hits,
+            "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 3),
+            "result_cache_hit_rate": round(self.result_cache_hit_rate, 3),
+        }
+        for name, value in self.latency_percentiles.items():
+            flat[f"latency_{name}"] = round(value, 6)
+        for name, value in self.queue_wait_percentiles.items():
+            flat[f"queue_wait_{name}"] = round(value, 6)
+        return flat
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator fed by the service workers."""
+
+    def __init__(self, sample_capacity: int = DEFAULT_SAMPLE_CAPACITY):
+        self.submitted = 0
+        self.served = 0
+        self.failed = 0
+        self.rejected = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_lookups = 0
+        self.result_cache_hits = 0
+        self.result_cache_lookups = 0
+        #: Sliding windows of the most recent samples (bounded memory).
+        self.latencies: deque[float] = deque(maxlen=sample_capacity)
+        self.queue_waits: deque[float] = deque(maxlen=sample_capacity)
+        self._lock = threading.Lock()
+        self._started_at = time.perf_counter()
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_served(self, latency_seconds: float, queue_wait_seconds: float,
+                      failed: bool, plan_cache_hit: bool | None,
+                      result_cache_hit: bool | None) -> None:
+        """Account one completed query.
+
+        The cache flags are ``None`` when the corresponding cache was not
+        consulted (disabled, or the query failed before reaching it).
+        """
+        with self._lock:
+            if failed:
+                self.failed += 1
+            else:
+                self.served += 1
+            self.latencies.append(latency_seconds)
+            self.queue_waits.append(queue_wait_seconds)
+            if plan_cache_hit is not None:
+                self.plan_cache_lookups += 1
+                self.plan_cache_hits += int(plan_cache_hit)
+            if result_cache_hit is not None:
+                self.result_cache_lookups += 1
+                self.result_cache_hits += int(result_cache_hit)
+
+    def snapshot(self, fractions=DEFAULT_PERCENTILES) -> MetricsSnapshot:
+        """Return a consistent view of every counter and distribution."""
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+            latency = {_percentile_name(f): value for f, value in
+                       percentiles(self.latencies, fractions).items()}
+            waits = {_percentile_name(f): value for f, value in
+                     percentiles(self.queue_waits, fractions).items()}
+            return MetricsSnapshot(
+                submitted=self.submitted,
+                served=self.served,
+                failed=self.failed,
+                rejected=self.rejected,
+                elapsed_seconds=elapsed,
+                throughput_qps=self.served / elapsed,
+                latency_percentiles=latency,
+                queue_wait_percentiles=waits,
+                plan_cache_hits=self.plan_cache_hits,
+                result_cache_hits=self.result_cache_hits,
+                plan_cache_hit_rate=_rate(self.plan_cache_hits,
+                                          self.plan_cache_lookups),
+                result_cache_hit_rate=_rate(self.result_cache_hits,
+                                            self.result_cache_lookups),
+            )
+
+
+def _percentile_name(fraction: float) -> str:
+    """0.50 -> 'p50', 0.999 -> 'p99.9'."""
+    scaled = fraction * 100.0
+    if scaled == int(scaled):
+        return f"p{int(scaled)}"
+    return f"p{scaled:g}"
+
+
+def _rate(hits: int, lookups: int) -> float:
+    return hits / lookups if lookups else 0.0

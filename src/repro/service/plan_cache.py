@@ -1,0 +1,116 @@
+"""Plan cache: memoize the output of the rewriter and the cost ranking.
+
+Optimizing a query — exploring up to ``max_plans`` equivalent mu-RA terms
+and costing each of them — dominates the latency of small and repeated
+queries.  The plan cache keys that work on
+
+* the **canonical form** of the translated query
+  (:func:`repro.rewriter.normalize.cache_key`), which erases the
+  session-specific generated names so the same UCRPQ always maps to the
+  same key, in any session,
+* a **database fingerprint**: the versions of the relations the query
+  reads (statistics drive the cost ranking, so a mutation of an input
+  relation must invalidate the selected plan), and
+* the **engine configuration** that shaped the decision (strategy,
+  worker count, memory budget, rewriter bounds).
+
+A hit skips ``MuRewriter.explore`` and ``rank_plans`` entirely and goes
+straight to execution with the previously selected plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..algebra.terms import Term
+from ..engine import DistMuRA
+from ..rewriter.normalize import cache_key
+from .cache import CacheStats, LRUCache
+
+#: Default number of selected plans kept.
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one plan-selection decision."""
+
+    term_key: str
+    database_fingerprint: tuple[tuple[str, int], ...]
+    config: tuple
+
+    @classmethod
+    def of(cls, engine: DistMuRA, term: Term,
+           dependencies: frozenset[str],
+           strategy: str | None) -> "PlanKey":
+        """Build the key of ``term`` against the current engine state."""
+        config = (
+            strategy if strategy is not None else engine.strategy,
+            engine.cluster.num_workers,
+            engine.memory_per_task,
+            engine.rewriter.max_plans,
+            engine.rewriter.max_rounds,
+            engine.optimize_plans,
+        )
+        return cls(term_key=cache_key(term),
+                   database_fingerprint=engine.relation_versions(dependencies),
+                   config=config)
+
+
+@dataclass
+class CachedPlan:
+    """The decisions recorded for one optimized query."""
+
+    #: The selected logical plan, in canonical form.
+    term: Term
+    cost: float
+    plans_explored: int
+    #: Free relation variables of the selected plan (result-cache deps).
+    dependencies: frozenset[str]
+    #: ``cache_key(term)``, precomputed so cache hits never re-canonicalize
+    #: the selected plan (it is the result-cache key of every execution).
+    term_key: str = ""
+    #: Physical strategy decisions observed at the first execution of the
+    #: plan (filled in lazily; purely informational).
+    physical_strategies: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.term_key:
+            self.term_key = cache_key(self.term)
+
+    def with_strategies(self, strategies: tuple[str, ...]) -> "CachedPlan":
+        return replace(self, physical_strategies=strategies)
+
+
+class PlanCache:
+    """LRU-bounded mapping from :class:`PlanKey` to :class:`CachedPlan`."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE):
+        self._cache = LRUCache(capacity)
+
+    def get(self, key: PlanKey) -> CachedPlan | None:
+        return self._cache.get(key)
+
+    def put(self, key: PlanKey, plan: CachedPlan) -> None:
+        self._cache.put(key, plan)
+
+    def invalidate_relations(self, names) -> int:
+        """Drop every plan whose fingerprint mentions one of ``names``.
+
+        Version-mismatched entries already miss on lookup; eager
+        invalidation only reclaims their slots earlier.
+        """
+        doomed = set(names)
+        return self._cache.discard_where(
+            lambda key, _: any(name in doomed
+                               for name, _version in key.database_fingerprint))
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats

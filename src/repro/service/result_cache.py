@@ -1,0 +1,93 @@
+"""Result cache: memoize query results against a versioned database.
+
+The cache maps (canonical selected plan, execution configuration) to the
+:class:`~repro.engine.QueryResult` produced when that plan last ran.  An
+entry is only valid for the database state it was computed on; validity is
+tracked through the engine's per-relation version counters:
+
+* when the entry is stored, it records the versions of the relations the
+  plan reads (its free relation variables),
+* on lookup, the entry only hits if every one of those relations is still
+  at the recorded version — otherwise it is dropped and counted as an
+  invalidation (the caller then re-executes and re-stores).
+
+The service additionally purges dependent entries eagerly when a mutation
+goes through its API (:meth:`ResultCache.invalidate_relations`), so stale
+results do not linger in the LRU ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import DistMuRA, QueryResult
+from .cache import CacheStats, LRUCache
+
+#: Default number of memoized results kept.
+DEFAULT_RESULT_CACHE_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Identity of one executed plan (the versions live in the entry)."""
+
+    plan_key: str
+    strategy: str
+    num_workers: int
+    memory_per_task: int
+
+
+@dataclass
+class CachedResult:
+    """One memoized execution."""
+
+    result: QueryResult
+    #: Free relation variables of the plan: what the result depends on.
+    dependencies: frozenset[str]
+    #: ``(name, version)`` snapshot the result was computed at.
+    versions: tuple[tuple[str, int], ...]
+
+
+class ResultCache:
+    """LRU result store with version-checked lookups."""
+
+    def __init__(self, capacity: int = DEFAULT_RESULT_CACHE_SIZE):
+        self._cache = LRUCache(capacity)
+
+    def lookup(self, key: ResultKey, engine: DistMuRA) -> QueryResult | None:
+        """Return the memoized result if it is still valid, else ``None``.
+
+        A version mismatch drops the entry (counted as an invalidation on
+        top of the miss the dropped lookup already recorded).
+        """
+        entry: CachedResult | None = self._cache.get(key)
+        if entry is None:
+            return None
+        if engine.relation_versions(entry.dependencies) != entry.versions:
+            self._cache.demote_hit()
+            self._cache.discard(key)
+            return None
+        return entry.result
+
+    def store(self, key: ResultKey, result: QueryResult,
+              dependencies: frozenset[str], engine: DistMuRA) -> None:
+        """Memoize ``result`` at the engine's current relation versions."""
+        self._cache.put(key, CachedResult(
+            result=result, dependencies=dependencies,
+            versions=engine.relation_versions(dependencies)))
+
+    def invalidate_relations(self, names) -> int:
+        """Eagerly drop every result depending on one of ``names``."""
+        doomed = set(names)
+        return self._cache.discard_where(
+            lambda _key, entry: bool(entry.dependencies & doomed))
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats

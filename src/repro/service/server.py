@@ -1,0 +1,380 @@
+"""The query service: concurrent, cached serving on top of :class:`DistMuRA`.
+
+:class:`QueryService` turns the single-caller engine facade into a serving
+subsystem for many concurrent clients:
+
+* **Admission control** — submissions go through a bounded queue; when it
+  is full, :meth:`QueryService.submit` rejects the query
+  (:class:`~repro.errors.ServiceOverloadError`) instead of letting work
+  pile up unboundedly.  Blocking entry points apply backpressure instead.
+* **Scheduling** — a configurable number of worker threads
+  (``max_in_flight``) drain the queue.  The *plan phase* (translation,
+  rewriting, cost ranking, cache lookups) runs concurrently across
+  workers; the *execution phase* is serialized on the engine lock so all
+  queries share the cluster's one :class:`ExecutorBackend` instead of
+  oversubscribing it (mirroring a Spark driver scheduling jobs onto one
+  fixed pool of executors).
+* **Caching** — a :class:`~repro.service.plan_cache.PlanCache` memoizes
+  the rewriter + cost-ranking decision and a
+  :class:`~repro.service.result_cache.ResultCache` memoizes whole results,
+  both keyed on canonical plan identities and invalidated through the
+  engine's relation version counters.
+* **Mutations** — :meth:`add_edges` / :meth:`remove_edges` forward to the
+  engine's mutation API under the engine lock and eagerly purge the
+  dependent cache entries.
+* **Timeouts** — a per-query deadline (``timeout`` seconds from
+  submission) maps to the benchmark harness's ``failed`` status: queries
+  that exceed it while queued are not executed at all, and queries that
+  exceed it during execution are reported failed.
+
+Typical use::
+
+    from repro import DistMuRA, QueryService
+
+    engine = DistMuRA(graph, num_workers=4, executor="threads")
+    with QueryService(engine, max_in_flight=4) as service:
+        future = service.submit("?x,?y <- ?x knows+ ?y")
+        served = future.result()
+        print(served.status, len(served.result.relation))
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..algebra.terms import Term
+from ..algebra.variables import free_variables
+from ..engine import DistMuRA, QueryResult
+from ..errors import ReproError, ServiceError, ServiceOverloadError
+from ..query.ast import UCRPQ
+from ..query.classes import classify_query
+from ..query.parser import parse_query
+from ..rewriter.normalize import canonicalize
+from .metrics import ServiceMetrics
+from .plan_cache import (DEFAULT_PLAN_CACHE_SIZE, CachedPlan, PlanCache,
+                         PlanKey)
+from .result_cache import (DEFAULT_RESULT_CACHE_SIZE, ResultCache, ResultKey)
+
+#: Serving statuses; the strings match the benchmark harness's run
+#: statuses so served results drop into the same reporting.
+OK = "ok"
+FAILED = "failed"
+
+#: Default number of queries processed concurrently.
+DEFAULT_MAX_IN_FLIGHT = 2
+#: Default bound of the admission queue.
+DEFAULT_QUEUE_CAPACITY = 64
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class ServedResult:
+    """Everything the service reports about one query."""
+
+    query_text: str
+    status: str
+    result: QueryResult | None = None
+    detail: str = ""
+    #: ``True``/``False`` when the cache was consulted, ``None`` otherwise.
+    plan_cache_hit: bool | None = None
+    result_cache_hit: bool | None = None
+    queue_wait_seconds: float = 0.0
+    #: Time spent planning + executing (excludes the queue wait).
+    service_seconds: float = 0.0
+    #: End-to-end latency: submission to completion.
+    latency_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == OK
+
+    @property
+    def rows(self) -> int:
+        return len(self.result.relation) if self.result is not None else 0
+
+
+@dataclass
+class _Task:
+    query: str | UCRPQ | Term
+    strategy: str | None
+    deadline: float | None
+    submitted_at: float
+    future: Future
+
+
+class QueryService:
+    """A concurrent, cached, admission-controlled front end to one engine.
+
+    The service does not own the engine unless ``own_engine=True``; closing
+    the service then also closes the engine (releasing executor pools).
+    """
+
+    def __init__(self, engine: DistMuRA, *,
+                 max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+                 queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                 result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+                 enable_plan_cache: bool = True,
+                 enable_result_cache: bool = True,
+                 default_timeout: float | None = None,
+                 own_engine: bool = False):
+        if max_in_flight <= 0:
+            raise ServiceError("max_in_flight must be positive")
+        if queue_capacity <= 0:
+            raise ServiceError("queue_capacity must be positive")
+        self.engine = engine
+        self.enable_plan_cache = enable_plan_cache
+        self.enable_result_cache = enable_result_cache
+        self.default_timeout = default_timeout
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        self.metrics = ServiceMetrics()
+        self._own_engine = own_engine
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        #: Serializes cluster executions and mutations: the engine facade
+        #: and its metrics are single-caller by design.
+        self._engine_lock = threading.Lock()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"query-service-{index}")
+            for index in range(max_in_flight)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- Client API -----------------------------------------------------------
+
+    def submit(self, query: str | UCRPQ | Term, strategy: str | None = None,
+               timeout: float | None = None, block: bool = False) -> Future:
+        """Enqueue a query; returns a future resolving to a :class:`ServedResult`.
+
+        With ``block=False`` (the default) a full admission queue rejects
+        the query with :class:`ServiceOverloadError`; with ``block=True``
+        the caller waits for a slot (backpressure).  ``timeout`` starts a
+        deadline at submission time (defaults to ``default_timeout``).
+        """
+        if self._closed:
+            raise ServiceError("the query service is closed")
+        timeout = timeout if timeout is not None else self.default_timeout
+        now = time.perf_counter()
+        task = _Task(query=query, strategy=strategy,
+                     deadline=now + timeout if timeout is not None else None,
+                     submitted_at=now, future=Future())
+        try:
+            self._queue.put(task, block=block)
+        except queue.Full:
+            self.metrics.record_rejected()
+            raise ServiceOverloadError(
+                f"admission queue full ({self._queue.maxsize} queued)") from None
+        if self._closed:
+            # close() may have finished between the check above and the put:
+            # the task could sit behind the shutdown markers (or in an
+            # already-drained queue) with nobody left to resolve its future.
+            # Claim it; if a worker or the close-drain got there first the
+            # claim fails and their outcome stands.
+            if task.future.set_running_or_notify_cancel():
+                task.future.set_exception(
+                    ServiceError("the query service is closed"))
+            raise ServiceError("the query service is closed")
+        self.metrics.record_submitted()
+        return task.future
+
+    def query(self, query: str | UCRPQ | Term, strategy: str | None = None,
+              timeout: float | None = None) -> ServedResult:
+        """Blocking submission: wait for a queue slot, then for the result."""
+        return self.submit(query, strategy=strategy, timeout=timeout,
+                           block=True).result()
+
+    def batch(self, queries, strategy: str | None = None,
+              timeout: float | None = None) -> list[ServedResult]:
+        """Submit many queries at once and wait for all of them (in order)."""
+        futures = [self.submit(query, strategy=strategy, timeout=timeout,
+                               block=True)
+                   for query in queries]
+        return [future.result() for future in futures]
+
+    # -- Mutations ------------------------------------------------------------
+
+    def add_edges(self, label: str, pairs) -> tuple[str, ...]:
+        """Add edges through the engine and invalidate dependent caches."""
+        return self._mutate(self.engine.add_edges, label, pairs)
+
+    def remove_edges(self, label: str, pairs) -> tuple[str, ...]:
+        """Remove edges through the engine and invalidate dependent caches."""
+        return self._mutate(self.engine.remove_edges, label, pairs)
+
+    def _mutate(self, operation, label: str, pairs) -> tuple[str, ...]:
+        with self._engine_lock:
+            touched = operation(label, pairs)
+            # Purged under the lock so no in-flight execution can interleave
+            # between the version bump and the purge.
+            self.plan_cache.invalidate_relations(touched)
+            self.result_cache.invalidate_relations(touched)
+        return touched
+
+    # -- Worker side -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._queue.get()
+            try:
+                if task is _SHUTDOWN:
+                    return
+                self._process(task)
+            finally:
+                self._queue.task_done()
+
+    def _process(self, task: _Task) -> None:
+        if not task.future.set_running_or_notify_cancel():
+            return
+        started = time.perf_counter()
+        queue_wait = started - task.submitted_at
+        if task.deadline is not None and started > task.deadline:
+            served = ServedResult(
+                query_text=_query_text(task.query), status=FAILED,
+                detail=f"timed out after {queue_wait:.3f}s in the admission "
+                       f"queue", queue_wait_seconds=queue_wait)
+        else:
+            try:
+                served = self._serve(task, queue_wait)
+            except ReproError as error:
+                served = ServedResult(query_text=_query_text(task.query),
+                                      status=FAILED, detail=str(error),
+                                      queue_wait_seconds=queue_wait)
+            except BaseException as error:  # pragma: no cover - defensive
+                task.future.set_exception(error)
+                return
+        served.service_seconds = time.perf_counter() - started
+        served.latency_seconds = queue_wait + served.service_seconds
+        if task.deadline is not None and served.status == OK \
+                and time.perf_counter() > task.deadline:
+            served.status = FAILED
+            served.detail = (f"deadline exceeded: served in "
+                             f"{served.latency_seconds:.3f}s")
+        self.metrics.record_served(
+            latency_seconds=served.latency_seconds,
+            queue_wait_seconds=served.queue_wait_seconds,
+            failed=not served.succeeded,
+            plan_cache_hit=served.plan_cache_hit,
+            result_cache_hit=served.result_cache_hit)
+        task.future.set_result(served)
+
+    def _serve(self, task: _Task, queue_wait: float) -> ServedResult:
+        engine = self.engine
+        term, classes = self._prepare(task.query)
+        plan_hit: bool | None = None
+        # -- Plan phase (concurrent across workers) ------------------------
+        if engine.optimize_plans:
+            dependencies_in = free_variables(term)
+            plan_key = PlanKey.of(engine, term, dependencies_in, task.strategy)
+            cached_plan = (self.plan_cache.get(plan_key)
+                           if self.enable_plan_cache else None)
+            if cached_plan is None:
+                best, ranked = engine.optimize(term)
+                cached_plan = CachedPlan(
+                    term=best.term, cost=best.cost, plans_explored=len(ranked),
+                    dependencies=free_variables(best.term))
+                if self.enable_plan_cache:
+                    plan_hit = False
+                    self.plan_cache.put(plan_key, cached_plan)
+            else:
+                plan_hit = True
+        else:
+            plan_key = None
+            selected = canonicalize(term)
+            cached_plan = CachedPlan(term=selected, cost=float("nan"),
+                                     plans_explored=1,
+                                     dependencies=free_variables(selected))
+        # -- Execution phase (serialized on the engine lock) ----------------
+        strategy = task.strategy if task.strategy is not None else engine.strategy
+        result_key = ResultKey(plan_key=cached_plan.term_key,
+                               strategy=strategy,
+                               num_workers=engine.cluster.num_workers,
+                               memory_per_task=engine.memory_per_task)
+        result_hit: bool | None = None
+        with self._engine_lock:
+            result = (self.result_cache.lookup(result_key, engine)
+                      if self.enable_result_cache else None)
+            if result is not None:
+                result_hit = True
+            else:
+                result = engine.execute_term(
+                    cached_plan.term, strategy=task.strategy,
+                    query_classes=classes, optimize=False)
+                # Patch in what the plan phase knew and the re-execution
+                # skipped (plan count and estimated cost of the selection).
+                result.plans_explored = cached_plan.plans_explored
+                result.estimated_cost = cached_plan.cost
+                if self.enable_result_cache:
+                    result_hit = False
+                    self.result_cache.store(result_key, result,
+                                            cached_plan.dependencies, engine)
+                if self.enable_plan_cache and plan_key is not None \
+                        and not cached_plan.physical_strategies:
+                    self.plan_cache.put(plan_key, cached_plan.with_strategies(
+                        result.physical_strategies))
+        return ServedResult(query_text=_query_text(task.query), status=OK,
+                            result=result, plan_cache_hit=plan_hit,
+                            result_cache_hit=result_hit,
+                            queue_wait_seconds=queue_wait)
+
+    def _prepare(self, query: str | UCRPQ | Term) -> tuple[Term, frozenset[str]]:
+        """Parse/translate the submission into a mu-RA term + query classes."""
+        if isinstance(query, Term):
+            return query, frozenset()
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return self.engine.translate(parsed), classify_query(parsed)
+
+    # -- Lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain queued queries, stop the workers, optionally close the engine.
+
+        Queued queries submitted before ``close`` are still served (the
+        shutdown markers sit behind them in the queue); new submissions are
+        rejected immediately.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN, block=True)
+        for worker in self._workers:
+            worker.join()
+        # A submit racing with close can slip a task in behind the shutdown
+        # markers; fail it rather than leaving its future unresolved.
+        while True:
+            try:
+                task = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if task is not _SHUTDOWN and task.future.set_running_or_notify_cancel():
+                task.future.set_exception(
+                    ServiceError("the query service is closed"))
+            self._queue.task_done()
+        if self._own_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"QueryService(workers={len(self._workers)}, "
+                f"queue={self._queue.maxsize}, "
+                f"plan_cache={self.enable_plan_cache}, "
+                f"result_cache={self.enable_result_cache})")
+
+
+def _query_text(query: str | UCRPQ | Term) -> str:
+    return query if isinstance(query, str) else str(query)

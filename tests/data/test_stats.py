@@ -1,0 +1,67 @@
+"""StatisticsCatalog invalidation/refresh semantics (mutation support)."""
+
+from __future__ import annotations
+
+from repro.cost.cost_model import CostModel
+from repro.data.relation import Relation
+from repro.data.stats import RelationStats, StatisticsCatalog
+from repro.algebra.terms import RelVar
+
+
+def edges(pairs):
+    return Relation.from_pairs(pairs, columns=("src", "trg"))
+
+
+def test_invalidate_drops_entry_and_falls_back_to_default():
+    catalog = StatisticsCatalog({"E": edges([(1, 2), (2, 3)])})
+    assert catalog.get("E").cardinality == 2
+    assert catalog.invalidate("E") is True
+    assert "E" not in catalog
+    # Conservative default, not the stale value.
+    assert catalog.get("E").cardinality == 1000
+    assert catalog.invalidate("E") is False
+
+
+def test_refresh_recomputes_statistics():
+    relation = edges([(1, 2), (2, 3)])
+    catalog = StatisticsCatalog({"E": relation})
+    grown = relation.union(edges([(3, 4), (4, 5), (5, 6)]))
+    stats = catalog.refresh("E", grown)
+    assert stats.cardinality == 5
+    assert catalog.get("E").cardinality == 5
+    assert catalog.get("E").distinct("src") == 5
+
+
+def test_refresh_registers_unknown_relation():
+    catalog = StatisticsCatalog()
+    catalog.refresh("S", edges([(1, 2)]))
+    assert catalog.get("S").cardinality == 1
+    assert "S" in catalog.names()
+
+
+def test_invalidate_does_not_touch_other_entries():
+    catalog = StatisticsCatalog({"E": edges([(1, 2)]),
+                                 "S": edges([(1, 2), (2, 3)])})
+    catalog.invalidate("E")
+    assert catalog.get("S").cardinality == 2
+
+
+def test_cost_estimates_follow_catalog_refresh():
+    """The cost model sees the new statistics after a refresh."""
+    relation = edges([(i, i + 1) for i in range(4)])
+    catalog = StatisticsCatalog({"E": relation})
+    model = CostModel(catalog=catalog)
+    cost_before = model.cost(RelVar("E"))
+    bigger = relation.union(edges([(i, i + 2) for i in range(400)]))
+    catalog.refresh("E", bigger)
+    cost_after = model.cost(RelVar("E"))
+    assert cost_after > cost_before
+
+
+def test_register_stats_overrides_computed_entry():
+    catalog = StatisticsCatalog({"E": edges([(1, 2)])})
+    catalog.register_stats("E", RelationStats(cardinality=77))
+    assert catalog.get("E").cardinality == 77
+    # refresh wins back from the relation itself.
+    catalog.refresh("E", edges([(1, 2), (2, 3)]))
+    assert catalog.get("E").cardinality == 2

@@ -1,0 +1,86 @@
+"""Regression tests for the LocalSQLEngine hash-index cache identity.
+
+The cache used to be keyed on ``id(relation)``.  CPython reuses the
+addresses of collected objects, so after a relation died a *different*
+relation could land on the same address and silently receive the dead
+relation's index — wrong join results with no error.  The cache is now
+keyed on the relation object itself (held strongly, value-based equality).
+"""
+
+from __future__ import annotations
+
+import gc
+
+from repro.data.relation import Relation
+from repro.distributed.local_engine import LocalSQLEngine, _HashIndex
+
+
+def edges(pairs):
+    return Relation.from_pairs(pairs, columns=("src", "trg"))
+
+
+def test_index_is_correct_after_id_reuse():
+    """A new relation allocated at a dead relation's address must not
+    inherit the dead relation's index (the id-keying bug)."""
+    engine = LocalSQLEngine({})
+    first = edges([(1, 2), (1, 3)])
+    stale = engine._index_for(first, ("src",))
+    assert set(stale.buckets) == {(1,)}
+    dead_id = id(first)
+    del first
+    gc.collect()
+    # Try to land a fresh relation on the reclaimed address; CPython's
+    # allocator usually reuses it immediately for same-shaped objects.
+    fresh = None
+    for _ in range(4096):
+        candidate = edges([(7, 8), (9, 10)])
+        if id(candidate) == dead_id:
+            fresh = candidate
+            break
+    if fresh is None:  # pragma: no cover - allocator did not cooperate
+        fresh = edges([(7, 8), (9, 10)])
+    index = engine._index_for(fresh, ("src",))
+    assert set(index.buckets) == {(7,), (9,)}
+    assert index.probe((1,)) == []
+
+
+def test_cache_key_holds_relation_strongly():
+    engine = LocalSQLEngine({})
+    relation = edges([(1, 2)])
+    engine._index_for(relation, ("src",))
+    (cached_relation, _columns), = engine._index_cache.keys()
+    assert cached_relation is relation
+
+
+def test_same_relation_reuses_index_per_key_columns():
+    engine = LocalSQLEngine({})
+    relation = edges([(1, 2), (2, 3)])
+    first = engine._index_for(relation, ("src",))
+    again = engine._index_for(relation, ("src",))
+    other_columns = engine._index_for(relation, ("trg",))
+    assert again is first
+    assert other_columns is not first
+    assert engine.stats.index_builds == 2
+
+
+def test_equal_valued_relation_shares_index():
+    """Value-based keying: an identical relation may share the index."""
+    engine = LocalSQLEngine({})
+    first = edges([(1, 2)])
+    twin = edges([(1, 2)])
+    assert engine._index_for(first, ("src",)) is engine._index_for(twin, ("src",))
+    assert engine.stats.index_builds == 1
+
+
+def test_distinct_relations_get_distinct_indexes():
+    engine = LocalSQLEngine({})
+    one = engine._index_for(edges([(1, 2)]), ("src",))
+    two = engine._index_for(edges([(5, 6)]), ("src",))
+    assert set(one.buckets) == {(1,)}
+    assert set(two.buckets) == {(5,)}
+
+
+def test_hash_index_probe_semantics():
+    index = _HashIndex(edges([(1, 2), (1, 3), (4, 5)]), ("src",))
+    assert sorted(index.probe((1,))) == [(1, 2), (1, 3)]
+    assert index.probe((99,)) == []

@@ -23,7 +23,7 @@ from repro.engine import DistMuRA
 from repro.query.parser import parse_query
 from repro.query.translate import translate_query
 from repro.rewriter.engine import MuRewriter
-from repro.rewriter.normalize import canonicalize
+from repro.rewriter.normalize import cache_key, canonicalize
 
 QUERIES = (
     "?x,?y <- ?x knows+ ?y",
@@ -75,6 +75,43 @@ def test_canonicalize_stable_under_variable_renaming(small_labeled_graph):
     first = closure(RelVar("knows"), var="X_7")
     second = closure(RelVar("knows"), var="X_99")
     assert canonicalize(first) == canonicalize(second)
+
+
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_cache_key_stable_across_sessions(small_labeled_graph, query_text):
+    """The same UCRPQ translated in two different sessions keys identically.
+
+    Each translation draws fresh generated column/variable names from the
+    process-global counters, so two sessions (or two translations in one
+    session) produce syntactically different terms; ``cache_key`` must
+    erase that difference — it is what makes the serving layer's plan
+    cache shareable across sessions.
+    """
+    first_session = DistMuRA(small_labeled_graph)
+    second_session = DistMuRA(small_labeled_graph)
+    first_term = first_session.translate(parse_query(query_text))
+    second_term = second_session.translate(parse_query(query_text))
+    # The raw terms genuinely differ (fresh names) ...
+    assert cache_key(first_term) == cache_key(second_term)
+    # ... and the key is exactly the printed canonical form, a plain string
+    # (stable under hash randomisation, shareable between processes).
+    assert isinstance(cache_key(first_term), str)
+    assert canonicalize(first_term) == canonicalize(second_term)
+
+
+def test_cache_key_distinguishes_different_queries(small_labeled_graph):
+    engine = DistMuRA(small_labeled_graph)
+    knows = engine.translate(parse_query("?x,?y <- ?x knows+ ?y"))
+    works = engine.translate(parse_query("?x,?y <- ?x worksAt+ ?y"))
+    assert cache_key(knows) != cache_key(works)
+
+
+def test_cache_key_invariant_under_repeated_translation(small_labeled_graph):
+    """Translating the same query many times never fragments the key."""
+    engine = DistMuRA(small_labeled_graph)
+    text = "?x,?y <- ?x knows+/livesIn ?y"
+    keys = {cache_key(engine.translate(parse_query(text))) for _ in range(5)}
+    assert len(keys) == 1
 
 
 def test_distmura_executes_any_explored_plan(small_labeled_graph, rewriter):

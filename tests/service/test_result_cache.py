@@ -1,0 +1,78 @@
+"""Result cache: memoization, version-checked validity, invalidation."""
+
+from __future__ import annotations
+
+from repro.algebra.variables import free_variables
+from repro.engine import DistMuRA
+from repro.query.parser import parse_query
+from repro.rewriter.normalize import cache_key
+from repro.service import ResultCache, ResultKey
+
+
+def make_engine(graph):
+    return DistMuRA(graph, num_workers=2)
+
+
+def run_and_store(engine, cache, text):
+    term = engine.translate(parse_query(text))
+    result = engine.execute_term(term)
+    deps = free_variables(result.selected_plan)
+    key = ResultKey(plan_key=cache_key(result.selected_plan),
+                    strategy=engine.strategy,
+                    num_workers=engine.cluster.num_workers,
+                    memory_per_task=engine.memory_per_task)
+    cache.store(key, result, deps, engine)
+    return key, result, deps
+
+
+def test_lookup_returns_memoized_result(small_labeled_graph):
+    engine = make_engine(small_labeled_graph)
+    cache = ResultCache(capacity=8)
+    key, result, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    assert cache.lookup(key, engine) is result
+    stats = cache.stats
+    assert stats.hits == 1 and stats.misses == 0
+
+
+def test_mutation_of_dependency_invalidates_on_lookup(small_labeled_graph):
+    engine = make_engine(small_labeled_graph)
+    cache = ResultCache(capacity=8)
+    key, _, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    engine.add_edges("knows", [("dave", "erin")])
+    assert cache.lookup(key, engine) is None
+    stats = cache.stats
+    # The stale entry counts as a miss plus an invalidation, never a hit.
+    assert stats.hits == 0 and stats.misses == 1 and stats.invalidations == 1
+    assert len(cache) == 0
+
+
+def test_mutation_of_unrelated_relation_keeps_entry(small_labeled_graph):
+    engine = make_engine(small_labeled_graph)
+    cache = ResultCache(capacity=8)
+    key, result, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    engine.add_edges("worksAt", [("erin", "cnrs")])
+    assert cache.lookup(key, engine) is result
+
+
+def test_eager_invalidate_relations_purges_dependents(small_labeled_graph):
+    engine = make_engine(small_labeled_graph)
+    cache = ResultCache(capacity=8)
+    knows_key, _, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    lives_key, lives_result, _ = run_and_store(engine, cache,
+                                               "?x <- ?x livesIn ?y")
+    dropped = cache.invalidate_relations(("knows",))
+    assert dropped == 1
+    assert cache.lookup(knows_key, engine) is None
+    assert cache.lookup(lives_key, engine) is lives_result
+
+
+def test_restore_after_mutation_hits_again(small_labeled_graph):
+    engine = make_engine(small_labeled_graph)
+    cache = ResultCache(capacity=8)
+    key, _, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    engine.add_edges("knows", [("dave", "erin")])
+    assert cache.lookup(key, engine) is None
+    # Re-executing at the new version re-arms the entry.
+    key2, result2, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    assert key2 == key
+    assert cache.lookup(key2, engine) is result2

@@ -1,0 +1,108 @@
+"""Concurrent differential test of the serving layer (acceptance bar).
+
+N client threads replay a mixed workload through one shared
+:class:`QueryService` with both caches enabled, with database mutations
+interleaved between replay rounds.  Every served result must be identical
+to what a *fresh, single-threaded* :class:`DistMuRA` session computes for
+the same query on the database state of that round — i.e. the scheduler,
+the caches and the invalidation machinery are not allowed to change any
+answer, only to change how fast it arrives.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import DistMuRA, QueryService
+from repro.service import OK
+
+QUERIES = (
+    "?x,?y <- ?x knows+ ?y",
+    "?x <- ?x livesIn/isLocatedIn+ europe",
+    "?x,?y <- ?x knows+/livesIn ?y",
+    "?x,?y <- ?x (knows|worksAt)+ ?y",
+    "?x <- alice knows+/worksAt ?x",
+    "?x,?y <- ?x isLocatedIn+ ?y",
+)
+
+#: (label, (src, trg)) mutations applied between replay rounds.
+MUTATIONS = (
+    ("add", "knows", (("dave", "erin"), ("erin", "alice"))),
+    ("add", "worksAt", (("carol", "cnrs"),)),
+    ("remove", "knows", (("erin", "alice"),)),
+)
+
+NUM_CLIENTS = 4
+REPLAYS_PER_CLIENT = 12
+
+
+def replay_round(service, rng_seed):
+    """Replay a shuffled query mix from NUM_CLIENTS threads; return results."""
+    rng = random.Random(rng_seed)
+    outcomes: dict[int, list] = {}
+    errors: list[BaseException] = []
+
+    def client(client_id: int) -> None:
+        local = [rng_queries[client_id][i]
+                 for i in range(REPLAYS_PER_CLIENT)]
+        try:
+            outcomes[client_id] = [
+                (text, service.query(text)) for text in local]
+        except BaseException as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    rng_queries = {
+        client_id: [rng.choice(QUERIES) for _ in range(REPLAYS_PER_CLIENT)]
+        for client_id in range(NUM_CLIENTS)
+    }
+    threads = [threading.Thread(target=client, args=(client_id,))
+               for client_id in range(NUM_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return [pair for client_id in sorted(outcomes)
+            for pair in outcomes[client_id]]
+
+
+def reference_answers(database):
+    """Fresh single-threaded engine per query on a database snapshot."""
+    answers = {}
+    for text in QUERIES:
+        with DistMuRA(dict(database), num_workers=2) as fresh:
+            answers[text] = fresh.query(text).relation
+    return answers
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+def test_concurrent_replay_with_mutations_is_differential(
+        small_labeled_graph, executor):
+    with DistMuRA(small_labeled_graph, num_workers=2,
+                  executor=executor) as engine:
+        with QueryService(engine, max_in_flight=NUM_CLIENTS,
+                          queue_capacity=NUM_CLIENTS * REPLAYS_PER_CLIENT) \
+                as service:
+            for round_index, mutation in enumerate((None,) + MUTATIONS):
+                if mutation is not None:
+                    kind, label, pairs = mutation
+                    if kind == "add":
+                        service.add_edges(label, pairs)
+                    else:
+                        service.remove_edges(label, pairs)
+                served = replay_round(service, rng_seed=100 + round_index)
+                expected = reference_answers(engine.database)
+                for text, outcome in served:
+                    assert outcome.status == OK, (text, outcome.detail)
+                    assert outcome.result.relation == expected[text], (
+                        f"round {round_index}: {text} diverged from the "
+                        f"fresh single-threaded evaluation")
+            snap = service.metrics.snapshot()
+            rounds = 1 + len(MUTATIONS)
+            assert snap.served == rounds * NUM_CLIENTS * REPLAYS_PER_CLIENT
+            # The replay repeats queries heavily: caches must actually engage.
+            assert snap.result_cache_hit_rate > 0.5
+            assert snap.plan_cache_hit_rate > 0.5

@@ -77,3 +77,51 @@ class TestIntrospection:
         engine = DistMuRA(small_labeled_graph.relations())
         result = engine.query("?x,?y <- ?x knows ?y")
         assert len(result.relation) == 3
+
+
+class TestMutations:
+    def test_add_edges_updates_forward_inverse_and_facts(self, engine):
+        before_facts = len(engine.database["facts"])
+        touched = engine.add_edges("knows", [("dave", "erin")])
+        assert set(touched) == {"knows", "-knows", "facts"}
+        assert ("dave", "erin") in engine.database["knows"].to_pairs("src", "trg")
+        assert ("erin", "dave") in engine.database["-knows"].to_pairs("src", "trg")
+        assert len(engine.database["facts"]) == before_facts + 1
+        assert engine.database_version == 1
+
+    def test_remove_edges_reverts_add(self, engine):
+        snapshot = {name: rel for name, rel in engine.database.items()}
+        engine.add_edges("knows", [("dave", "erin")])
+        engine.remove_edges("knows", [("dave", "erin")])
+        for name, relation in snapshot.items():
+            assert engine.database[name] == relation
+        assert engine.database_version == 2
+
+    def test_new_label_becomes_queryable_with_inverse(self, engine):
+        engine.add_edges("mentors", [("alice", "bob")])
+        assert len(engine.query("?x,?y <- ?x mentors ?y").relation) == 1
+        assert len(engine.query("?x,?y <- ?x -mentors ?y").relation) == 1
+
+    def test_mutating_inverse_directly_is_rejected(self, engine):
+        with pytest.raises(TranslationError):
+            engine.add_edges("-knows", [("bob", "alice")])
+
+    def test_remove_from_unknown_relation_raises(self, engine):
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            engine.remove_edges("nosuch", [("a", "b")])
+
+    def test_schema_mismatch_leaves_database_unchanged(self, small_labeled_graph):
+        """Atomicity: a rejected mutation must not partially apply."""
+        from repro import Relation
+        from repro.errors import SchemaError
+        database = {
+            "knows": Relation.from_pairs([("a", "b")], columns=("src", "trg")),
+            "-knows": Relation(("x", "y"), [("b", "a")]),
+        }
+        engine = DistMuRA(database, num_workers=2)
+        with pytest.raises(SchemaError):
+            engine.add_edges("knows", [("c", "d")])
+        assert len(engine.database["knows"]) == 1
+        assert engine.database_version == 0
+        assert engine.relation_version("knows") == 0
