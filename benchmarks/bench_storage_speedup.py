@@ -1,0 +1,135 @@
+"""Speedup of the indexed, delta-aware storage engine over the seed path.
+
+The storage engine (``repro.data.storage``) changes three things on the
+hot path of every semi-naive fixpoint: operator results are built through
+the trusted zero-copy constructor, joins against loop-invariant relations
+probe per-relation memoized hash indexes, and the accumulated result grows
+in a :class:`~repro.data.storage.DeltaAccumulator` instead of being
+re-unioned into a fresh frozenset per iteration.
+
+This benchmark runs the same transitive-closure workload — a long chain
+(deep recursion, the delta-accumulation worst case) with extra random
+edges — in both modes: the normal indexed/delta mode and the
+compatibility mode (``repro.data.storage.compatibility_mode``), which
+restores the seed's rebuild-everything behaviour.  The headline assertion
+is a >= 2x speedup; results must be bit-identical.  A second test checks
+that distributed executions surface the index build/reuse counters in
+their metrics, proving the reuse is real rather than assumed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algebra import RelVar, closure, evaluate
+from repro.bench import MeasuredRun
+from repro.data import Relation, compatibility_mode
+from repro.distributed import (PPLW_POSTGRES, SparkCluster,
+                               LocalSQLEngine, make_plan)
+
+FIGURE_TITLE = "Storage engine speedup - indexed/delta vs compatibility mode"
+
+#: Chain length: recursion depth of the closure (and the number of
+#: semi-naive iterations).  Sized so the compatibility mode's per-iteration
+#: O(|result|) union cost dominates clearly while the whole module stays a
+#: CI-friendly smoke run.
+CHAIN_LENGTH = 320
+#: Extra forward edges to thicken the deltas a little.
+EXTRA_EDGES = 80
+#: Required speedup of the indexed/delta path (acceptance bar of the
+#: storage-engine work).
+SPEEDUP_FLOOR = 2.0
+
+INDEXED = "indexed-delta"
+COMPAT = "compatibility"
+
+#: mode -> MeasuredRun, filled by the matrix test, read by the assertions.
+_RESULTS: dict[str, MeasuredRun] = {}
+
+
+@pytest.fixture(scope="module")
+def chain_database():
+    """A chain with shortcut edges: deep recursion, quadratic closure."""
+    pairs = [(i, i + 1) for i in range(CHAIN_LENGTH)]
+    step = max(2, CHAIN_LENGTH // EXTRA_EDGES)
+    pairs += [(i, i + 2) for i in range(0, CHAIN_LENGTH - 2, step)]
+    return {"E": Relation.from_pairs(pairs, columns=("src", "trg"))}
+
+
+@pytest.fixture(scope="module")
+def closure_term():
+    return closure(RelVar("E"), var="X")
+
+
+def _measure(mode: str, database, term) -> MeasuredRun:
+    started = time.perf_counter()
+    if mode == COMPAT:
+        with compatibility_mode():
+            relation = evaluate(term, database)
+    else:
+        relation = evaluate(term, database)
+    elapsed = time.perf_counter() - started
+    return MeasuredRun(system=mode, query_id="TC", dataset=f"chain-{CHAIN_LENGTH}",
+                       seconds=elapsed, rows=len(relation))
+
+
+@pytest.mark.parametrize("mode", (INDEXED, COMPAT))
+def test_transitive_closure_both_modes(benchmark, figure_report,
+                                       chain_database, closure_term, mode):
+    measured = benchmark.pedantic(
+        lambda: _measure(mode, chain_database, closure_term),
+        rounds=1, iterations=1)
+    figure_report.add(measured)
+    _RESULTS[mode] = measured
+    assert measured.rows > CHAIN_LENGTH  # the closure is much bigger than E
+
+
+def test_modes_agree_and_speedup_exceeds_floor(figure_report, chain_database,
+                                               closure_term):
+    indexed = _RESULTS.get(INDEXED)
+    compat = _RESULTS.get(COMPAT)
+    if indexed is None or compat is None:
+        pytest.skip("mode runs were deselected")
+    assert indexed.rows == compat.rows
+    speedup = compat.seconds / indexed.seconds
+    figure_report.add_section(
+        f"speedup (compatibility / indexed-delta): {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"indexed/delta path is only {speedup:.2f}x faster than the "
+        f"compatibility mode (floor {SPEEDUP_FLOOR}x)")
+
+
+def test_local_engine_speedup(figure_report, chain_database, closure_term):
+    """The per-worker engine rides the same storage layer."""
+    def run(mode: str) -> MeasuredRun:
+        engine = LocalSQLEngine(chain_database)
+        started = time.perf_counter()
+        if mode == COMPAT:
+            with compatibility_mode():
+                relation = engine.evaluate_fixpoint(closure_term)
+        else:
+            relation = engine.evaluate_fixpoint(closure_term)
+        elapsed = time.perf_counter() - started
+        return MeasuredRun(system=f"local-engine/{mode}", query_id="TC",
+                           dataset=f"chain-{CHAIN_LENGTH}", seconds=elapsed,
+                           rows=len(relation))
+
+    indexed = figure_report.add(run(INDEXED))
+    compat = figure_report.add(run(COMPAT))
+    assert indexed.rows == compat.rows
+    assert compat.seconds / indexed.seconds >= SPEEDUP_FLOOR
+
+
+def test_distributed_metrics_expose_index_reuse(chain_database, closure_term):
+    """Pplw^pg on the refactored storage reports real index reuse."""
+    cluster = SparkCluster(num_workers=4)
+    plan = make_plan(PPLW_POSTGRES, cluster, chain_database)
+    result = plan.execute(closure_term)
+    summary = cluster.metrics.summary()
+    assert summary["index_builds"] > 0
+    assert summary["index_reuses"] > summary["index_builds"], summary
+    if INDEXED in _RESULTS:
+        assert len(result) == _RESULTS[INDEXED].rows

@@ -21,11 +21,14 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from ..data import storage
 from ..data.relation import Relation
+from ..data.storage import DeltaAccumulator
 from ..errors import EvaluationError
 from .conditions import decompose
 from .terms import (AntiProject, Antijoin, Filter, Fixpoint, Join, Literal,
                     Rename, RelVar, Term, Union)
+from .variables import is_constant_in
 
 #: Safety bound on fixpoint iterations; graph reachability converges in at
 #: most |nodes| steps, so hitting this bound indicates a malformed term.
@@ -40,6 +43,12 @@ class EvaluationStats:
     fixpoints_evaluated: int = 0
     tuples_produced: int = 0
     per_fixpoint_iterations: list[int] = field(default_factory=list)
+    #: Hash-index activity of joins/antijoins against recursion-constant
+    #: operands (see :meth:`Evaluator._eval_join`): a build hashes the
+    #: constant relation, a reuse probes a table built on an earlier
+    #: iteration.  Benchmarks surface these through ClusterMetrics.
+    index_builds: int = 0
+    index_reuses: int = 0
 
     def record_fixpoint(self, iterations: int, result_size: int) -> None:
         self.fixpoints_evaluated += 1
@@ -57,6 +66,11 @@ class Evaluator:
         self.database = dict(database)
         self.max_iterations = max_iterations
         self.stats = stats if stats is not None else EvaluationStats()
+        # Recursion-constant subterms evaluate to the same relation on
+        # every fixpoint iteration (the database is a snapshot); caching
+        # them keys the join-side hash indexes to one relation object, so
+        # the index built on iteration 1 is probed on every later one.
+        self._constant_cache: dict[Term, Relation] = {}
 
     def evaluate(self, term: Term, env: Mapping[str, Relation] | None = None) -> Relation:
         """Evaluate ``term``; ``env`` binds recursive variables to relations."""
@@ -72,9 +86,9 @@ class Evaluator:
         if isinstance(term, Union):
             return self._eval(term.left, env).union(self._eval(term.right, env))
         if isinstance(term, Join):
-            return self._eval(term.left, env).natural_join(self._eval(term.right, env))
+            return self._eval_join(term, env)
         if isinstance(term, Antijoin):
-            return self._eval(term.left, env).antijoin(self._eval(term.right, env))
+            return self._eval_antijoin(term, env)
         if isinstance(term, Filter):
             return self._eval(term.child, env).filter(term.predicate)
         if isinstance(term, Rename):
@@ -95,6 +109,76 @@ class Evaluator:
             f"{sorted(self.database)[:10]}..."
         )
 
+    # -- Joins against recursion-constant operands ----------------------------
+
+    def _eval_join(self, term: Join, env: dict[str, Relation]) -> Relation:
+        """Evaluate a join; inside a recursion, index the constant side.
+
+        When exactly one operand is constant in every bound recursive
+        variable, that operand has the same value on every iteration: it is
+        evaluated once (term-keyed cache) and its hash index on the common
+        columns is warmed, so every later iteration reduces to probing with
+        the delta.
+        """
+        sides = self._constant_sides(term, env)
+        if sides is None:
+            return self._eval(term.left, env).natural_join(
+                self._eval(term.right, env))
+        constant_term, variable_term = sides
+        constant = self.evaluate_constant(constant_term)
+        variable = self._eval(variable_term, env)
+        common = tuple(c for c in variable.columns if c in constant.columns)
+        if common:
+            self._warm_index(constant, common)
+        return variable.natural_join(constant)
+
+    def _eval_antijoin(self, term: Antijoin, env: dict[str, Relation]) -> Relation:
+        left = self._eval(term.left, env)
+        if env and all(is_constant_in(term.right, var) for var in env) \
+                and not all(is_constant_in(term.left, var) for var in env):
+            right = self.evaluate_constant(term.right)
+            common = tuple(c for c in left.columns if c in right.columns)
+            if common:
+                self._warm_index(right, common)
+            return left.antijoin(right)
+        return left.antijoin(self._eval(term.right, env))
+
+    def _constant_sides(self, term: Join,
+                        env: dict[str, Relation]) -> tuple[Term, Term] | None:
+        """Return ``(constant_side, variable_side)`` or None when ambiguous."""
+        if not env:
+            return None
+        left_constant = all(is_constant_in(term.left, var) for var in env)
+        right_constant = all(is_constant_in(term.right, var) for var in env)
+        if left_constant == right_constant:
+            return None
+        if left_constant:
+            return term.left, term.right
+        return term.right, term.left
+
+    def evaluate_constant(self, term: Term) -> Relation:
+        """Evaluate a recursion-constant term, memoized on the evaluator.
+
+        Sound because the evaluator's database is a snapshot: a term with no
+        free recursive variables has the same value on every call.  The
+        distributed plans use this so the relation they broadcast (and
+        index) on iteration *n* is the same object as on iteration 1.
+        """
+        cached = self._constant_cache.get(term)
+        if cached is None:
+            cached = self._eval(term, {})
+            self._constant_cache[term] = cached
+        return cached
+
+    def _warm_index(self, relation: Relation, common: tuple[str, ...]) -> None:
+        if not storage.caching_enabled():
+            return
+        if relation.has_index(common):
+            self.stats.index_reuses += 1
+        else:
+            self.stats.index_builds += 1
+            relation.index_on(common)
+
     # -- Fixpoint -------------------------------------------------------------
 
     def _eval_fixpoint(self, term: Fixpoint, env: dict[str, Relation]) -> Relation:
@@ -104,9 +188,14 @@ class Evaluator:
             self.stats.record_fixpoint(iterations=0, result_size=len(constant))
             return constant
         variable_part = decomposition.variable_part
-        result = constant
+        # One environment for the whole loop (only the delta binding
+        # changes per iteration) and one schema check (operator output
+        # schemas depend on input schemas only, which are fixed).
+        inner_env = dict(env)
+        accumulator = DeltaAccumulator(constant)
         new = constant
         iterations = 0
+        schema_checked = False
         while new:
             iterations += 1
             if iterations > self.max_iterations:
@@ -114,17 +203,18 @@ class Evaluator:
                     f"fixpoint on {term.var!r} did not converge after "
                     f"{self.max_iterations} iterations"
                 )
-            inner_env = dict(env)
             inner_env[term.var] = new
             produced = self._eval(variable_part, inner_env)
-            if produced.columns != result.columns:
-                raise EvaluationError(
-                    f"fixpoint on {term.var!r}: the variable part produced "
-                    f"schema {produced.columns} but the constant part has "
-                    f"schema {result.columns}"
-                )
-            new = produced.difference(result)
-            result = result.union(new)
+            if not schema_checked:
+                if produced.columns != constant.columns:
+                    raise EvaluationError(
+                        f"fixpoint on {term.var!r}: the variable part produced "
+                        f"schema {produced.columns} but the constant part has "
+                        f"schema {constant.columns}"
+                    )
+                schema_checked = True
+            new = accumulator.absorb(produced)
+        result = accumulator.relation()
         self.stats.record_fixpoint(iterations=iterations, result_size=len(result))
         return result
 

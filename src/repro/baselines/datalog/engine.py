@@ -2,10 +2,16 @@
 
 This is the evaluation core of the BigDatalog baseline: a bottom-up,
 set-oriented, semi-naive engine.  Facts are tuples stored per predicate;
-rule bodies are evaluated left-to-right with hash indexes built on the
-bound argument positions.  Recursive predicates are evaluated with deltas
-(only rules with at least one delta occurrence re-fire), exactly like the
+rule bodies are evaluated left-to-right with hash indexes on the bound
+argument positions.  Recursive predicates are evaluated with deltas (only
+rules with at least one delta occurrence re-fire), exactly like the
 differential evaluation of Algorithm 1 in the paper.
+
+The indexes over the full (non-delta) fact sets are **incremental**: they
+come from the shared storage layer (:class:`repro.data.storage.HashIndex`),
+are built once per (predicate, bound positions) and are *extended* with the
+new facts of each iteration instead of being rebuilt from scratch — the
+Datalog mirror of the delta-aware relation storage.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
+from ...data import storage
+from ...data.storage import HashIndex
 from ...errors import DatalogError
 from .ast import Atom, Const, Program, Rule, Var
 
@@ -27,6 +35,8 @@ class DatalogStats:
     iterations: int = 0
     facts_derived: int = 0
     rule_firings: int = 0
+    index_builds: int = 0
+    index_reuses: int = 0
     per_predicate_sizes: dict[str, int] = field(default_factory=dict)
 
     def record_sizes(self, facts: Mapping[str, FactSet]) -> None:
@@ -42,6 +52,13 @@ class SemiNaiveEngine:
         #: failure (the red crosses of the paper's charts).
         self.max_facts = max_facts
         self.stats = DatalogStats()
+        #: predicate -> bound positions -> incremental index over the
+        #: predicate's full fact set.  Reset per evaluation; extended (not
+        #: rebuilt) as new facts are derived.
+        self._fact_indexes: dict[str, dict[tuple[int, ...], HashIndex]] = {}
+        #: predicate -> arity its cached indexes were validated against;
+        #: rows arriving later through the extend path are checked too.
+        self._index_arity: dict[str, int] = {}
 
     # -- Public API -----------------------------------------------------------
 
@@ -51,6 +68,8 @@ class SemiNaiveEngine:
         Returns the full database (EDB + derived IDB predicates).
         """
         facts: Database = {name: set(map(tuple, rows)) for name, rows in edb.items()}
+        self._fact_indexes = {}
+        self._index_arity = {}
         idb = program.idb_predicates()
         for predicate in idb:
             facts.setdefault(predicate, set())
@@ -66,6 +85,7 @@ class SemiNaiveEngine:
             produced = self._fire(rule, facts, None, None)
             new = produced - facts[rule.head.predicate]
             facts[rule.head.predicate] |= new
+            self._extend_indexes(rule.head.predicate, new)
             deltas[rule.head.predicate] |= new
         self.stats.iterations += 1
         self._check_budget(facts)
@@ -88,6 +108,7 @@ class SemiNaiveEngine:
                     new = produced - facts[rule.head.predicate]
                     if new:
                         facts[rule.head.predicate] |= new
+                        self._extend_indexes(rule.head.predicate, new)
                         new_deltas[rule.head.predicate] |= new
             deltas = new_deltas
             self._check_budget(facts)
@@ -109,10 +130,12 @@ class SemiNaiveEngine:
             if not bindings:
                 return set()
             if index == pivot_index and pivot_delta is not None:
-                rows = pivot_delta
+                # Delta sets are one-iteration transients: indexed ad hoc,
+                # never cached.
+                bindings = self._match_atom(atom, pivot_delta, bindings)
             else:
-                rows = facts.get(atom.predicate, set())
-            bindings = self._match_atom(atom, rows, bindings)
+                bindings = self._match_atom(atom, facts.get(atom.predicate, set()),
+                                            bindings, store_predicate=atom.predicate)
         produced: FactSet = set()
         for binding in bindings:
             produced.add(self._instantiate(rule.head, binding))
@@ -120,25 +143,26 @@ class SemiNaiveEngine:
         return produced
 
     def _match_atom(self, atom: Atom, rows: FactSet,
-                    bindings: list[dict[Var, object]]) -> list[dict[Var, object]]:
-        """Extend every binding with the matches of one atom."""
+                    bindings: list[dict[Var, object]],
+                    store_predicate: str | None = None) -> list[dict[Var, object]]:
+        """Extend every binding with the matches of one atom.
+
+        The bound positions are the same for every binding (they depend on
+        which variables previous atoms introduced), so the fact set is
+        indexed on them once.  For persistent predicates
+        (``store_predicate``) the index comes from the incremental
+        per-predicate cache: built on the first firing that needs it,
+        extended in O(|new facts|) as the evaluation derives more.
+        """
         if not bindings:
             return []
-        # The bound positions are the same for every binding (they depend on
-        # which variables previous atoms introduced), so compute them once
-        # and index the fact set on them.
         sample = bindings[0]
         bound_positions = []
         for position, arg in enumerate(atom.args):
             if isinstance(arg, Const) or (isinstance(arg, Var) and arg in sample):
                 bound_positions.append(position)
-        index: dict[tuple, list[tuple]] = {}
-        for row in rows:
-            if len(row) != atom.arity:
-                raise DatalogError(
-                    f"fact {row!r} does not match arity of {atom}")
-            key = tuple(row[i] for i in bound_positions)
-            index.setdefault(key, []).append(row)
+        index = self._index_for(atom, rows, tuple(bound_positions),
+                                store_predicate)
         results: list[dict[Var, object]] = []
         for binding in bindings:
             key = tuple(
@@ -146,11 +170,61 @@ class SemiNaiveEngine:
                 else binding[atom.args[i]]
                 for i in bound_positions
             )
-            for row in index.get(key, ()):
+            for row in index.probe(key):
                 extended = self._extend(atom, row, binding)
                 if extended is not None:
                     results.append(extended)
         return results
+
+    # -- Incremental fact indexes ------------------------------------------------
+
+    def _index_for(self, atom: Atom, rows: FactSet,
+                   positions: tuple[int, ...],
+                   store_predicate: str | None) -> HashIndex:
+        """Index ``rows`` on ``positions``, caching persistent predicates."""
+        if store_predicate is None or not storage.caching_enabled():
+            self._check_arity(atom, rows)
+            return HashIndex(rows, positions)
+        per_predicate = self._fact_indexes.setdefault(store_predicate, {})
+        index = per_predicate.get(positions)
+        if index is None:
+            self._check_arity(atom, rows)
+            self._index_arity.setdefault(store_predicate, atom.arity)
+            index = HashIndex(rows, positions)
+            per_predicate[positions] = index
+            self.stats.index_builds += 1
+        else:
+            self.stats.index_reuses += 1
+        return index
+
+    def _extend_indexes(self, predicate: str, new_rows: FactSet) -> None:
+        """Delta-maintain every cached index of a predicate that just grew.
+
+        Rows entering a cached index after its build are validated here, so
+        an arity-inconsistent program fails with the same clear
+        :class:`DatalogError` the per-match validation used to raise.
+        """
+        if not new_rows:
+            return
+        indexes = self._fact_indexes.get(predicate)
+        if not indexes:
+            return
+        arity = self._index_arity.get(predicate)
+        if arity is not None:
+            for row in new_rows:
+                if len(row) != arity:
+                    raise DatalogError(
+                        f"fact {row!r} does not match arity {arity} of "
+                        f"predicate {predicate!r}")
+        for index in indexes.values():
+            index.extend(new_rows)
+
+    @staticmethod
+    def _check_arity(atom: Atom, rows: FactSet) -> None:
+        for row in rows:
+            if len(row) != atom.arity:
+                raise DatalogError(
+                    f"fact {row!r} does not match arity of {atom}")
 
     @staticmethod
     def _extend(atom: Atom, row: tuple,

@@ -7,13 +7,17 @@ from .predicates import (And, ColumnEq, Compare, Eq, In, Not, Or, Predicate,
                          TruePredicate, conjunction)
 from .relation import Relation
 from .stats import RelationStats, StatisticsCatalog
+from .storage import (DeltaAccumulator, HashIndex, RelationBuilder,
+                      caching_enabled, compatibility_mode, set_caching_enabled)
 from .tuples import Tup
 
 __all__ = [
     "And",
     "ColumnEq",
     "Compare",
+    "DeltaAccumulator",
     "Eq",
+    "HashIndex",
     "In",
     "INVERSE_PREFIX",
     "LabeledGraph",
@@ -22,13 +26,17 @@ __all__ = [
     "PRED",
     "Predicate",
     "Relation",
+    "RelationBuilder",
     "RelationStats",
     "SRC",
     "StatisticsCatalog",
     "TRG",
     "TruePredicate",
     "Tup",
+    "caching_enabled",
+    "compatibility_mode",
     "conjunction",
+    "set_caching_enabled",
     "read_graph_tsv",
     "read_relation_tsv",
     "write_graph_tsv",

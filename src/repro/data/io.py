@@ -15,6 +15,7 @@ from typing import Any
 from ..errors import DatasetError
 from .graph import LabeledGraph
 from .relation import Relation
+from .storage import RelationBuilder
 
 
 def write_relation_tsv(relation: Relation, path: str | Path) -> None:
@@ -45,14 +46,20 @@ def read_relation_tsv(path: str | Path, types: dict[str, type] | None = None) ->
             raise DatasetError(f"relation file {path} is empty") from exc
         columns = tuple(header)
         converters = [types.get(c, str) if types else str for c in columns]
-        rows = []
+        # Ingestion goes through the validating builder: rows are checked
+        # (and realigned to the sorted schema, whatever the header order)
+        # here, once, and the relation is materialized through the trusted
+        # path.
+        builder = RelationBuilder(columns)
         for cells in reader:
             if len(cells) != len(columns):
                 raise DatasetError(
                     f"row {cells!r} in {path} does not match header {columns}"
                 )
-            rows.append(tuple(conv(cell) for conv, cell in zip(converters, cells)))
-    return Relation(columns, rows)
+            builder.add_mapping({
+                column: conv(cell)
+                for column, conv, cell in zip(columns, converters, cells)})
+    return builder.build()
 
 
 def write_graph_tsv(graph: LabeledGraph, path: str | Path) -> None:

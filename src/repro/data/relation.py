@@ -5,6 +5,14 @@ names).  Internally rows are stored as plain Python tuples of values aligned
 with the *sorted* schema — this keeps equality, union and difference cheap
 and makes the set semantics of mu-RA (no duplicates) automatic.
 
+Storage discipline (see :mod:`repro.data.storage`): the validating
+constructor runs only at ingestion.  Every operator builds its result
+through the trusted zero-copy path (:meth:`Relation._from_trusted`) because
+operator outputs are aligned by construction, and joins/antijoins probe
+per-relation **memoized hash indexes** (:meth:`Relation.index_on`) — built
+once, reused for every later join on the same columns, which is what makes
+semi-naive loops against a loop-invariant relation cheap.
+
 The class implements every operator of the mu-RA grammar except the fixpoint
 (which is a property of terms, not of single relations):
 
@@ -24,7 +32,9 @@ from collections.abc import Callable, Iterable, Iterator, Mapping
 from typing import Any
 
 from ..errors import SchemaError
-from .predicates import Predicate
+from . import storage
+from .predicates import Eq, Predicate
+from .storage import HashIndex
 from .tuples import Tup
 
 Row = tuple
@@ -40,7 +50,7 @@ class Relation:
     2
     """
 
-    __slots__ = ("_columns", "_rows")
+    __slots__ = ("_columns", "_rows", "_index_cache")
 
     def __init__(self, columns: Iterable[str], rows: Iterable[Row] = ()):  # noqa: D107
         ordered = tuple(sorted(columns))
@@ -61,8 +71,26 @@ class Relation:
                 )
             row_set.add(row)
         self._rows = frozenset(row_set)
+        self._index_cache: dict[tuple[str, ...], HashIndex] | None = None
 
     # -- Constructors -----------------------------------------------------
+
+    @classmethod
+    def _from_trusted(cls, columns: tuple[str, ...],
+                      rows: frozenset[Row] | Iterable[Row]) -> "Relation":
+        """Zero-copy constructor for rows that are aligned by construction.
+
+        ``columns`` must already be the sorted schema tuple and every row a
+        tuple of matching width — which is true for the output of every
+        operator below.  No validation or re-tupling happens; a frozenset is
+        adopted as-is.  External data must go through the validating
+        constructor (or :class:`~repro.data.storage.RelationBuilder`).
+        """
+        relation = cls.__new__(cls)
+        relation._columns = columns
+        relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        relation._index_cache = None
+        return relation
 
     @classmethod
     def from_dicts(cls, dicts: Iterable[Mapping[str, Any]],
@@ -106,6 +134,18 @@ class Relation:
     def empty(cls, columns: Iterable[str]) -> "Relation":
         """Return the empty relation over the given schema."""
         return cls(columns, ())
+
+    # -- Pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        # Indexes are derived data: rebuilt on demand, never shipped (a
+        # process-pool task would pay serialization for tables it can
+        # rebuild in linear time).
+        return (self._columns, self._rows)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._columns, self._rows = state
+        self._index_cache = None
 
     # -- Basic accessors ---------------------------------------------------
 
@@ -169,22 +209,70 @@ class Relation:
         index = self._columns.index(column)
         return {row[index] for row in self._rows}
 
+    # -- Hash indexes -------------------------------------------------------
+
+    def index_on(self, key_columns: Iterable[str]) -> HashIndex:
+        """Return a hash index of the rows on ``key_columns``.
+
+        The index is memoized on the relation (immutable data, so it never
+        goes stale): the first call builds it, every later call on the same
+        columns returns the cached table.  Joins, antijoins and equality
+        filters probe these indexes, so a loop-invariant relation is hashed
+        once per key instead of once per iteration.  With caching disabled
+        (:func:`repro.data.storage.compatibility_mode`) a fresh index is
+        built on every call and nothing is retained.
+        """
+        key = tuple(key_columns)
+        missing = set(key) - set(self._columns)
+        if missing:
+            raise SchemaError(f"cannot index on missing columns {sorted(missing)} "
+                              f"(schema is {self._columns})")
+        if not storage.caching_enabled():
+            # Compatibility mode builds from scratch even when a memoized
+            # index exists (warmed before the mode was entered), so the
+            # measured baseline really pays the seed-era costs.
+            return HashIndex(self._rows,
+                             tuple(self._columns.index(c) for c in key))
+        cache = self._index_cache
+        if cache is not None:
+            index = cache.get(key)
+            if index is not None:
+                return index
+        positions = tuple(self._columns.index(c) for c in key)
+        index = HashIndex(self._rows, positions)
+        if cache is None:
+            cache = self._index_cache = {}
+        cache[key] = index
+        return index
+
+    def has_index(self, key_columns: Iterable[str]) -> bool:
+        """True when an index on ``key_columns`` is already memoized.
+
+        Always False in compatibility mode: the fast paths that key off an
+        existing index (join build-side preference, the equality-filter
+        probe) must not fire while caching is disabled.
+        """
+        if not storage.caching_enabled():
+            return False
+        cache = self._index_cache
+        return cache is not None and tuple(key_columns) in cache
+
     # -- mu-RA operators ----------------------------------------------------
 
     def union(self, other: "Relation") -> "Relation":
         """Set union; both relations must have the same schema."""
         self._require_same_schema(other, "union")
-        return Relation(self._columns, self._rows | other._rows)
+        return Relation._from_trusted(self._columns, self._rows | other._rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference; both relations must have the same schema."""
         self._require_same_schema(other, "difference")
-        return Relation(self._columns, self._rows - other._rows)
+        return Relation._from_trusted(self._columns, self._rows - other._rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection; both relations must have the same schema."""
         self._require_same_schema(other, "intersection")
-        return Relation(self._columns, self._rows & other._rows)
+        return Relation._from_trusted(self._columns, self._rows & other._rows)
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural join on the common columns.
@@ -195,26 +283,35 @@ class Relation:
         common = tuple(c for c in self._columns if c in other._columns)
         out_columns = tuple(sorted(set(self._columns) | set(other._columns)))
         if not common:
-            rows = []
             combine = _row_combiner(self._columns, other._columns, out_columns)
-            for left in self._rows:
-                for right in other._rows:
-                    rows.append(combine(left, right))
-            return Relation(out_columns, rows)
+            right_rows = other._rows
+            return Relation._from_trusted(out_columns, frozenset(
+                combine(left, right)
+                for left in self._rows for right in right_rows))
 
-        # Hash join: build on the smaller side, probe with the larger one.
-        build, probe = (self, other) if len(self) <= len(other) else (other, self)
-        build_key = _key_extractor(build._columns, common)
-        probe_key = _key_extractor(probe._columns, common)
-        table: dict[Row, list[Row]] = {}
-        for row in build._rows:
-            table.setdefault(build_key(row), []).append(row)
+        # Hash join.  A side that already carries a memoized index on the
+        # common columns is the build side regardless of size: probing a
+        # prebuilt table beats rebuilding a smaller one, and in semi-naive
+        # loops the indexed side is the loop-invariant relation.  Otherwise
+        # build on the smaller side, as before.
+        if other.has_index(common):
+            build, probe = other, self
+        elif self.has_index(common):
+            build, probe = self, other
+        elif len(self) <= len(other):
+            build, probe = self, other
+        else:
+            build, probe = other, self
+        index = build.index_on(common)
+        probe_positions = tuple(probe._columns.index(c) for c in common)
         combine = _row_combiner(probe._columns, build._columns, out_columns)
-        rows = []
+        rows = set()
+        add = rows.add
         for row in probe._rows:
-            for match in table.get(probe_key(row), ()):
-                rows.append(combine(row, match))
-        return Relation(out_columns, rows)
+            key = tuple(row[i] for i in probe_positions)
+            for match in index.probe(key):
+                add(combine(row, match))
+        return Relation._from_trusted(out_columns, rows)
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Return the tuples of ``self`` with no join partner in ``other``.
@@ -226,23 +323,38 @@ class Relation:
         if not common:
             # With no common column, any tuple of ``other`` matches: the
             # antijoin is empty unless ``other`` itself is empty.
-            return self if not other._rows else Relation(self._columns, ())
-        self_key = _key_extractor(self._columns, common)
-        other_key = _key_extractor(other._columns, common)
-        present = {other_key(row) for row in other._rows}
-        rows = [row for row in self._rows if self_key(row) not in present]
-        return Relation(self._columns, rows)
+            return self if not other._rows else Relation._from_trusted(
+                self._columns, frozenset())
+        self_positions = tuple(self._columns.index(c) for c in common)
+        if storage.caching_enabled():
+            # Key membership via the memoized index: shared with joins on
+            # the same columns and reused across iterations.
+            present: HashIndex | set = other.index_on(common)
+        else:
+            other_key = _key_extractor(other._columns, common)
+            present = {other_key(row) for row in other._rows}
+        return Relation._from_trusted(self._columns, frozenset(
+            row for row in self._rows
+            if tuple(row[i] for i in self_positions) not in present))
 
     def filter(self, predicate: Predicate) -> "Relation":
         """Keep only the rows satisfying ``predicate`` (sigma operator)."""
+        if isinstance(predicate, Eq) and self.has_index((predicate.column,)):
+            # Equality filter on an already-indexed column: one probe
+            # instead of a scan.  Indexes are never *built* for a filter —
+            # a one-off scan is cheaper than hashing the whole relation.
+            index = self.index_on((predicate.column,))
+            return Relation._from_trusted(
+                self._columns, frozenset(index.probe((predicate.value,))))
         check = predicate.compile(self._columns)
-        return Relation(self._columns, (row for row in self._rows if check(row)))
+        return Relation._from_trusted(self._columns, frozenset(
+            row for row in self._rows if check(row)))
 
     def filter_callable(self, fn: Callable[[dict[str, Any]], bool]) -> "Relation":
         """Filter with an arbitrary Python callable over dictionary rows."""
         columns = self._columns
-        rows = (row for row in self._rows if fn(dict(zip(columns, row))))
-        return Relation(columns, rows)
+        return Relation._from_trusted(columns, frozenset(
+            row for row in self._rows if fn(dict(zip(columns, row)))))
 
     def rename(self, old: str, new: str) -> "Relation":
         """Rename column ``old`` to ``new`` (rho operator)."""
@@ -255,8 +367,8 @@ class Relation:
             raise SchemaError(f"cannot rename {old!r} to existing column {new!r}")
         new_columns = tuple(sorted(new if c == old else c for c in self._columns))
         mapping = [self._columns.index(c if c != new else old) for c in new_columns]
-        rows = (tuple(row[i] for i in mapping) for row in self._rows)
-        return Relation(new_columns, rows)
+        return Relation._from_trusted(new_columns, frozenset(
+            tuple(row[i] for i in mapping) for row in self._rows))
 
     def rename_many(self, mapping: Mapping[str, str]) -> "Relation":
         """Apply several renamings at once (applied simultaneously)."""
@@ -268,8 +380,8 @@ class Relation:
         ordered = tuple(sorted(result_columns))
         source_for = {new: old for old, new in zip(self._columns, result_columns)}
         indices = [self._columns.index(source_for[c]) for c in ordered]
-        rows = (tuple(row[i] for i in indices) for row in self._rows)
-        return Relation(ordered, rows)
+        return Relation._from_trusted(ordered, frozenset(
+            tuple(row[i] for i in indices) for row in self._rows))
 
     def antiproject(self, columns: Iterable[str] | str) -> "Relation":
         """Drop the given column(s) (pi-tilde operator), deduplicating rows."""
@@ -282,8 +394,8 @@ class Relation:
                               f"(schema is {self._columns})")
         kept = tuple(c for c in self._columns if c not in dropped)
         indices = [self._columns.index(c) for c in kept]
-        rows = (tuple(row[i] for i in indices) for row in self._rows)
-        return Relation(kept, rows)
+        return Relation._from_trusted(kept, frozenset(
+            tuple(row[i] for i in indices) for row in self._rows))
 
     def project(self, columns: Iterable[str]) -> "Relation":
         """Keep only the given columns (classic projection, deduplicated)."""
@@ -293,8 +405,8 @@ class Relation:
             raise SchemaError(f"cannot project on missing columns {sorted(missing)} "
                               f"(schema is {self._columns})")
         indices = [self._columns.index(c) for c in kept]
-        rows = (tuple(row[i] for i in indices) for row in self._rows)
-        return Relation(kept, rows)
+        return Relation._from_trusted(kept, frozenset(
+            tuple(row[i] for i in indices) for row in self._rows))
 
     # -- Partitioning helpers (used by the distributed runtime) -------------
 
@@ -305,7 +417,8 @@ class Relation:
         buckets: list[list[Row]] = [[] for _ in range(parts)]
         for index, row in enumerate(sorted(self._rows, key=repr)):
             buckets[index % parts].append(row)
-        return [Relation(self._columns, bucket) for bucket in buckets]
+        return [Relation._from_trusted(self._columns, frozenset(bucket))
+                for bucket in buckets]
 
     def split_by_columns(self, columns: Iterable[str], parts: int) -> list["Relation"]:
         """Hash-partition the relation on the given columns.
@@ -324,7 +437,8 @@ class Relation:
         buckets: list[list[Row]] = [[] for _ in range(parts)]
         for row in self._rows:
             buckets[hash(extract(row)) % parts].append(row)
-        return [Relation(self._columns, bucket) for bucket in buckets]
+        return [Relation._from_trusted(self._columns, frozenset(bucket))
+                for bucket in buckets]
 
     # -- Internal helpers ----------------------------------------------------
 

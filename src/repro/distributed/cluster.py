@@ -87,6 +87,12 @@ class ClusterMetrics:
     task_seconds_per_worker: dict[int, float] = field(default_factory=dict)
     #: CPU seconds of the single slowest task seen (the straggler).
     slowest_task_seconds: float = 0.0
+    #: Storage-layer hash indexes built during the execution vs. served
+    #: from a relation's memoized cache (see Relation.index_on): a high
+    #: reuse count is the signature of the delta-aware storage engine —
+    #: loop-invariant relations are hashed once, then only probed.
+    index_builds: int = 0
+    index_reuses: int = 0
 
     def record_worker_tuples(self, worker_id: int, count: int) -> None:
         current = self.tuples_processed_per_worker.get(worker_id, 0)
@@ -149,6 +155,8 @@ class ClusterMetrics:
             "total_task_seconds": round(self.total_task_seconds, 6),
             "slowest_task_seconds": round(self.slowest_task_seconds, 6),
             "compute_skew": round(self.compute_skew(), 3),
+            "index_builds": self.index_builds,
+            "index_reuses": self.index_reuses,
         }
 
 
@@ -279,6 +287,14 @@ class SparkCluster:
     def record_worker_tuples(self, worker_id: int, count: int) -> None:
         with self._lock:
             self.metrics.record_worker_tuples(worker_id, count)
+
+    def record_index_event(self, built: bool) -> None:
+        """Record one storage-layer index interaction (build or cache hit)."""
+        with self._lock:
+            if built:
+                self.metrics.index_builds += 1
+            else:
+                self.metrics.index_reuses += 1
 
     @property
     def simulated_communication_delay(self) -> float:

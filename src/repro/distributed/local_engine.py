@@ -29,6 +29,7 @@ from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
                              Literal, Rename, RelVar, Term, Union)
 from ..algebra.variables import is_constant_in
 from ..data.relation import Relation
+from ..data.storage import DeltaAccumulator, HashIndex
 from ..errors import DistributionError, EvaluationError
 
 #: Safety bound on local fixpoint iterations.
@@ -42,24 +43,9 @@ class LocalExecutionStats:
     iterations: int = 0
     tuples_produced: int = 0
     index_builds: int = 0
+    index_reuses: int = 0
     indexed_probes: int = 0
     tables_registered: int = 0
-
-
-class _HashIndex:
-    """A hash index of a relation on a tuple of key columns."""
-
-    def __init__(self, relation: Relation, key_columns: tuple[str, ...]):
-        self.key_columns = key_columns
-        self.relation_columns = relation.columns
-        indices = [relation.columns.index(column) for column in key_columns]
-        self.buckets: dict[tuple, list[tuple]] = {}
-        for row in relation.rows:
-            key = tuple(row[i] for i in indices)
-            self.buckets.setdefault(key, []).append(row)
-
-    def probe(self, key: tuple) -> list[tuple]:
-        return self.buckets.get(key, [])
 
 
 class LocalSQLEngine:
@@ -74,12 +60,6 @@ class LocalSQLEngine:
         self.stats = LocalExecutionStats()
         self.stats.tables_registered = len(self.database)
         self._constant_cache: dict[Term, Relation] = {}
-        # Keyed on the relation object itself (held strongly), not on
-        # id(relation): CPython reuses addresses of collected objects, so an
-        # id-based key could silently serve a stale index built for a dead
-        # relation.  Relation equality/hash are value-based, which is also
-        # semantically right: an identical relation may share the index.
-        self._index_cache: dict[tuple[Relation, tuple[str, ...]], _HashIndex] = {}
 
     # -- Public API -----------------------------------------------------------
 
@@ -112,9 +92,11 @@ class LocalSQLEngine:
     def _semi_naive(self, decomposition: Decomposition, seed: Relation) -> Relation:
         var = decomposition.var
         variable_part = decomposition.variable_part
-        result = seed
+        accumulator = DeltaAccumulator(seed)
         delta = seed
+        env: dict[str, Relation] = {}
         iterations = 0
+        schema_checked = False
         limit = (self.max_iterations if self.max_iterations is not None
                  else MAX_LOCAL_ITERATIONS)
         while delta:
@@ -123,13 +105,17 @@ class LocalSQLEngine:
                 raise EvaluationError(
                     f"local fixpoint on {var!r} did not converge "
                     f"within {limit} iterations")
-            produced = self._evaluate(variable_part, {var: delta})
-            if produced.columns != result.columns:
-                raise EvaluationError(
-                    f"local fixpoint on {var!r}: variable part schema "
-                    f"{produced.columns} differs from seed schema {result.columns}")
-            delta = produced.difference(result)
-            result = result.union(delta)
+            env[var] = delta
+            produced = self._evaluate(variable_part, env)
+            if not schema_checked:
+                if produced.columns != seed.columns:
+                    raise EvaluationError(
+                        f"local fixpoint on {var!r}: variable part schema "
+                        f"{produced.columns} differs from seed schema "
+                        f"{seed.columns}")
+                schema_checked = True
+            delta = accumulator.absorb(produced)
+        result = accumulator.relation()
         self.stats.iterations += iterations
         self.stats.tuples_produced += len(result)
         return result
@@ -199,22 +185,31 @@ class LocalSQLEngine:
                 plan.append((0, probe.columns.index(column)))
             else:
                 plan.append((1, build_relation.columns.index(column)))
-        rows = []
+        rows = set()
         for row in probe.rows:
             key = tuple(row[i] for i in probe_indices)
             for match in index.probe(key):
-                rows.append(tuple(row[i] if side == 0 else match[i]
-                                  for side, i in plan))
+                rows.add(tuple(row[i] if side == 0 else match[i]
+                               for side, i in plan))
             self.stats.indexed_probes += 1
-        return Relation(output_columns, rows)
+        return Relation._from_trusted(output_columns, rows)
 
     def _index_for(self, relation: Relation,
-                   key_columns: tuple[str, ...]) -> _HashIndex:
-        cache_key = (relation, key_columns)
-        if cache_key not in self._index_cache:
-            self._index_cache[cache_key] = _HashIndex(relation, key_columns)
+                   key_columns: tuple[str, ...]) -> HashIndex:
+        """Return the shared per-relation index, counting builds vs reuses.
+
+        The index lives *on the relation object* (see
+        :meth:`repro.data.relation.Relation.index_on`), not in an
+        engine-private cache: it cannot outlive its data — the
+        stale-index-after-GC-address-reuse failure mode of the earlier
+        ``id()``-keyed cache is structurally impossible — and any other
+        layer joining the same relation reuses the same table.
+        """
+        if relation.has_index(key_columns):
+            self.stats.index_reuses += 1
+        else:
             self.stats.index_builds += 1
-        return self._index_cache[cache_key]
+        return relation.index_on(key_columns)
 
 
 # -- SQL rendering ----------------------------------------------------------------

@@ -76,10 +76,10 @@ class DistributedRelation:
 
     def collect(self) -> Relation:
         """Bring every partition back to the driver (deduplicating)."""
-        result = Relation.empty(self.columns)
+        rows: set = set()
         for partition in self.partitions:
-            result = result.union(partition)
-        return result
+            rows.update(partition.rows)
+        return Relation._from_trusted(self.columns, rows)
 
     def is_empty(self) -> bool:
         return all(len(partition) == 0 for partition in self.partitions)
@@ -194,4 +194,4 @@ class SetRDD(DistributedRelation):
         rows: set = set()
         for partition in self.partitions:
             rows.update(partition.rows)
-        return Relation(self.columns, rows)
+        return Relation._from_trusted(self.columns, rows)

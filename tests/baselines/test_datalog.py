@@ -56,6 +56,38 @@ class TestSemiNaiveEngine:
             SemiNaiveEngine(max_facts=100).evaluate(
                 transitive_closure_program(), edb)
 
+    def test_malformed_edb_arity_rejected(self):
+        edb = {"edge": {(1, 2), (3, 4, 5)}}
+        with pytest.raises(DatalogError):
+            SemiNaiveEngine().evaluate(transitive_closure_program(), edb)
+
+    def test_arity_inconsistent_derivations_rejected(self):
+        """Facts derived *after* an index was built are validated on the
+        incremental extend path, not only at build time."""
+        x, y, z = Var("x"), Var("y"), Var("z")
+        program = Program(goal="p")
+        # p first derives pairs (indexes get built for arity 2), then a
+        # second head of arity 1 starts producing mismatched facts.
+        program.add(Rule(Atom("p", (x, y)), (Atom("edge", (x, y)),)))
+        program.add(Rule(Atom("q", (x, y)),
+                         (Atom("p", (x, z)), Atom("edge", (z, y)))))
+        program.add(Rule(Atom("p", (x,)), (Atom("q", (x, y)),)))
+        with pytest.raises(DatalogError):
+            SemiNaiveEngine().evaluate(program, {"edge": {(1, 2), (2, 3)}})
+
+    def test_incremental_indexes_match_rebuild_results(self):
+        """Index build/reuse counters move, answers do not."""
+        edb = {"edge": {(i, i + 1) for i in range(20)}}
+        engine = SemiNaiveEngine()
+        facts = engine.evaluate(transitive_closure_program(), edb)
+        assert engine.stats.index_builds > 0
+        assert engine.stats.index_reuses > engine.stats.index_builds
+        from repro.data import compatibility_mode
+        with compatibility_mode():
+            reference = SemiNaiveEngine().evaluate(
+                transitive_closure_program(), edb)
+        assert facts["tc"] == reference["tc"]
+
 
 class TestMagicSets:
     def test_bound_first_argument_is_specialized(self):

@@ -1,18 +1,24 @@
-"""Regression tests for the LocalSQLEngine hash-index cache identity.
+"""Regression tests for the hash-index cache identity, on the shared layer.
 
-The cache used to be keyed on ``id(relation)``.  CPython reuses the
-addresses of collected objects, so after a relation died a *different*
-relation could land on the same address and silently receive the dead
-relation's index — wrong join results with no error.  The cache is now
-keyed on the relation object itself (held strongly, value-based equality).
+History: the LocalSQLEngine cache was first keyed on ``id(relation)``.
+CPython reuses the addresses of collected objects, so after a relation died
+a *different* relation could land on the same address and silently receive
+the dead relation's index — wrong join results with no error.  PR 2 re-keyed
+the cache on the relation object; this PR moves the index onto the relation
+itself (``Relation.index_on`` memoizes on the instance), which makes the
+failure mode structurally impossible: an index cannot outlive its relation
+because it *is part of* the relation.  These tests pin that property and
+the engine's build/reuse accounting on top of the shared layer.
 """
 
 from __future__ import annotations
 
 import gc
+import pickle
 
 from repro.data.relation import Relation
-from repro.distributed.local_engine import LocalSQLEngine, _HashIndex
+from repro.data.storage import HashIndex, compatibility_mode
+from repro.distributed.local_engine import LocalSQLEngine
 
 
 def edges(pairs):
@@ -21,7 +27,7 @@ def edges(pairs):
 
 def test_index_is_correct_after_id_reuse():
     """A new relation allocated at a dead relation's address must not
-    inherit the dead relation's index (the id-keying bug)."""
+    inherit the dead relation's index (the original id-keying bug)."""
     engine = LocalSQLEngine({})
     first = edges([(1, 2), (1, 3)])
     stale = engine._index_for(first, ("src",))
@@ -44,12 +50,13 @@ def test_index_is_correct_after_id_reuse():
     assert index.probe((1,)) == []
 
 
-def test_cache_key_holds_relation_strongly():
+def test_engine_uses_the_shared_relation_index():
+    """The engine's index IS the relation's memoized index — one layer."""
     engine = LocalSQLEngine({})
-    relation = edges([(1, 2)])
-    engine._index_for(relation, ("src",))
-    (cached_relation, _columns), = engine._index_cache.keys()
-    assert cached_relation is relation
+    relation = edges([(1, 2), (2, 3)])
+    via_engine = engine._index_for(relation, ("src",))
+    assert via_engine is relation.index_on(("src",))
+    assert relation.has_index(("src",))
 
 
 def test_same_relation_reuses_index_per_key_columns():
@@ -61,15 +68,16 @@ def test_same_relation_reuses_index_per_key_columns():
     assert again is first
     assert other_columns is not first
     assert engine.stats.index_builds == 2
+    assert engine.stats.index_reuses == 1
 
 
-def test_equal_valued_relation_shares_index():
-    """Value-based keying: an identical relation may share the index."""
+def test_index_cannot_outlive_its_relation():
+    """The memoization lives on the relation: no external cache retains it."""
     engine = LocalSQLEngine({})
-    first = edges([(1, 2)])
-    twin = edges([(1, 2)])
-    assert engine._index_for(first, ("src",)) is engine._index_for(twin, ("src",))
-    assert engine.stats.index_builds == 1
+    relation = edges([(1, 2)])
+    engine._index_for(relation, ("src",))
+    # The engine holds no index state of its own anymore.
+    assert not hasattr(engine, "_index_cache")
 
 
 def test_distinct_relations_get_distinct_indexes():
@@ -81,6 +89,33 @@ def test_distinct_relations_get_distinct_indexes():
 
 
 def test_hash_index_probe_semantics():
-    index = _HashIndex(edges([(1, 2), (1, 3), (4, 5)]), ("src",))
+    relation = edges([(1, 2), (1, 3), (4, 5)])
+    index = relation.index_on(("src",))
+    assert isinstance(index, HashIndex)
     assert sorted(index.probe((1,))) == [(1, 2), (1, 3)]
     assert index.probe((99,)) == []
+    assert (4,) in index
+    assert (99,) not in index
+    assert len(index) == 3
+
+
+def test_pickling_drops_the_index_cache():
+    """Indexes are derived data: never shipped to process-pool workers."""
+    relation = edges([(1, 2), (2, 3)])
+    relation.index_on(("src",))
+    clone = pickle.loads(pickle.dumps(relation))
+    assert clone == relation
+    assert not clone.has_index(("src",))
+    # The clone can rebuild an equivalent index on demand.
+    assert clone.index_on(("src",)).probe((1,)) == [(1, 2)]
+
+
+def test_compatibility_mode_disables_memoization():
+    relation = edges([(1, 2)])
+    with compatibility_mode():
+        cold = relation.index_on(("src",))
+        assert not relation.has_index(("src",))
+        assert relation.index_on(("src",)) is not cold
+    # Back in normal mode the index is memoized again.
+    warm = relation.index_on(("src",))
+    assert relation.index_on(("src",)) is warm

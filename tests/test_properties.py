@@ -144,6 +144,76 @@ class TestRelationAlgebraLaws:
             assert rebuilt == edges.rows
 
 
+def _warm(relation: Relation, *key_columns: str) -> Relation:
+    """Prebuild the hash index(es) the operators would probe."""
+    for column in key_columns:
+        relation.index_on((column,))
+    return relation
+
+
+class TestRelationAlgebraLawsIndexed:
+    """The storage fast paths (memoized indexes, trusted constructors) must
+    not drift from set semantics: every law holds with indexes cold and
+    with indexes warmed beforehand."""
+
+    @SETTINGS
+    @given(left=edge_relations(), right=edge_relations())
+    def test_union_laws_cold_and_warm(self, left, right):
+        cold = left.union(right)
+        warm = _warm(left, "src", "trg").union(_warm(right, "src", "trg"))
+        assert cold == warm == right.union(left)
+        assert left.union(left) == left
+
+    @SETTINGS
+    @given(a=edge_relations(), b=edge_relations(), c=edge_relations())
+    def test_join_is_associative_and_commutative(self, a, b, c):
+        b = b.rename_many({"src": "trg", "trg": "mid"})
+        c = c.rename_many({"src": "mid", "trg": "fin"})
+        cold = a.natural_join(b).natural_join(c)
+        assert cold == a.natural_join(b.natural_join(c))
+        assert cold == c.natural_join(b).natural_join(a)
+        # Same associativity with every index warmed up front.
+        for relation in (a, b, c):
+            for column in relation.columns:
+                relation.index_on((column,))
+        warm = a.natural_join(b).natural_join(c)
+        assert warm == cold
+
+    @SETTINGS
+    @given(left=edge_relations(), right=edge_relations())
+    def test_same_schema_antijoin_is_difference(self, left, right):
+        """With all columns in common, the antijoin IS the set difference."""
+        cold = left.antijoin(right)
+        assert cold == left.difference(right)
+        _warm(right, "src", "trg")
+        right.index_on(("src", "trg"))
+        assert left.antijoin(right) == cold
+
+    @SETTINGS
+    @given(left=edge_relations(), right=edge_relations())
+    def test_antijoin_join_partition(self, left, right):
+        """Antijoin and semijoin partition the left side."""
+        matched = left.difference(left.antijoin(right))
+        joined = left.natural_join(right).project(left.columns) \
+            .intersection(left)
+        assert matched.rows <= left.rows
+        assert matched == joined
+
+    @SETTINGS
+    @given(edges=edge_relations())
+    def test_warmed_join_with_itself_is_identity(self, edges):
+        _warm(edges, "src", "trg")
+        edges.index_on(("src", "trg"))
+        assert edges.natural_join(edges) == edges
+
+    @SETTINGS
+    @given(left=edge_relations(), right=edge_relations())
+    def test_distributivity_of_join_over_union(self, left, right):
+        other = _warm(left.rename_many({"src": "trg", "trg": "out"}), "trg")
+        cold = left.union(right).natural_join(other)
+        assert cold == left.natural_join(other).union(right.natural_join(other))
+
+
 class TestRewriterEquivalence:
     @SETTINGS
     @given(data=edge_and_seed())
