@@ -13,8 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from repro.algebra import evaluate, schemas_of_database
 from repro.bench import series_table
 from repro.cost import rank_plans

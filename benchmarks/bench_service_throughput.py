@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 
 import pytest
 
-from repro import DistMuRA, QueryService
+from repro import QueryService, Session
 from repro.bench import latency_table
 from repro.datasets import erdos_renyi_graph, uniprot_graph, yago_like_graph
 from repro.service import OK
@@ -94,7 +95,7 @@ def replay(service, trace):
 
     def client(client_id: int) -> None:
         for text in slices[client_id]:
-            served = service.query(text)
+            served = service.submit(text, block=True).result()
             if served.status != OK:
                 failures.append(f"{text}: {served.detail}")
             latencies[client_id].append(served.service_seconds)
@@ -125,7 +126,7 @@ def test_replay_matrix(figure_report, merged_database, trace, mode):
                           "service": service}
         service.close()
         return
-    engine = DistMuRA(merged_database, num_workers=4, executor="threads")
+    engine = Session(merged_database, num_workers=4, executor="threads")
     service = QueryService(engine, max_in_flight=NUM_CLIENTS,
                            queue_capacity=REQUESTS, own_engine=True,
                            enable_plan_cache=caching,
@@ -175,6 +176,63 @@ def test_cold_cache_already_helps(figure_report):
     assert cold.result_cache_hit_rate > 0.0
     assert _mean(_RESULTS["caches cold"]["latencies"]) <= \
         _mean(_RESULTS["caches off"]["latencies"]) * 1.5
+
+
+#: Prepared-query scenario: bindings of one parameterized template.
+PREPARED_BINDINGS = 100
+#: Acceptance bar: share of bindings served from the plan cache.
+PREPARED_HIT_FLOOR = 0.9
+PREPARED_TEMPLATE = "?y <- :start int+ ?y"
+
+
+def test_prepared_query_plan_cache(figure_report, merged_database):
+    """100 bindings of one template: exactly one explore+rank.
+
+    The template is planned once with a parameter sentinel; every binding
+    substitutes its constant into the selected plan, so the rewriter and
+    the cost ranking run exactly once for the whole batch.
+    """
+    with Session(merged_database, num_workers=4, executor="threads") as session:
+        explores = []
+        original = session.rewriter.explore
+        session.rewriter.explore = lambda *args, **kw: (
+            explores.append(1) or original(*args, **kw))
+        prepared = session.prepare(PREPARED_TEMPLATE)
+        nodes_pool: set = set()
+        for label in ("int", "ref", "occ"):
+            relation = merged_database[label]
+            nodes_pool |= relation.column_values("src")
+            nodes_pool |= relation.column_values("trg")
+        nodes = sorted(nodes_pool)
+        assert len(nodes) >= PREPARED_BINDINGS, "need 100 distinct bindings"
+        latencies = []
+        total_rows = 0
+        for node in nodes[:PREPARED_BINDINGS]:
+            started = time.perf_counter()
+            result = prepared.bind(start=node).collect()
+            latencies.append(time.perf_counter() - started)
+            total_rows += len(result.relation)
+        stats = session.plan_cache.stats
+        hit_rate = stats.hits / (stats.hits + stats.misses)
+        first, rest = latencies[0], latencies[1:]
+        lines = [
+            "Prepared-query scenario - one template, "
+            f"{PREPARED_BINDINGS} bindings ({PREPARED_TEMPLATE!r})",
+            f"  explore+rank invocations : {len(explores)}",
+            f"  plan cache hits/misses   : {stats.hits}/{stats.misses} "
+            f"(hit rate {hit_rate:.1%}, floor {PREPARED_HIT_FLOOR:.0%})",
+            f"  first binding latency    : {first * 1000:8.2f} ms "
+            f"(pays the one explore+rank)",
+            f"  later bindings (mean)    : "
+            f"{_mean(rest) * 1000:8.2f} ms over {len(rest)} bindings",
+            f"  rows across bindings     : {total_rows}",
+        ]
+        figure_report.add_section("\n".join(lines))
+        # Acceptance: one explore+rank for the whole batch; every binding
+        # after the first is a plan-cache hit (>= 99/100).
+        assert len(explores) == 1, f"template explored {len(explores)} times"
+        assert stats.hits >= PREPARED_BINDINGS - 1
+        assert hit_rate >= PREPARED_HIT_FLOOR
 
 
 def _mean(values):

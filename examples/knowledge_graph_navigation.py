@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.bench import (comparison_table, run_bigdatalog, run_distmura,
                          run_graphx)
 from repro.datasets import yago_like_graph
-from repro.engine import DistMuRA
+from repro import Session
 from repro.workloads import yago_queries
 
 QUERY_IDS = ("Q1", "Q3", "Q5", "Q8", "Q12", "Q16")
@@ -26,12 +26,12 @@ def main() -> None:
     print(f"generated {graph}: {len(graph)} triples, "
           f"{len(graph.labels)} predicates\n")
 
-    engine = DistMuRA(graph, num_workers=4)
+    session = Session(graph, num_workers=4)
     queries = yago_queries(subset=QUERY_IDS)
 
     print("== Dist-mu-RA on a sample of the Yago workload ==")
     for query in queries:
-        result = engine.query(query.text)
+        result = query.as_query(session).collect()
         print(f"  {query.qid:4s} classes={','.join(sorted(query.classes)):10s} "
               f"rows={len(result.relation):6d} "
               f"plans={result.plans_explored:3d} "
@@ -39,7 +39,7 @@ def main() -> None:
 
     print("\n== Optimised plan of Q5 (filter pushed after closure reversal) ==")
     q5 = next(query for query in queries if query.qid == "Q5")
-    print(engine.explain(q5.text))
+    print(session.ucrpq(q5.text).explain())
 
     print("\n== Three systems side by side ==")
     runs = []

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.algebra import evaluate, term_to_string
 from repro.baselines.datalog import BigDatalogEngine
 from repro.datasets import random_tree, relabel_for_anbn
-from repro.engine import DistMuRA
+from repro import Session
 from repro.workloads import (anbn_datalog, anbn_term, same_generation_datalog,
                              same_generation_term)
 
@@ -28,8 +28,8 @@ def main() -> None:
     print("\n== Same generation as a mu-RA term ==")
     sg_term = same_generation_term("edge")
     print(f"  term: {term_to_string(sg_term)}")
-    engine = DistMuRA(tree, num_workers=4)
-    result = engine.execute_term(sg_term, query_classes=frozenset({"C7"}))
+    session = Session(tree, num_workers=4)
+    result = session.term(sg_term).collect()
     print(f"  same-generation pairs: {len(result.relation)}")
     print(f"  partitioning: {result.metrics.partitioning} "
           f"(no stable column, so the split falls back to round-robin)")

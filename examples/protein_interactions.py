@@ -13,7 +13,7 @@ Run with::
 from __future__ import annotations
 
 from repro.datasets import uniprot_constants, uniprot_graph
-from repro.engine import DistMuRA
+from repro import Session
 
 
 def main() -> None:
@@ -23,20 +23,20 @@ def main() -> None:
     print(f"generated {graph}: {len(graph)} edges")
     print(f"anchor protein for the filtered queries: {protein}\n")
 
-    engine = DistMuRA(graph, num_workers=4)
+    session = Session(graph, num_workers=4)
 
     print("== Interaction reachability from one protein ==")
-    reachable = engine.query(f"?y <- {protein} int+ ?y")
+    reachable = session.ucrpq(f"?y <- {protein} int+ ?y").collect()
     print(f"  {protein} transitively interacts with "
           f"{len(reachable.relation)} proteins")
 
     print("\n== Proteins occurring in the same tissues (possibly indirectly) ==")
-    shared_tissue = engine.query(f"?x <- {protein} (occ/-occ)+ ?x")
+    shared_tissue = session.ucrpq(f"?x <- {protein} (occ/-occ)+ ?x").collect()
     print(f"  proteins sharing a tissue chain with {protein}: "
           f"{len(shared_tissue.relation)}")
 
     print("\n== A class C6 query: interaction chain then shared keyword ==")
-    result = engine.query("?x,?y <- ?x int+/(hKw/-hKw)+ ?y")
+    result = session.ucrpq("?x,?y <- ?x int+/(hKw/-hKw)+ ?y").collect()
     print(f"  result size: {len(result.relation)} pairs")
     print(f"  plans explored: {result.plans_explored}, "
           f"selected cost: {result.estimated_cost:.0f}")
@@ -47,9 +47,9 @@ def main() -> None:
     print("\n== Physical plan selection heuristic ==")
     # Forcing a tiny per-task memory budget pushes the local loops to the
     # per-worker PostgreSQL-like engine (Pplw^pg) instead of Spark (Pplw^s).
-    small_memory = DistMuRA(graph, num_workers=4, memory_per_task=100)
-    forced = small_memory.query(f"?y <- {protein} int+ ?y")
-    default = engine.query(f"?y <- {protein} int+ ?y")
+    small_memory = Session(graph, num_workers=4, memory_per_task=100)
+    forced = small_memory.ucrpq(f"?y <- {protein} int+ ?y").collect()
+    default = session.ucrpq(f"?y <- {protein} int+ ?y").collect()
     print(f"  default memory budget -> {default.physical_strategies}")
     print(f"  tiny memory budget    -> {forced.physical_strategies}")
 

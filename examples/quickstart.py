@@ -1,4 +1,4 @@
-"""Quickstart: load a graph, run a recursive query, inspect the execution.
+"""Quickstart: load a graph, run a recursive query, inspect the pipeline.
 
 Run with::
 
@@ -7,7 +7,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DistMuRA, LabeledGraph
+from repro import LabeledGraph, Session
 
 
 def build_graph() -> LabeledGraph:
@@ -30,27 +30,28 @@ def build_graph() -> LabeledGraph:
 
 def main() -> None:
     graph = build_graph()
-    engine = DistMuRA(graph, num_workers=4)
+    session = Session(graph, num_workers=4)
 
     print("== Transitive closure: who does ada (transitively) know? ==")
-    result = engine.query("?y <- ada knows+ ?y")
+    result = session.ucrpq("?y <- ada knows+ ?y").collect()
     for row in result.relation.to_dicts():
         print(f"  ada knows+ {row['y']}")
 
     print("\n== Class C2 query: people living (transitively) in europe ==")
-    result = engine.query("?x <- ?x livesIn/isLocatedIn+ europe")
+    query = session.ucrpq("?x <- ?x livesIn/isLocatedIn+ europe")
+    result = query.collect()
     print(f"  answers: {sorted(result.relation.column_values('x'))}")
-    print(f"  query classes: {sorted(result.query_classes)}")
+    print(f"  query classes: {sorted(query.classes)}")
     print(f"  logical plans explored: {result.plans_explored}")
     print(f"  physical strategy: {result.physical_strategies}")
 
     print("\n== How the optimizer explains itself ==")
-    print(engine.explain("?x <- ?x livesIn/isLocatedIn+ europe"))
+    print(session.explain("?x <- ?x livesIn/isLocatedIn+ europe"))
 
     print("\n== Distribution metrics (parallel local loops vs global loop) ==")
     from repro import PGLD, PPLW_SPARK
     for strategy in (PPLW_SPARK, PGLD):
-        run = engine.query("?x,?y <- ?x knows+ ?y", strategy=strategy)
+        run = session.ucrpq("?x,?y <- ?x knows+ ?y").collect(strategy=strategy)
         metrics = run.metrics
         print(f"  {strategy:12s} shuffles={metrics.shuffles:3d} "
               f"tuples_shuffled={metrics.tuples_shuffled:5d} "
@@ -59,14 +60,16 @@ def main() -> None:
 
     print("\n== Executor backends (concurrent Pplw local loops) ==")
     for backend in ("serial", "threads"):
-        with DistMuRA(graph, num_workers=4, executor=backend) as concurrent:
-            run = concurrent.query("?x,?y <- ?x knows+ ?y",
-                                   strategy=PPLW_SPARK)
+        with Session(graph, num_workers=4, executor=backend) as concurrent:
+            run = concurrent.ucrpq("?x,?y <- ?x knows+ ?y").collect(
+                strategy=PPLW_SPARK)
             metrics = run.metrics
             print(f"  {backend:8s} tasks={metrics.tasks_launched:2d} "
                   f"waves={metrics.task_waves} "
                   f"straggler={metrics.slowest_task_seconds:.6f}s "
                   f"compute_skew={metrics.compute_skew():.2f}")
+
+    session.close()
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 import threading
 
-from repro import DistMuRA, LabeledGraph, QueryService
+from repro import LabeledGraph, QueryService, Session
 
 
 def build_graph() -> LabeledGraph:
@@ -44,7 +44,7 @@ def client(service: QueryService, client_id: int, requests: int) -> None:
     rng = random.Random(client_id)
     for _ in range(requests):
         text = rng.choice(QUERIES)
-        served = service.query(text)
+        served = service.submit(text, block=True).result()
         label = ("result-cache hit" if served.result_cache_hit
                  else "plan-cache hit" if served.plan_cache_hit
                  else "cold")
@@ -54,8 +54,8 @@ def client(service: QueryService, client_id: int, requests: int) -> None:
 
 def main() -> None:
     graph = build_graph()
-    engine = DistMuRA(graph, num_workers=4, executor="threads")
-    with QueryService(engine, max_in_flight=3, own_engine=True) as service:
+    session = Session(graph, num_workers=4, executor="threads")
+    with QueryService(session, max_in_flight=3, own_engine=True) as service:
         print("== First replay: three concurrent clients ==")
         threads = [threading.Thread(target=client, args=(service, i, 4))
                    for i in range(3)]

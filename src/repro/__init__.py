@@ -2,8 +2,12 @@
 
 The public API re-exports the pieces most users need:
 
-* :class:`DistMuRA` — the end-to-end engine (parse, optimize, distribute,
-  execute),
+* :class:`Session` — the staged, lazy query pipeline and its front-ends
+  (``ucrpq`` / ``datalog`` / ``relation`` / ``term`` / ``prepare``),
+* :class:`Query` / :class:`PreparedQuery` — lazy handles and prepared,
+  parameterized templates,
+* :class:`QueryService` — concurrent, cached serving on top of a session,
+* :class:`DistMuRA` — the deprecated eager facade (kept for compatibility),
 * the data model (:class:`Relation`, :class:`LabeledGraph`),
 * the mu-RA algebra (term constructors and the centralized evaluator),
 * the simulated cluster and the physical plan names.
@@ -14,14 +18,16 @@ See ``README.md`` for a quickstart and ``DESIGN.md`` for the architecture.
 from .data.graph import LabeledGraph
 from .data.relation import Relation
 from .data.tuples import Tup
-from .engine import DistMuRA, QueryResult
+from .engine import DistMuRA
+from .session import (Parameter, PathBuilder, PreparedQuery, Query,
+                      QueryResult, Session)
 from .distributed.cluster import SparkCluster
 from .distributed.executor import EXECUTOR_BACKENDS, PROCESSES, SERIAL, THREADS
 from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
 from .errors import ReproError, ServiceError, ServiceOverloadError
 from .service import QueryService, ServedResult, ServiceMetrics
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DistMuRA",
@@ -31,6 +37,10 @@ __all__ = [
     "PPLW_POSTGRES",
     "PPLW_SPARK",
     "PROCESSES",
+    "Parameter",
+    "PathBuilder",
+    "PreparedQuery",
+    "Query",
     "QueryResult",
     "QueryService",
     "Relation",
@@ -40,6 +50,7 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloadError",
+    "Session",
     "SparkCluster",
     "THREADS",
     "Tup",

@@ -1,0 +1,40 @@
+"""Deprecation plumbing for the compatibility facades.
+
+The facades (:meth:`DistMuRA.query`, :meth:`QueryService.query`) warn
+**exactly once per call site**: a tight replay loop produces one warning,
+while two distinct call sites each get their own.  This is stricter than
+the default ``warnings`` registry (which pytest and many applications
+override with ``always``), so the once-per-site contract holds no matter
+how the ambient warning filters are configured.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import warnings
+
+_WARNED_SITES: set[tuple[str, int, str]] = set()
+_LOCK = threading.Lock()
+
+
+def warn_once(message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` once per (caller site, message).
+
+    ``stacklevel`` follows the :func:`warnings.warn` convention: 3 means
+    "attribute the warning to the caller of my caller", the right value
+    when a deprecated public method calls this helper directly.
+    """
+    frame = sys._getframe(stacklevel - 1)
+    site = (frame.f_code.co_filename, frame.f_lineno, message)
+    with _LOCK:
+        if site in _WARNED_SITES:
+            return
+        _WARNED_SITES.add(site)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget every recorded call site (test isolation helper)."""
+    with _LOCK:
+        _WARNED_SITES.clear()

@@ -29,7 +29,6 @@ from dataclasses import dataclass, field
 from ...data.graph import LabeledGraph
 from ...data.relation import Relation
 from ...distributed.cluster import SparkCluster
-from ...errors import DatalogError
 from ...query.ast import UCRPQ
 from ...query.parser import parse_query
 from .ast import Program, Var
@@ -107,36 +106,7 @@ class BigDatalogEngine:
     # -- Distribution analysis (GPS-style) -----------------------------------------
 
     def _analyse_distribution(self, program: Program) -> tuple[list[str], list[str]]:
-        """Classify recursive predicates as decomposable or not.
-
-        A predicate is decomposable when every recursive rule preserves its
-        first argument from the recursive body atom — the generalized-pivot
-        condition that lets BigDatalog co-partition the recursion.
-        """
-        decomposable: list[str] = []
-        non_decomposable: list[str] = []
-        for predicate in sorted(program.idb_predicates()):
-            if not program.is_recursive(predicate):
-                continue
-            if self._has_pivot(program, predicate):
-                decomposable.append(predicate)
-            else:
-                non_decomposable.append(predicate)
-        return decomposable, non_decomposable
-
-    @staticmethod
-    def _has_pivot(program: Program, predicate: str) -> bool:
-        for rule in program.rules_for(predicate):
-            recursive_atoms = [a for a in rule.body if a.predicate == predicate]
-            if not recursive_atoms:
-                continue
-            head_arg = rule.head.args[0]
-            if not isinstance(head_arg, Var):
-                return False
-            for atom in recursive_atoms:
-                if atom.args[0] != head_arg:
-                    return False
-        return True
+        return analyse_distribution(program)
 
     def _record_communication(self, program: Program, facts, engine,
                               decomposable: list[str],
@@ -171,17 +141,56 @@ class BigDatalogEngine:
 
     @staticmethod
     def _goal_relation(parsed: UCRPQ, facts, columns: tuple[str, ...]) -> Relation:
-        rows = facts.get(GOAL_PREDICATE, set())
-        head_names = [v.name for v in parsed.head]
-        order = [head_names.index(column) for column in columns]
-        if not rows:
-            return Relation.empty(columns)
-        reordered = {tuple(row[i] for i in order) for row in rows}
-        return Relation(columns, reordered)
+        return goal_relation(parsed, facts, columns)
 
     def __repr__(self) -> str:
         return (f"BigDatalogEngine(graph={self.graph.name!r}, "
                 f"workers={self.cluster.num_workers}, magic={self.use_magic})")
+
+
+def analyse_distribution(program: Program) -> tuple[list[str], list[str]]:
+    """Classify recursive predicates as decomposable or not (GPS-style).
+
+    A predicate is decomposable when every recursive rule preserves its
+    first argument from the recursive body atom — the generalized-pivot
+    condition that lets BigDatalog co-partition the recursion.  Shared by
+    :class:`BigDatalogEngine` and the session's Datalog front-end.
+    """
+    decomposable: list[str] = []
+    non_decomposable: list[str] = []
+    for predicate in sorted(program.idb_predicates()):
+        if not program.is_recursive(predicate):
+            continue
+        if _has_pivot(program, predicate):
+            decomposable.append(predicate)
+        else:
+            non_decomposable.append(predicate)
+    return decomposable, non_decomposable
+
+
+def _has_pivot(program: Program, predicate: str) -> bool:
+    for rule in program.rules_for(predicate):
+        recursive_atoms = [a for a in rule.body if a.predicate == predicate]
+        if not recursive_atoms:
+            continue
+        head_arg = rule.head.args[0]
+        if not isinstance(head_arg, Var):
+            return False
+        for atom in recursive_atoms:
+            if atom.args[0] != head_arg:
+                return False
+    return True
+
+
+def goal_relation(parsed: UCRPQ, facts, columns: tuple[str, ...]) -> Relation:
+    """Shape the derived goal facts into a relation over the head columns."""
+    rows = facts.get(GOAL_PREDICATE, set())
+    head_names = [v.name for v in parsed.head]
+    order = [head_names.index(column) for column in columns]
+    if not rows:
+        return Relation.empty(columns)
+    reordered = {tuple(row[i] for i in order) for row in rows}
+    return Relation(columns, reordered)
 
 
 def same_generation_program(predicate_label: str | None = None) -> tuple[Program, tuple[str, str]]:

@@ -16,10 +16,12 @@ Those are exactly the behaviours the paper's experiments exhibit.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 
-from ...data.graph import LabeledGraph
+from ...data.graph import INVERSE_PREFIX, SRC, TRG, LabeledGraph
+from ...data.relation import Relation
 from ...errors import TranslationError
-from ...query.ast import (Alternation, Atom as QueryAtom, Concat, Constant,
+from ...query.ast import (Alternation, Concat, Constant,
                           Label, PathExpr, Plus, UCRPQ, Variable)
 from .ast import Atom, Const, Program, Rule, Var
 
@@ -118,4 +120,24 @@ def graph_to_edb(graph: LabeledGraph) -> dict[str, set[tuple]]:
     edb: dict[str, set[tuple]] = {}
     for label in graph.labels:
         edb[label] = graph.edges(label).to_pairs("src", "trg")
+    return edb
+
+
+def database_to_edb(database: Mapping[str, Relation]) -> dict[str, set[tuple]]:
+    """Extract per-label EDB predicates from a session database.
+
+    Binary ``(src, trg)`` relations become predicates; inverse relations
+    (``-label``) and the ``facts`` triple table are skipped — the
+    translation references forward labels only, swapping argument order
+    for inverse steps.  Relations with other schemas (C7 seed relations
+    etc.) are also skipped: the Datalog front-end only understands the
+    graph-shaped part of the database.
+    """
+    edb: dict[str, set[tuple]] = {}
+    for name, relation in database.items():
+        if name.startswith(INVERSE_PREFIX) or name == "facts":
+            continue
+        if tuple(sorted(relation.columns)) != tuple(sorted((SRC, TRG))):
+            continue
+        edb[name] = relation.to_pairs(SRC, TRG)
     return edb

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from ..baselines.datalog import BigDatalogEngine
 from ..baselines.pregel import GraphXRPQEngine
 from ..data.graph import LabeledGraph
-from ..engine import DistMuRA
 from ..errors import ReproError
+from ..session import Session
 from ..workloads.common import WorkloadQuery
 
 #: Run statuses reported in the benchmark tables.
@@ -65,23 +65,25 @@ def run_distmura(graph: LabeledGraph, query: WorkloadQuery,
                  strategy: str | None = None, num_workers: int = 4,
                  optimize: bool = True, dataset: str | None = None,
                  executor: str = "serial",
-                 engine: DistMuRA | None = None) -> MeasuredRun:
+                 engine: Session | None = None) -> MeasuredRun:
     """Run one workload query with Dist-mu-RA.
 
     ``executor`` selects the cluster's task backend (``serial``, ``threads``
-    or ``processes``); it is ignored when a prebuilt ``engine`` is passed.
+    or ``processes``); it is ignored when a prebuilt ``engine`` (any
+    :class:`Session`) is passed.  Every run goes through the lazy Session
+    pipeline with the plan/result caches forced off *per call* — even on a
+    prebuilt session whose caches are enabled — so measured times always
+    include the full parse + explore + rank + execute path.
     """
     dataset = dataset or graph.name
     owns_engine = engine is None
-    engine = engine if engine is not None else DistMuRA(
-        graph, num_workers=num_workers, optimize=optimize, executor=executor)
+    engine = engine if engine is not None else Session(
+        graph, num_workers=num_workers, optimize=optimize, executor=executor,
+        enable_plan_cache=False, enable_result_cache=False)
     started = time.perf_counter()
     try:
-        if query.is_ucrpq:
-            result = engine.query(query.text, strategy=strategy)
-        else:
-            result = engine.execute_term(query.term, strategy=strategy,
-                                         query_classes=query.classes)
+        result, _, _ = query.as_query(engine).run_once(
+            strategy, use_plan_cache=False, use_result_cache=False)
         # Reported time = wall clock of the simulation + the modelled network
         # delay of the shuffles/broadcasts the plan performed + the simulated
         # task-schedule adjustment (the cluster only accounts both, it never

@@ -21,7 +21,7 @@ This module provides the equivalent component for the reproduction:
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..algebra.conditions import Decomposition, decompose
 from ..algebra.printer import term_to_string

@@ -28,7 +28,7 @@ from ..algebra.conditions import decompose
 from ..algebra.evaluate import Evaluator
 from ..algebra.schema import schemas_of_database
 from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
-                             Literal, Rename, RelVar, Term, Union)
+                             Rename, RelVar, Term, Union)
 from ..algebra.variables import free_variables, is_constant_in
 from ..data import storage
 from ..data.relation import Relation

@@ -1,317 +1,47 @@
-"""The Dist-mu-RA engine facade.
+"""The deprecated eager engine facade over the Session API.
 
-:class:`DistMuRA` wires together the components described in Section IV of
-the paper (and implemented by the sub-packages of this library)::
+:class:`DistMuRA` predates the staged :class:`~repro.session.Session`
+pipeline and is kept as a thin compatibility subclass: construction,
+mutations, ``translate`` / ``optimize`` / ``execute_term`` and the
+introspection helpers are the Session's own; only the eager
+:meth:`DistMuRA.query` entry point is specific to the facade (and
+deprecation-warned).  New code should use the front-ends directly::
 
-    UCRPQ ──Query2Mu──> mu-RA term ──MuRewriter──> equivalent logical plans
-          ──CostEstimator──> selected logical plan
-          ──PhysicalPlanGenerator──> Pgld / Pplw^s / Pplw^pg
-          ──SparkExecutor / PgSQLExecutor──> result relation + metrics
+    from repro import Session
 
-Typical use::
+    session = Session(graph, num_workers=4, executor="threads")
+    result = session.ucrpq("?x,?y <- ?x isLocatedIn+/dealsWith+ ?y").collect()
 
-    from repro import DistMuRA
-    from repro.datasets import yago_like_graph
-
-    engine = DistMuRA(yago_like_graph(scale=1000), num_workers=4,
-                      executor="threads")
-    result = engine.query("?x,?y <- ?x isLocatedIn+/dealsWith+ ?y")
-    print(len(result.relation), result.physical_strategies, result.metrics.shuffles)
-
-The ``executor`` argument selects the backend per-partition tasks run on
-(``serial``, ``threads`` or ``processes`` — see
-:mod:`repro.distributed.executor`); thread/process pools are released with
-:meth:`DistMuRA.close` or by using the engine as a context manager.
+Two legacy defaults are preserved so existing callers observe byte-for-
+byte identical behaviour: the facade disables the session-level plan and
+result caches (the eager engine re-optimized on every call), which the
+serving layer re-enables with its own configuration.
 """
 
 from __future__ import annotations
 
-import time
-from collections.abc import Mapping
-from dataclasses import dataclass, field
+from ._compat import warn_once
+from .session.session import QueryResult, Session
 
-from collections.abc import Iterable
-
-from .algebra.evaluate import Evaluator
-from .algebra.schema import schemas_of_database
-from .algebra.terms import Term
-from .cost.selection import RankedPlan, rank_plans
-from .data.graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
-from .data.relation import Relation
-from .data.stats import StatisticsCatalog
-from .distributed.cluster import ClusterMetrics, SparkCluster
-from .distributed.executor import SERIAL, ExecutorBackend
-from .distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
-                                   DistributedQueryExecutor)
-from .errors import EvaluationError, SchemaError, TranslationError
-from .query.ast import UCRPQ
-from .query.classes import classify_query
-from .query.parser import parse_query
-from .query.translate import translate_query
-from .rewriter.engine import MuRewriter
+__all__ = ["DistMuRA", "QueryResult", "Session"]
 
 
-@dataclass
-class QueryResult:
-    """Everything produced by one query execution."""
+class DistMuRA(Session):
+    """Deprecated eager facade: a Session whose caches default to off."""
 
-    relation: Relation
-    selected_plan: Term
-    original_plan: Term
-    plans_explored: int
-    estimated_cost: float
-    physical_strategies: tuple[str, ...]
-    metrics: ClusterMetrics
-    elapsed_seconds: float
-    query_classes: frozenset[str] = field(default_factory=frozenset)
+    def __init__(self, *args, **options):
+        options.setdefault("enable_plan_cache", False)
+        options.setdefault("enable_result_cache", False)
+        super().__init__(*args, **options)
 
-    def __len__(self) -> int:
-        return len(self.relation)
+    def query(self, query, strategy: str | None = None) -> QueryResult:
+        """Run a UCRPQ end to end (parse, optimize, distribute, execute).
 
-    def summary(self) -> dict[str, object]:
-        """Flat dictionary used by the benchmark reports."""
-        summary = {
-            "rows": len(self.relation),
-            "plans_explored": self.plans_explored,
-            "estimated_cost": round(self.estimated_cost, 1),
-            "physical": ",".join(self.physical_strategies) or "central",
-            "elapsed_seconds": round(self.elapsed_seconds, 4),
-            "classes": ",".join(sorted(self.query_classes)),
-        }
-        summary.update(self.metrics.summary())
-        return summary
-
-
-class DistMuRA:
-    """A Dist-mu-RA session bound to one database and one simulated cluster."""
-
-    def __init__(self, data: LabeledGraph | Mapping[str, Relation],
-                 num_workers: int = 4,
-                 optimize: bool = True,
-                 strategy: str = AUTO,
-                 executor: str | ExecutorBackend = SERIAL,
-                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK,
-                 max_plans: int = 64,
-                 max_rounds: int = 8):
-        if isinstance(data, LabeledGraph):
-            self.database: dict[str, Relation] = data.relations()
-        else:
-            self.database = dict(data)
-        self.cluster = SparkCluster(num_workers=num_workers, executor=executor)
-        self.optimize_plans = optimize
-        self.strategy = strategy
-        self.memory_per_task = memory_per_task
-        self.rewriter = MuRewriter(max_plans=max_plans, max_rounds=max_rounds)
-        self._schemas = schemas_of_database(self.database)
-        #: Persistent statistics used by the cost-based plan ranking.  The
-        #: mutation API refreshes the touched entries, so estimates always
-        #: reflect the current data (see :meth:`add_edges`).
-        self.catalog = StatisticsCatalog(self.database)
-        #: Monotonic counters tracking mutations: the database version is
-        #: bumped on every mutation, and each touched relation records the
-        #: version it was last changed at.  The serving layer keys its
-        #: result cache on these counters.
-        self._database_version = 0
-        self._relation_versions: dict[str, int] = dict.fromkeys(self.database, 0)
-
-    # -- Pipeline stages -----------------------------------------------------------
-
-    def translate(self, query: str | UCRPQ) -> Term:
-        """Parse (if needed) and translate a UCRPQ into a mu-RA term."""
-        parsed = parse_query(query) if isinstance(query, str) else query
-        missing = sorted(label for label in parsed.labels()
-                         if label not in self.database)
-        if missing:
-            raise TranslationError(
-                f"query references unknown edge labels {missing}")
-        return translate_query(parsed)
-
-    def optimize(self, term: Term) -> tuple[RankedPlan, list[RankedPlan]]:
-        """Explore equivalent plans and rank them with the cost model.
-
-        Ranking reads the session's persistent :attr:`catalog`, so cost
-        estimates follow mutations instead of being recomputed from the
-        full database on every call.
+        .. deprecated:: 1.3
+           Use ``session.ucrpq(query).collect(strategy=...)`` (lazy,
+           cache-aware, inspectable) instead.
         """
-        plans = self.rewriter.explore(term, self._schemas)
-        ranked = rank_plans(plans, catalog=self.catalog)
-        return ranked[0], ranked
-
-    # -- Execution ------------------------------------------------------------------
-
-    def execute_term(self, term: Term, strategy: str | None = None,
-                     query_classes: frozenset[str] = frozenset(),
-                     optimize: bool | None = None) -> QueryResult:
-        """Optimize (optionally) and execute a mu-RA term.
-
-        ``optimize`` overrides the session default for this call; the
-        serving layer passes ``False`` when it executes a plan it already
-        selected (and cached), skipping the rewriter and the cost ranking.
-        """
-        started = time.perf_counter()
-        original = term
-        plans_explored = 1
-        estimated_cost = float("nan")
-        should_optimize = self.optimize_plans if optimize is None else optimize
-        if should_optimize:
-            best, ranked = self.optimize(term)
-            term = best.term
-            plans_explored = len(ranked)
-            estimated_cost = best.cost
-        self.cluster.reset_metrics()
-        executor = DistributedQueryExecutor(
-            self.cluster, self.database,
-            strategy=strategy if strategy is not None else self.strategy,
-            memory_per_task=self.memory_per_task)
-        outcome = executor.execute(term)
-        elapsed = time.perf_counter() - started
-        return QueryResult(
-            relation=outcome.relation,
-            selected_plan=term,
-            original_plan=original,
-            plans_explored=plans_explored,
-            estimated_cost=estimated_cost,
-            physical_strategies=outcome.strategies,
-            metrics=self.cluster.metrics,
-            elapsed_seconds=elapsed,
-            query_classes=query_classes,
-        )
-
-    def query(self, query: str | UCRPQ, strategy: str | None = None) -> QueryResult:
-        """Run a UCRPQ end to end (parse, optimize, distribute, execute)."""
-        parsed = parse_query(query) if isinstance(query, str) else query
-        term = self.translate(parsed)
-        return self.execute_term(term, strategy=strategy,
-                                 query_classes=classify_query(parsed))
-
-    def evaluate_centralized(self, term: Term) -> Relation:
-        """Reference single-node evaluation (used for testing and baselines)."""
-        return Evaluator(self.database).evaluate(term)
-
-    # -- Mutations and versioning ---------------------------------------------------
-
-    @property
-    def database_version(self) -> int:
-        """Monotonic counter bumped by every mutation of the session."""
-        return self._database_version
-
-    def relation_version(self, name: str) -> int:
-        """Version at which relation ``name`` last changed (0 = unchanged)."""
-        return self._relation_versions.get(name, 0)
-
-    def relation_versions(self, names: Iterable[str]) -> tuple[tuple[str, int], ...]:
-        """Sorted ``(name, version)`` snapshot of the given relations.
-
-        Unknown names are included with version 0, so a cache entry built
-        before a relation existed is invalidated when it appears.
-        """
-        return tuple((name, self.relation_version(name))
-                     for name in sorted(set(names)))
-
-    def add_edges(self, label: str,
-                  pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
-        """Add ``(src, trg)`` edges to the ``label`` relation.
-
-        The inverse relation ``-label`` and the ``facts`` triple table (when
-        the database has them) are kept consistent, the touched relations'
-        statistics are refreshed in :attr:`catalog`, and the database
-        version is bumped.  Returns the names of the touched relations.
-        """
-        return self._apply_edge_mutation(label, pairs, removing=False)
-
-    def remove_edges(self, label: str,
-                     pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
-        """Remove ``(src, trg)`` edges from the ``label`` relation.
-
-        Same consistency and invalidation contract as :meth:`add_edges`.
-        """
-        return self._apply_edge_mutation(label, pairs, removing=True)
-
-    def _apply_edge_mutation(self, label: str, pairs, removing: bool) -> tuple[str, ...]:
-        if label.startswith(INVERSE_PREFIX):
-            raise TranslationError(
-                f"mutate the base relation {label[len(INVERSE_PREFIX):]!r} "
-                f"instead of the inverse {label!r}")
-        edge_pairs = {(src, trg) for src, trg in pairs}
-        if removing and label not in self.database:
-            raise EvaluationError(
-                f"cannot remove edges from unknown relation {label!r}")
-        edge_columns = tuple(sorted((SRC, TRG)))
-        existing = self.database.get(label)
-        inverse = INVERSE_PREFIX + label
-        # Plan and validate every delta *before* touching the database, so a
-        # schema mismatch anywhere leaves the session completely unchanged
-        # (a partial mutation would desynchronize versions and caches).
-        planned: list[tuple[str, Relation | None, Relation]] = []
-        delta = Relation.from_pairs(edge_pairs, columns=(SRC, TRG))
-        planned.append((label, existing, delta))
-        if inverse in self.database or existing is None:
-            inverse_delta = Relation.from_pairs(
-                {(trg, src) for src, trg in edge_pairs}, columns=(SRC, TRG))
-            planned.append((inverse, self.database.get(inverse), inverse_delta))
-        facts = self.database.get("facts")
-        if facts is not None and facts.columns == tuple(sorted((SRC, PRED, TRG))):
-            # Rows align with the sorted schema ('pred', 'src', 'trg').
-            fact_delta = Relation(facts.columns,
-                                  [(label, src, trg) for src, trg in edge_pairs])
-            planned.append(("facts", facts, fact_delta))
-        for name, current, name_delta in planned:
-            if current is not None and current.columns != name_delta.columns:
-                raise SchemaError(
-                    f"relation {name!r} has schema {current.columns}; the "
-                    f"edge mutation API only supports {name_delta.columns} "
-                    f"relations")
-        touched: list[str] = []
-        for name, current, name_delta in planned:
-            base = (current if current is not None
-                    else Relation.empty(name_delta.columns))
-            self.database[name] = (base.difference(name_delta) if removing
-                                   else base.union(name_delta))
-            touched.append(name)
-        # Refresh the statistics *before* bumping the versions: a concurrent
-        # reader (the service's unlocked plan phase) that observes the new
-        # fingerprint must also observe the new statistics, otherwise it
-        # could cache a stale-ranked plan under a current-looking key.  The
-        # reverse interleaving (old fingerprint, new statistics) only wastes
-        # a cache slot that never hits again.
-        for name in touched:
-            self.catalog.refresh(name, self.database[name])
-        self._schemas = schemas_of_database(self.database)
-        self._database_version += 1
-        for name in touched:
-            self._relation_versions[name] = self._database_version
-        return tuple(touched)
-
-    # -- Lifecycle -----------------------------------------------------------------
-
-    def close(self) -> None:
-        """Release the cluster's executor pools (threads/processes)."""
-        self.cluster.close()
-
-    def __enter__(self) -> "DistMuRA":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    # -- Introspection -----------------------------------------------------------------
-
-    def explain(self, query: str | UCRPQ) -> str:
-        """Return a human-readable account of the optimisation of a query."""
-        parsed = parse_query(query) if isinstance(query, str) else query
-        term = self.translate(parsed)
-        best, ranked = self.optimize(term)
-        lines = [
-            f"query: {parsed}",
-            f"classes: {','.join(sorted(classify_query(parsed))) or 'none'}",
-            f"plans explored: {len(ranked)}",
-            f"selected cost: {best.cost:.1f}",
-            f"selected plan: {best.term}",
-        ]
-        return "\n".join(lines)
-
-    def __repr__(self) -> str:
-        return (f"DistMuRA(relations={len(self.database)}, "
-                f"workers={self.cluster.num_workers}, "
-                f"executor={self.cluster.executor.name!r}, "
-                f"optimize={self.optimize_plans}, strategy={self.strategy!r})")
+        warn_once(
+            "DistMuRA.query() is deprecated; build a lazy handle with "
+            "Session.ucrpq(...)/.term(...) and call .collect() on it")
+        return self.as_query(query).collect(strategy=strategy)

@@ -61,6 +61,27 @@ class _Token:
         return f"Token({self.kind}, {self.text!r})"
 
 
+def parse_error(message: str, source: str, position: int) -> QueryParseError:
+    """Build a :class:`QueryParseError` with a source snippet and a caret.
+
+    The rendered message looks like::
+
+        expected a variable or constant but found '+' at position 9
+          ?x <- ?x +knows ?y
+                   ^
+
+    so malformed queries coming from logs or user input can be diagnosed
+    without counting characters.  The offending ``position`` (0-based
+    character offset) is also attached to the exception.
+    """
+    position = max(0, min(position, len(source)))
+    snippet = f"  {source}\n  {' ' * position}^"
+    error = QueryParseError(f"{message} at position {position}\n{snippet}")
+    error.position = position
+    error.source = source
+    return error
+
+
 def _tokenize(text: str) -> list[_Token]:
     tokens: list[_Token] = []
     position = 0
@@ -77,9 +98,7 @@ def _tokenize(text: str) -> list[_Token]:
                 position = match.end()
                 break
         else:
-            raise QueryParseError(
-                f"unexpected character {char!r} at position {position} in query"
-            )
+            raise parse_error(f"unexpected character {char!r}", text, position)
     return tokens
 
 
@@ -101,17 +120,16 @@ class _Parser:
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise QueryParseError(f"unexpected end of query: {self._source!r}")
+            raise parse_error("unexpected end of query", self._source,
+                              len(self._source))
         self._index += 1
         return token
 
     def _expect(self, kind: str) -> _Token:
         token = self._next()
         if token.kind != kind:
-            raise QueryParseError(
-                f"expected {kind} but found {token.text!r} at position "
-                f"{token.position} in {self._source!r}"
-            )
+            raise parse_error(f"expected {kind} but found {token.text!r}",
+                              self._source, token.position)
         return token
 
     def _accept(self, kind: str) -> _Token | None:
@@ -131,9 +149,8 @@ class _Parser:
             rules.append(ConjunctiveQuery(head, self._parse_body()))
         if self._peek() is not None:
             token = self._peek()
-            raise QueryParseError(
-                f"trailing input {token.text!r} at position {token.position}"
-            )
+            raise parse_error(f"trailing input {token.text!r}", self._source,
+                              token.position)
         return UCRPQ(tuple(rules))
 
     def _parse_head(self) -> tuple[Variable, ...]:
@@ -164,10 +181,9 @@ class _Parser:
             return Variable(token.text[1:])
         if token.kind == "IDENT":
             return Constant(token.text)
-        raise QueryParseError(
-            f"expected a variable or constant but found {token.text!r} at "
-            f"position {token.position}"
-        )
+        raise parse_error(
+            f"expected a variable or constant but found {token.text!r}",
+            self._source, token.position)
 
     def _parse_alternation(self) -> PathExpr:
         options = [self._parse_sequence()]
@@ -223,7 +239,6 @@ def parse_path(text: str) -> PathExpr:
     expr = parser._parse_alternation()
     if parser._peek() is not None:
         token = parser._peek()
-        raise QueryParseError(
-            f"trailing input {token.text!r} at position {token.position}"
-        )
+        raise parse_error(f"trailing input {token.text!r}", text,
+                          token.position)
     return expr

@@ -1,12 +1,14 @@
 """Query-serving subsystem: caches + concurrent multi-client scheduling.
 
-This package wraps a :class:`~repro.engine.DistMuRA` session into a
-:class:`QueryService` able to serve many concurrent clients:
+This package wraps a :class:`~repro.session.Session` into a
+:class:`QueryService` able to serve many concurrent clients through the
+session's shared staged pipeline:
 
 * :mod:`repro.service.plan_cache` — memoizes the rewriter + cost-ranking
-  decision per canonical query,
+  decision per canonical query (owned by the session, shared with
+  embedded use and prepared queries),
 * :mod:`repro.service.result_cache` — memoizes whole query results against
-  the engine's relation version counters,
+  the session's relation version counters,
 * :mod:`repro.service.server` — admission control, scheduling, timeouts
   and the mutation pass-through,
 * :mod:`repro.service.metrics` — throughput, latency percentiles and
@@ -16,7 +18,8 @@ See the "Serving layer" section of ``DESIGN.md`` and ``examples/serve.py``.
 """
 
 from .cache import CacheStats, LRUCache
-from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from ..percentiles import percentile
+from .metrics import MetricsSnapshot, ServiceMetrics
 from .plan_cache import CachedPlan, PlanCache, PlanKey
 from .result_cache import CachedResult, ResultCache, ResultKey
 from .server import (DEFAULT_MAX_IN_FLIGHT, DEFAULT_QUEUE_CAPACITY, FAILED,

@@ -24,7 +24,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
-from ..percentiles import DEFAULT_PERCENTILES, percentile, percentiles
+from ..percentiles import DEFAULT_PERCENTILES, percentiles
 
 #: Size of the sliding windows of latency / queue-wait samples.
 DEFAULT_SAMPLE_CAPACITY = 8192

@@ -21,11 +21,14 @@ straight to execution with the previously selected plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..algebra.terms import Term
-from ..engine import DistMuRA
 from ..rewriter.normalize import cache_key
 from .cache import CacheStats, LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..session.session import Session
 
 #: Default number of selected plans kept.
 DEFAULT_PLAN_CACHE_SIZE = 128
@@ -40,10 +43,10 @@ class PlanKey:
     config: tuple
 
     @classmethod
-    def of(cls, engine: DistMuRA, term: Term,
+    def of(cls, engine: "Session", term: Term,
            dependencies: frozenset[str],
            strategy: str | None) -> "PlanKey":
-        """Build the key of ``term`` against the current engine state."""
+        """Build the key of ``term`` against the current session state."""
         config = (
             strategy if strategy is not None else engine.strategy,
             engine.cluster.num_workers,

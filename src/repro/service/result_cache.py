@@ -1,7 +1,7 @@
 """Result cache: memoize query results against a versioned database.
 
 The cache maps (canonical selected plan, execution configuration) to the
-:class:`~repro.engine.QueryResult` produced when that plan last ran.  An
+:class:`~repro.session.QueryResult` produced when that plan last ran.  An
 entry is only valid for the database state it was computed on; validity is
 tracked through the engine's per-relation version counters:
 
@@ -19,9 +19,12 @@ results do not linger in the LRU ring.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from ..engine import DistMuRA, QueryResult
 from .cache import CacheStats, LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..session.session import QueryResult, Session
 
 #: Default number of memoized results kept.
 DEFAULT_RESULT_CACHE_SIZE = 256
@@ -54,7 +57,7 @@ class ResultCache:
     def __init__(self, capacity: int = DEFAULT_RESULT_CACHE_SIZE):
         self._cache = LRUCache(capacity)
 
-    def lookup(self, key: ResultKey, engine: DistMuRA) -> QueryResult | None:
+    def lookup(self, key: ResultKey, engine: "Session") -> QueryResult | None:
         """Return the memoized result if it is still valid, else ``None``.
 
         A version mismatch drops the entry (counted as an invalidation on
@@ -70,7 +73,7 @@ class ResultCache:
         return entry.result
 
     def store(self, key: ResultKey, result: QueryResult,
-              dependencies: frozenset[str], engine: DistMuRA) -> None:
+              dependencies: frozenset[str], engine: "Session") -> None:
         """Memoize ``result`` at the engine's current relation versions."""
         self._cache.put(key, CachedResult(
             result=result, dependencies=dependencies,

@@ -1,7 +1,7 @@
-"""The query service: concurrent, cached serving on top of :class:`DistMuRA`.
+"""The query service: concurrent, cached serving on top of a Session.
 
-:class:`QueryService` turns the single-caller engine facade into a serving
-subsystem for many concurrent clients:
+:class:`QueryService` turns a single-caller :class:`~repro.session.Session`
+into a serving subsystem for many concurrent clients:
 
 * **Admission control** — submissions go through a bounded queue; when it
   is full, :meth:`QueryService.submit` rejects the query
@@ -10,18 +10,23 @@ subsystem for many concurrent clients:
 * **Scheduling** — a configurable number of worker threads
   (``max_in_flight``) drain the queue.  The *plan phase* (translation,
   rewriting, cost ranking, cache lookups) runs concurrently across
-  workers; the *execution phase* is serialized on the engine lock so all
-  queries share the cluster's one :class:`ExecutorBackend` instead of
+  workers; the *execution phase* serializes on the session's execution
+  lock so all queries share the cluster's one
+  :class:`~repro.distributed.executor.ExecutorBackend` instead of
   oversubscribing it (mirroring a Spark driver scheduling jobs onto one
   fixed pool of executors).
-* **Caching** — a :class:`~repro.service.plan_cache.PlanCache` memoizes
-  the rewriter + cost-ranking decision and a
-  :class:`~repro.service.result_cache.ResultCache` memoizes whole results,
-  both keyed on canonical plan identities and invalidated through the
-  engine's relation version counters.
+* **One pipeline** — every request is coerced into a lazy
+  :class:`~repro.session.Query` handle and served through the session's
+  shared :meth:`~repro.session.Session.resolve_plan` /
+  :meth:`~repro.session.Session.execute_plan` stages — the exact same
+  code path (and therefore the exact same cache keys) as embedded use.
+* **Caching** — the session's :class:`~repro.service.plan_cache.PlanCache`
+  and :class:`~repro.service.result_cache.ResultCache`, gated by the
+  service's ``enable_plan_cache`` / ``enable_result_cache`` flags and
+  invalidated through the session's relation version counters.
 * **Mutations** — :meth:`add_edges` / :meth:`remove_edges` forward to the
-  engine's mutation API under the engine lock and eagerly purge the
-  dependent cache entries.
+  session's mutation API, which applies the change and purges dependent
+  cache entries atomically under the execution lock.
 * **Timeouts** — a per-query deadline (``timeout`` seconds from
   submission) maps to the benchmark harness's ``failed`` status: queries
   that exceed it while queued are not executed at all, and queries that
@@ -29,10 +34,10 @@ subsystem for many concurrent clients:
 
 Typical use::
 
-    from repro import DistMuRA, QueryService
+    from repro import Session, QueryService
 
-    engine = DistMuRA(graph, num_workers=4, executor="threads")
-    with QueryService(engine, max_in_flight=4) as service:
+    session = Session(graph, num_workers=4, executor="threads")
+    with QueryService(session, max_in_flight=4) as service:
         future = service.submit("?x,?y <- ?x knows+ ?y")
         served = future.result()
         print(served.status, len(served.result.relation))
@@ -45,19 +50,18 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from ..algebra.terms import Term
-from ..algebra.variables import free_variables
-from ..engine import DistMuRA, QueryResult
+from .._compat import warn_once
 from ..errors import ReproError, ServiceError, ServiceOverloadError
-from ..query.ast import UCRPQ
-from ..query.classes import classify_query
-from ..query.parser import parse_query
-from ..rewriter.normalize import canonicalize
 from .metrics import ServiceMetrics
-from .plan_cache import (DEFAULT_PLAN_CACHE_SIZE, CachedPlan, PlanCache,
-                         PlanKey)
-from .result_cache import (DEFAULT_RESULT_CACHE_SIZE, ResultCache, ResultKey)
+from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
+from .result_cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..algebra.terms import Term
+    from ..query.ast import UCRPQ
+    from ..session.session import QueryResult, Session
 
 #: Serving statuses; the strings match the benchmark harness's run
 #: statuses so served results drop into the same reporting.
@@ -78,7 +82,7 @@ class ServedResult:
 
     query_text: str
     status: str
-    result: QueryResult | None = None
+    result: "QueryResult | None" = None
     detail: str = ""
     #: ``True``/``False`` when the cache was consulted, ``None`` otherwise.
     plan_cache_hit: bool | None = None
@@ -100,7 +104,7 @@ class ServedResult:
 
 @dataclass
 class _Task:
-    query: str | UCRPQ | Term
+    query: "str | UCRPQ | Term"
     strategy: str | None
     deadline: float | None
     submitted_at: float
@@ -108,13 +112,16 @@ class _Task:
 
 
 class QueryService:
-    """A concurrent, cached, admission-controlled front end to one engine.
+    """A concurrent, cached, admission-controlled front end to one session.
 
-    The service does not own the engine unless ``own_engine=True``; closing
-    the service then also closes the engine (releasing executor pools).
+    The service does not own the session unless ``own_engine=True``;
+    closing the service then also closes the session (releasing executor
+    pools).  At construction the service installs fresh plan/result
+    caches of the requested sizes on the session — the serving layer owns
+    the caching configuration of the session it fronts.
     """
 
-    def __init__(self, engine: DistMuRA, *,
+    def __init__(self, engine: "Session", *,
                  max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
                  queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
@@ -127,18 +134,17 @@ class QueryService:
             raise ServiceError("max_in_flight must be positive")
         if queue_capacity <= 0:
             raise ServiceError("queue_capacity must be positive")
+        self.session = engine
+        #: Legacy alias kept for callers written against the old facade.
         self.engine = engine
         self.enable_plan_cache = enable_plan_cache
         self.enable_result_cache = enable_result_cache
         self.default_timeout = default_timeout
-        self.plan_cache = PlanCache(plan_cache_size)
-        self.result_cache = ResultCache(result_cache_size)
+        engine.plan_cache = PlanCache(plan_cache_size)
+        engine.result_cache = ResultCache(result_cache_size)
         self.metrics = ServiceMetrics()
         self._own_engine = own_engine
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
-        #: Serializes cluster executions and mutations: the engine facade
-        #: and its metrics are single-caller by design.
-        self._engine_lock = threading.Lock()
         self._closed = False
         self._close_lock = threading.Lock()
         self._workers = [
@@ -149,9 +155,19 @@ class QueryService:
         for worker in self._workers:
             worker.start()
 
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The session's plan cache (installed by this service)."""
+        return self.session.plan_cache
+
+    @property
+    def result_cache(self) -> ResultCache:
+        """The session's result cache (installed by this service)."""
+        return self.session.result_cache
+
     # -- Client API -----------------------------------------------------------
 
-    def submit(self, query: str | UCRPQ | Term, strategy: str | None = None,
+    def submit(self, query: "str | UCRPQ | Term", strategy: str | None = None,
                timeout: float | None = None, block: bool = False) -> Future:
         """Enqueue a query; returns a future resolving to a :class:`ServedResult`.
 
@@ -186,9 +202,17 @@ class QueryService:
         self.metrics.record_submitted()
         return task.future
 
-    def query(self, query: str | UCRPQ | Term, strategy: str | None = None,
+    def query(self, query: "str | UCRPQ | Term", strategy: str | None = None,
               timeout: float | None = None) -> ServedResult:
-        """Blocking submission: wait for a queue slot, then for the result."""
+        """Blocking submission: wait for a queue slot, then for the result.
+
+        .. deprecated:: 1.3
+           Use :meth:`submit` (a future, non-blocking admission) or, for
+           embedded single-caller use, ``session.ucrpq(...).collect()``.
+        """
+        warn_once(
+            "QueryService.query() is deprecated; use submit(...).result() "
+            "for serving, or Session.ucrpq(...).collect() for embedded use")
         return self.submit(query, strategy=strategy, timeout=timeout,
                            block=True).result()
 
@@ -203,21 +227,12 @@ class QueryService:
     # -- Mutations ------------------------------------------------------------
 
     def add_edges(self, label: str, pairs) -> tuple[str, ...]:
-        """Add edges through the engine and invalidate dependent caches."""
-        return self._mutate(self.engine.add_edges, label, pairs)
+        """Add edges through the session (atomic mutation + cache purge)."""
+        return self.session.add_edges(label, pairs)
 
     def remove_edges(self, label: str, pairs) -> tuple[str, ...]:
-        """Remove edges through the engine and invalidate dependent caches."""
-        return self._mutate(self.engine.remove_edges, label, pairs)
-
-    def _mutate(self, operation, label: str, pairs) -> tuple[str, ...]:
-        with self._engine_lock:
-            touched = operation(label, pairs)
-            # Purged under the lock so no in-flight execution can interleave
-            # between the version bump and the purge.
-            self.plan_cache.invalidate_relations(touched)
-            self.result_cache.invalidate_relations(touched)
-        return touched
+        """Remove edges through the session (atomic mutation + cache purge)."""
+        return self.session.remove_edges(label, pairs)
 
     # -- Worker side -----------------------------------------------------------
 
@@ -238,14 +253,19 @@ class QueryService:
         queue_wait = started - task.submitted_at
         if task.deadline is not None and started > task.deadline:
             served = ServedResult(
-                query_text=_query_text(task.query), status=FAILED,
+                query_text=str(task.query), status=FAILED,
                 detail=f"timed out after {queue_wait:.3f}s in the admission "
                        f"queue", queue_wait_seconds=queue_wait)
         else:
+            # Everything that can raise — including coercing the
+            # submission into a handle (e.g. a Query built on a different
+            # session) — runs inside the guard, so a bad submission fails
+            # its own future instead of killing the worker thread.
             try:
-                served = self._serve(task, queue_wait)
+                handle = self.session.as_query(task.query)
+                served = self._serve(handle, task, queue_wait)
             except ReproError as error:
-                served = ServedResult(query_text=_query_text(task.query),
+                served = ServedResult(query_text=str(task.query),
                                       status=FAILED, detail=str(error),
                                       queue_wait_seconds=queue_wait)
             except BaseException as error:  # pragma: no cover - defensive
@@ -266,76 +286,30 @@ class QueryService:
             result_cache_hit=served.result_cache_hit)
         task.future.set_result(served)
 
-    def _serve(self, task: _Task, queue_wait: float) -> ServedResult:
-        engine = self.engine
-        term, classes = self._prepare(task.query)
-        plan_hit: bool | None = None
-        # -- Plan phase (concurrent across workers) ------------------------
-        if engine.optimize_plans:
-            dependencies_in = free_variables(term)
-            plan_key = PlanKey.of(engine, term, dependencies_in, task.strategy)
-            cached_plan = (self.plan_cache.get(plan_key)
-                           if self.enable_plan_cache else None)
-            if cached_plan is None:
-                best, ranked = engine.optimize(term)
-                cached_plan = CachedPlan(
-                    term=best.term, cost=best.cost, plans_explored=len(ranked),
-                    dependencies=free_variables(best.term))
-                if self.enable_plan_cache:
-                    plan_hit = False
-                    self.plan_cache.put(plan_key, cached_plan)
-            else:
-                plan_hit = True
-        else:
-            plan_key = None
-            selected = canonicalize(term)
-            cached_plan = CachedPlan(term=selected, cost=float("nan"),
-                                     plans_explored=1,
-                                     dependencies=free_variables(selected))
-        # -- Execution phase (serialized on the engine lock) ----------------
-        strategy = task.strategy if task.strategy is not None else engine.strategy
-        result_key = ResultKey(plan_key=cached_plan.term_key,
-                               strategy=strategy,
-                               num_workers=engine.cluster.num_workers,
-                               memory_per_task=engine.memory_per_task)
-        result_hit: bool | None = None
-        with self._engine_lock:
-            result = (self.result_cache.lookup(result_key, engine)
-                      if self.enable_result_cache else None)
-            if result is not None:
-                result_hit = True
-            else:
-                result = engine.execute_term(
-                    cached_plan.term, strategy=task.strategy,
-                    query_classes=classes, optimize=False)
-                # Patch in what the plan phase knew and the re-execution
-                # skipped (plan count and estimated cost of the selection).
-                result.plans_explored = cached_plan.plans_explored
-                result.estimated_cost = cached_plan.cost
-                if self.enable_result_cache:
-                    result_hit = False
-                    self.result_cache.store(result_key, result,
-                                            cached_plan.dependencies, engine)
-                if self.enable_plan_cache and plan_key is not None \
-                        and not cached_plan.physical_strategies:
-                    self.plan_cache.put(plan_key, cached_plan.with_strategies(
-                        result.physical_strategies))
-        return ServedResult(query_text=_query_text(task.query), status=OK,
+    def _serve(self, handle, task: _Task, queue_wait: float) -> ServedResult:
+        """One request through the session's shared staged pipeline.
+
+        Delegates to :meth:`Query.run_once`, the un-memoized serving
+        path: the handle's own default strategy and (for prepared
+        bindings) its shared template plan are honored, ``task.strategy``
+        takes precedence when given, and the session caches are consulted
+        afresh per request.  The plan phase runs concurrently across
+        workers; the execution phase serializes on the session's
+        execution lock.
+        """
+        result, plan_hit, result_hit = handle.run_once(
+            task.strategy,
+            use_plan_cache=self.enable_plan_cache,
+            use_result_cache=self.enable_result_cache)
+        return ServedResult(query_text=handle.describe(), status=OK,
                             result=result, plan_cache_hit=plan_hit,
                             result_cache_hit=result_hit,
                             queue_wait_seconds=queue_wait)
 
-    def _prepare(self, query: str | UCRPQ | Term) -> tuple[Term, frozenset[str]]:
-        """Parse/translate the submission into a mu-RA term + query classes."""
-        if isinstance(query, Term):
-            return query, frozenset()
-        parsed = parse_query(query) if isinstance(query, str) else query
-        return self.engine.translate(parsed), classify_query(parsed)
-
     # -- Lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain queued queries, stop the workers, optionally close the engine.
+        """Drain queued queries, stop the workers, optionally close the session.
 
         Queued queries submitted before ``close`` are still served (the
         shutdown markers sit behind them in the queue); new submissions are
@@ -361,7 +335,7 @@ class QueryService:
                     ServiceError("the query service is closed"))
             self._queue.task_done()
         if self._own_engine:
-            self.engine.close()
+            self.session.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -374,7 +348,3 @@ class QueryService:
                 f"queue={self._queue.maxsize}, "
                 f"plan_cache={self.enable_plan_cache}, "
                 f"result_cache={self.enable_result_cache})")
-
-
-def _query_text(query: str | UCRPQ | Term) -> str:
-    return query if isinstance(query, str) else str(query)

@@ -1,0 +1,32 @@
+"""Unified lazy Session/Query API: one staged pipeline, many front-ends.
+
+* :class:`Session` — owns the database, catalog, caches, cluster and the
+  execution lock; hands out lazy query handles through its front-ends,
+* :class:`Query` / :class:`DatalogQuery` — lazy, memoized, inspectable
+  pipeline handles (``.ast`` / ``.term`` / ``.normalized`` / ``.plan()``
+  / ``.explain()`` stages, ``collect()`` / ``count()`` / ``exists()`` /
+  ``stream()`` / ``submit()`` actions),
+* :class:`PathBuilder` — programmatic query construction,
+* :class:`PreparedQuery` / :class:`Parameter` — parameterized templates
+  planned once and bound many times.
+
+See the "Session API" section of ``DESIGN.md`` and
+``examples/session_tour.py``.
+"""
+
+from .builder import PathBuilder
+from .parameters import PARAMETER_PREFIX, Parameter
+from .prepared import PreparedQuery
+from .query import DatalogQuery, Query
+from .session import QueryResult, Session
+
+__all__ = [
+    "DatalogQuery",
+    "PARAMETER_PREFIX",
+    "Parameter",
+    "PathBuilder",
+    "PreparedQuery",
+    "Query",
+    "QueryResult",
+    "Session",
+]

@@ -1,0 +1,145 @@
+"""Programmatic query construction: the third front-end.
+
+:meth:`Session.relation` starts a fluent :class:`PathBuilder` over the
+UCRPQ path-expression AST, so programmatic queries go through exactly the
+same translation, normalization and planning pipeline as textual ones::
+
+    knows = session.relation("knows")
+    query = knows.closure().concat("livesIn").between("?x", "?c")
+    # == session.ucrpq("?x,?c <- ?x knows+/livesIn ?c")
+
+Builders are immutable: every combinator returns a new builder, so a
+prefix can be shared between several queries.
+"""
+
+from __future__ import annotations
+
+from ..errors import TranslationError
+from ..query.ast import (Alternation, Atom, Concat, ConjunctiveQuery,
+                         Constant, Endpoint, Label, PathExpr, Plus, UCRPQ,
+                         Variable)
+
+#: Shapes a builder combinator accepts for "the other path".
+PathLike = "PathBuilder | PathExpr | str"
+
+
+class PathBuilder:
+    """Immutable fluent builder over regular path expressions."""
+
+    __slots__ = ("_session", "_path")
+
+    def __init__(self, session, path: PathExpr):
+        self._session = session
+        self._path = path
+
+    @classmethod
+    def label(cls, session, label: str) -> "PathBuilder":
+        """Builder for one edge label; a leading ``-`` means inverse."""
+        inverse = label.startswith("-")
+        name = label[1:] if inverse else label
+        return cls(session, Label(name, inverse=inverse))
+
+    # -- Combinators (each returns a new builder) ------------------------------
+
+    def closure(self) -> "PathBuilder":
+        """Transitive closure: ``p`` becomes ``p+``."""
+        return PathBuilder(self._session, Plus(self._path))
+
+    def concat(self, other: PathLike) -> "PathBuilder":
+        """Concatenation: ``p`` becomes ``p/other``."""
+        other_path = self._coerce(other)
+        parts = (self._path.parts if isinstance(self._path, Concat)
+                 else (self._path,))
+        return PathBuilder(self._session, Concat(parts + (other_path,)))
+
+    def union(self, other: PathLike) -> "PathBuilder":
+        """Alternation: ``p`` becomes ``p|other``."""
+        other_path = self._coerce(other)
+        options = (self._path.options if isinstance(self._path, Alternation)
+                   else (self._path,))
+        return PathBuilder(self._session, Alternation(options + (other_path,)))
+
+    def inverse(self) -> "PathBuilder":
+        """Reverse the whole path (labels flip, concatenations reverse)."""
+        return PathBuilder(self._session, _invert(self._path))
+
+    # -- Terminal: produce a lazy Query handle ---------------------------------
+
+    def between(self, subject: "str | Endpoint", obj: "str | Endpoint",
+                head: tuple | None = None):
+        """Close the path into a one-atom query between two endpoints.
+
+        Endpoints are ``"?x"``-style variables or bare constants.  The
+        head defaults to the variables among the endpoints, in order.
+        Returns a lazy :class:`~repro.session.query.Query`.
+        """
+        subject = _as_endpoint(subject)
+        obj = _as_endpoint(obj)
+        if head is None:
+            head_vars = tuple(endpoint for endpoint in (subject, obj)
+                              if isinstance(endpoint, Variable))
+        else:
+            head_vars = tuple(_as_variable(item) for item in head)
+        if not head_vars:
+            raise TranslationError(
+                "a builder query needs at least one variable endpoint "
+                "(or an explicit head)")
+        ast = UCRPQ((ConjunctiveQuery(
+            head_vars, (Atom(subject, self._path, obj),)),))
+        return self._session.ucrpq(ast)
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def path(self) -> PathExpr:
+        """The path-expression AST built so far."""
+        return self._path
+
+    def __str__(self) -> str:
+        return str(self._path)
+
+    def __repr__(self) -> str:
+        return f"PathBuilder({self._path})"
+
+    # -- Internal --------------------------------------------------------------
+
+    def _coerce(self, other: PathLike) -> PathExpr:
+        if isinstance(other, PathBuilder):
+            return other._path
+        if isinstance(other, PathExpr):
+            return other
+        if isinstance(other, str):
+            return PathBuilder.label(self._session, other)._path
+        raise TranslationError(
+            f"cannot use {other!r} as a path expression; pass a builder, "
+            f"a PathExpr or an edge-label string")
+
+
+def _invert(path: PathExpr) -> PathExpr:
+    if isinstance(path, Label):
+        return Label(path.name, inverse=not path.inverse)
+    if isinstance(path, Concat):
+        return Concat(tuple(_invert(part) for part in reversed(path.parts)))
+    if isinstance(path, Alternation):
+        return Alternation(tuple(_invert(option) for option in path.options))
+    if isinstance(path, Plus):
+        return Plus(_invert(path.inner))
+    raise TranslationError(f"cannot invert path expression {path!r}")
+
+
+def _as_endpoint(value: "str | Endpoint") -> Endpoint:
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        if value.startswith("?"):
+            return Variable(value[1:])
+        return Constant(value)
+    raise TranslationError(
+        f"cannot use {value!r} as an endpoint; pass '?var' or a constant")
+
+
+def _as_variable(value: "str | Variable") -> Variable:
+    endpoint = _as_endpoint(value)
+    if not isinstance(endpoint, Variable):
+        raise TranslationError(f"head entries must be variables, got {value!r}")
+    return endpoint

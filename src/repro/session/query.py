@@ -1,0 +1,378 @@
+"""Lazy query handles: every pipeline stage inspectable, nothing eager.
+
+A :class:`Query` is produced by a session front-end
+(:meth:`Session.ucrpq`, :meth:`Session.term`, the programmatic builder,
+or :meth:`PreparedQuery.bind`) and represents one trip through the staged
+pipeline::
+
+    front-end --> .ast --> .term --> .normalized --> .plan() --> action
+
+Constructing a handle performs **no work at all** — not even parsing.
+Each stage is computed on first access and memoized on the handle; the
+plan stage additionally goes through the session's shared plan cache, and
+the terminal actions go through the session's result cache.  Because
+every front-end funnels into the same :meth:`Session.resolve_plan` /
+:meth:`Session.execute_plan` pair, cache keys agree regardless of whether
+a query arrives as text, as a parsed AST, as a raw term, through the
+serving layer, or through a prepared-statement binding.
+
+:class:`DatalogQuery` is the same shape for the Datalog baseline
+front-end: ``.ast`` / ``.program`` stages, then ``collect()``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+from ..algebra.printer import term_to_string
+from ..algebra.terms import Term
+from ..errors import TranslationError
+from ..query.ast import UCRPQ
+from ..query.classes import classify_query
+from ..rewriter.normalize import canonicalize
+from .parameters import bind_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..service.plan_cache import CachedPlan
+    from .session import QueryResult, Session
+
+#: Sentinel distinguishing "not computed yet" from computed-as-None.
+_UNSET = object()
+
+
+class Query:
+    """One lazy, memoized trip through the session's staged pipeline."""
+
+    def __init__(self, session: "Session", *,
+                 text: str | None = None,
+                 ast: UCRPQ | None = None,
+                 term: Term | None = None,
+                 classes: frozenset[str] | None = None,
+                 strategy: str | None = None,
+                 plan_term: Term | None = None,
+                 bindings: dict[str, object] | None = None,
+                 description: str | None = None):
+        self.session = session
+        self._text = text
+        self._given_ast = ast
+        self._given_term = term
+        self._given_classes = classes
+        self._strategy = strategy
+        #: Term the plan phase runs on when it differs from :attr:`term`
+        #: (prepared queries plan their shared parameterized template).
+        self._plan_term = plan_term
+        #: Parameter values substituted into the selected plan (prepared).
+        self._bindings = dict(bindings or {})
+        self._description = description
+        # Memoized stages.
+        self._ast = _UNSET
+        self._term = _UNSET
+        self._normalized = _UNSET
+        self._classes = _UNSET
+        self._plans: dict[str | None, tuple] = {}
+        self._results: dict[str | None, "QueryResult"] = {}
+        #: Cache observations of the most recent plan/collect, for
+        #: introspection and tests (``None`` = cache not consulted).
+        self.last_plan_cache_hit: bool | None = None
+        self.last_result_cache_hit: bool | None = None
+
+    # -- Stages (lazy, memoized) ----------------------------------------------
+
+    @property
+    def text(self) -> str | None:
+        """The original query text, when the handle was built from text."""
+        return self._text
+
+    @property
+    def ast(self) -> UCRPQ:
+        """The parsed UCRPQ (parses on first access)."""
+        if self._ast is _UNSET:
+            if self._given_ast is not None:
+                self._ast = self._given_ast
+            elif self._text is not None:
+                self._ast = self.session.parse(self._text)
+            else:
+                raise TranslationError(
+                    "this query was built from a raw mu-RA term; "
+                    "it has no UCRPQ AST")
+        return self._ast
+
+    @property
+    def term(self) -> Term:
+        """The translated mu-RA term (translates on first access)."""
+        if self._term is _UNSET:
+            if self._given_term is not None:
+                self._term = self._given_term
+            else:
+                self._term = self.session.translate(self.ast)
+        return self._term
+
+    @property
+    def normalized(self) -> Term:
+        """The canonical form of :attr:`term` (the plan identity)."""
+        if self._normalized is _UNSET:
+            self._normalized = canonicalize(self.term)
+        return self._normalized
+
+    @property
+    def cache_key(self) -> str:
+        """Stable string identity of the query (printed canonical form)."""
+        return term_to_string(self.normalized)
+
+    @property
+    def classes(self) -> frozenset[str]:
+        """The paper's C1-C7 classification of the query."""
+        if self._classes is _UNSET:
+            if self._given_classes is not None:
+                self._classes = self._given_classes
+            else:
+                self._classes = classify_query(self.ast)
+        return self._classes
+
+    def plan(self, strategy: str | None = None) -> "CachedPlan":
+        """Explore+rank (through the session plan cache) and return the plan.
+
+        Memoized per strategy on the handle; across handles the session's
+        plan cache deduplicates the work.
+        """
+        return self._resolve(strategy)[0]
+
+    def explain(self, strategy: str | None = None) -> str:
+        """Human-readable account of the whole pipeline for this query."""
+        plan = self.plan(strategy)
+        classes = ",".join(sorted(self.classes)) or "none"
+        lines = [
+            f"query: {self.describe()}",
+            f"classes: {classes}",
+            "pipeline: front-end -> term -> normalize -> rank -> "
+            "physical plan -> action",
+            f"plans explored: {plan.plans_explored}",
+            f"selected cost: {plan.cost:.1f}",
+            f"selected plan: {plan.term}",
+        ]
+        return "\n".join(lines)
+
+    # -- Terminal actions ------------------------------------------------------
+
+    def collect(self, strategy: str | None = None) -> "QueryResult":
+        """Execute the selected plan and return the full :class:`QueryResult`.
+
+        Memoized per strategy: a handle is a one-shot staged computation.
+        Build a new handle (or use the serving layer) to observe data
+        mutated after the first collection.
+        """
+        effective = self._effective(strategy)
+        if effective not in self._results:
+            plan, hit, key = self._resolve(strategy)
+            result, result_hit = self.session.execute_plan(
+                plan, effective, self.classes, plan_key=key)
+            self.last_result_cache_hit = result_hit
+            self._results[effective] = result
+        return self._results[effective]
+
+    def run_once(self, strategy: str | None = None, *,
+                 use_plan_cache: bool | None = None,
+                 use_result_cache: bool | None = None,
+                 ) -> "tuple[QueryResult, bool | None, bool | None]":
+        """One un-memoized trip through the pipeline (the serving path).
+
+        Unlike :meth:`collect`, nothing is memoized on the handle, so the
+        session caches are consulted afresh — this is what a server wants
+        when the same handle (or an equivalent one) is served repeatedly
+        against a mutating database.  Honors the handle's own default
+        strategy and, for prepared bindings, the shared template plan.
+        Returns ``(result, plan_cache_hit, result_cache_hit)``.
+        """
+        effective = self._effective(strategy)
+        plan, plan_hit, key = self._plan_for(effective, use_cache=use_plan_cache)
+        result, result_hit = self.session.execute_plan(
+            plan, effective, self.classes,
+            use_result_cache=use_result_cache, plan_key=key)
+        return result, plan_hit, result_hit
+
+    def count(self, strategy: str | None = None) -> int:
+        """Number of result rows."""
+        return len(self.collect(strategy).relation)
+
+    def exists(self, strategy: str | None = None) -> bool:
+        """True when the query has at least one answer."""
+        return self.count(strategy) > 0
+
+    def stream(self, batch_size: int = 256,
+               strategy: str | None = None) -> Iterator[list[tuple]]:
+        """Yield the result rows in batches of ``batch_size`` tuples."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        relation = self.collect(strategy).relation
+        batch: list[tuple] = []
+        for row in relation.rows:
+            batch.append(row)
+            if len(batch) == batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def submit(self, strategy: str | None = None) -> Future:
+        """Run :meth:`collect` on the session's background worker.
+
+        Returns a future resolving to the :class:`QueryResult`.
+        """
+        return self.session.submit_action(lambda: self.collect(strategy))
+
+    # -- Introspection ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """A printable identity of the query that never triggers a parse."""
+        if self._description is not None:
+            return self._description
+        if self._text is not None:
+            return self._text
+        if self._given_ast is not None:
+            return str(self._given_ast)
+        return str(self._given_term)
+
+    def __repr__(self) -> str:
+        staged = [name for name, slot in (
+            ("ast", self._ast), ("term", self._term),
+            ("normalized", self._normalized)) if slot is not _UNSET]
+        if self._plans:
+            staged.append("plan")
+        if self._results:
+            staged.append("result")
+        return (f"Query({self.describe()!r}, "
+                f"staged=[{', '.join(staged) or 'nothing'}])")
+
+    # -- Internal --------------------------------------------------------------
+
+    def _effective(self, strategy: str | None) -> str | None:
+        return strategy if strategy is not None else self._strategy
+
+    def _resolve(self, strategy: str | None) -> tuple:
+        effective = self._effective(strategy)
+        if effective not in self._plans:
+            self._plans[effective] = self._plan_for(effective)
+        self.last_plan_cache_hit = self._plans[effective][1]
+        return self._plans[effective]
+
+    def _plan_for(self, effective: str | None,
+                  use_cache: bool | None = None) -> tuple:
+        """Resolve ``(plan, cache_hit, key)`` through the session.
+
+        For prepared bindings the plan phase runs on the shared template
+        term and the binding's constants are substituted into the selected
+        plan afterwards.  A bound plan must never be written back into the
+        template's plan-cache slot (a later binding would inherit its
+        constants), so its key is dropped.
+        """
+        base = self._plan_term if self._plan_term is not None else self.term
+        plan, hit, key = self.session.resolve_plan(base, effective,
+                                                   use_cache=use_cache)
+        if self._bindings:
+            plan = bind_plan(plan, self._bindings)
+            key = None
+        return plan, hit, key
+
+
+class DatalogQuery:
+    """The Datalog front-end: same staged shape, different compiler.
+
+    Stages: ``.ast`` (shared with the UCRPQ front-end), ``.program`` (the
+    left-linear Datalog translation, magic-set specialized), then the
+    terminal ``collect()`` running the semi-naive engine over the
+    session's database.  Used by the differential tests to compare the
+    two front-ends over one database instead of two engine silos.
+    """
+
+    def __init__(self, session: "Session", *,
+                 text: str | None = None,
+                 ast: UCRPQ | None = None,
+                 use_magic: bool = True):
+        self.session = session
+        self._text = text
+        self._given_ast = ast
+        self.use_magic = use_magic
+        self._ast = _UNSET
+        self._program = _UNSET
+        self._specialization = _UNSET
+        self._result = _UNSET
+
+    @property
+    def text(self) -> str | None:
+        return self._text
+
+    @property
+    def ast(self) -> UCRPQ:
+        """The parsed UCRPQ (parses on first access)."""
+        if self._ast is _UNSET:
+            self._ast = (self._given_ast if self._given_ast is not None
+                         else self.session.parse(self._text))
+        return self._ast
+
+    @property
+    def program(self):
+        """The (specialized) Datalog program (translates on first access)."""
+        if self._program is _UNSET:
+            from ..baselines.datalog.magic import MagicSetSpecializer, \
+                SpecializationReport
+            from ..baselines.datalog.translate import ucrpq_to_datalog
+            program = ucrpq_to_datalog(self.ast)
+            report = SpecializationReport(specialized=[], skipped=[])
+            if self.use_magic:
+                program, report = MagicSetSpecializer().specialize(program)
+            self._program = program
+            self._specialization = report
+        return self._program
+
+    @property
+    def specialization(self):
+        """The magic-set specialization report for :attr:`program`."""
+        self.program  # noqa: B018 - forces the translation stage
+        return self._specialization
+
+    def distribution(self) -> tuple[list[str], list[str]]:
+        """GPS-style (decomposable, non-decomposable) predicate analysis."""
+        from ..baselines.datalog.distributed import analyse_distribution
+        return analyse_distribution(self.program)
+
+    def collect(self):
+        """Evaluate the program bottom-up; returns a BigDatalogResult."""
+        if self._result is _UNSET:
+            from ..baselines.datalog.distributed import (BigDatalogResult,
+                                                         goal_relation)
+            from ..baselines.datalog.engine import SemiNaiveEngine
+            started = time.perf_counter()
+            program = self.program
+            decomposable, non_decomposable = self.distribution()
+            engine = SemiNaiveEngine()
+            facts = engine.evaluate(program, self.session.datalog_edb())
+            columns = tuple(sorted(v.name for v in self.ast.head))
+            relation = goal_relation(self.ast, facts, columns)
+            self._result = BigDatalogResult(
+                relation=relation,
+                program=program,
+                specialization=self._specialization,
+                decomposable_predicates=decomposable,
+                non_decomposable_predicates=non_decomposable,
+                iterations=engine.stats.iterations,
+                facts_derived=engine.stats.facts_derived,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        return self._result
+
+    def count(self) -> int:
+        return len(self.collect().relation)
+
+    def exists(self) -> bool:
+        return self.count() > 0
+
+    def describe(self) -> str:
+        if self._text is not None:
+            return self._text
+        return str(self._given_ast)
+
+    def __repr__(self) -> str:
+        return f"DatalogQuery({self.describe()!r}, magic={self.use_magic})"

@@ -1,0 +1,516 @@
+"""The :class:`Session`: one database, one cluster, one staged query pipeline.
+
+A session owns everything a query needs — the database, the statistics
+catalog, the plan and result caches, the rewriter and the simulated
+cluster — and hands out **lazy query handles** through its front-ends:
+
+* :meth:`Session.ucrpq` — the UCRPQ surface syntax (text or parsed AST),
+* :meth:`Session.datalog` — the same queries compiled through the Datalog
+  baseline front-end (left-linear recursion, magic sets),
+* :meth:`Session.relation` — a programmatic path-expression builder,
+* :meth:`Session.term` — raw mu-RA terms (the C7 non-regular workloads),
+* :meth:`Session.prepare` — parameterized templates whose bindings share
+  one plan-cache entry (see :mod:`repro.session.prepared`).
+
+Every handle exposes the pipeline stages lazily (``.ast``, ``.term``,
+``.normalized``, ``.plan()``, ``.explain()``) and executes only when a
+terminal action (``collect()``, ``count()``, ``exists()``, ``stream()``,
+``submit()``) is invoked::
+
+    from repro import Session
+    session = Session(graph, num_workers=4, executor="threads")
+    query = session.ucrpq("?x,?y <- ?x knows+ ?y")   # nothing runs yet
+    print(query.plan().cost)                          # parse+translate+rank
+    rows = query.collect().relation                   # execute
+
+The pipeline stages are shared by every front-end and by the serving layer
+(:class:`~repro.service.QueryService`), so cache keys agree no matter how a
+query enters the system.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Mapping
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..algebra.evaluate import Evaluator
+from ..algebra.schema import schemas_of_database
+from ..algebra.terms import Term
+from ..algebra.variables import free_variables
+from ..cost.selection import RankedPlan, rank_plans
+from ..data.graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
+from ..data.relation import Relation
+from ..data.stats import StatisticsCatalog
+from ..distributed.cluster import ClusterMetrics, SparkCluster
+from ..distributed.executor import SERIAL, ExecutorBackend
+from ..distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
+                                    DistributedQueryExecutor)
+from ..errors import EvaluationError, SchemaError, TranslationError
+from ..query.ast import UCRPQ
+from ..query.parser import parse_query
+from ..query.translate import translate_query
+from ..rewriter.engine import MuRewriter
+from ..rewriter.normalize import canonicalize
+from ..service.plan_cache import (DEFAULT_PLAN_CACHE_SIZE, CachedPlan,
+                                  PlanCache, PlanKey)
+from ..service.result_cache import (DEFAULT_RESULT_CACHE_SIZE, ResultCache,
+                                    ResultKey)
+from .builder import PathBuilder
+from .prepared import PreparedQuery
+from .query import DatalogQuery, Query
+
+
+@dataclass
+class QueryResult:
+    """Everything produced by one query execution."""
+
+    relation: Relation
+    selected_plan: Term
+    original_plan: Term
+    plans_explored: int
+    estimated_cost: float
+    physical_strategies: tuple[str, ...]
+    metrics: ClusterMetrics
+    elapsed_seconds: float
+    query_classes: frozenset[str] = field(default_factory=frozenset)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def summary(self) -> dict[str, object]:
+        """Flat dictionary used by the benchmark reports."""
+        summary = {
+            "rows": len(self.relation),
+            "plans_explored": self.plans_explored,
+            "estimated_cost": round(self.estimated_cost, 1),
+            "physical": ",".join(self.physical_strategies) or "central",
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "classes": ",".join(sorted(self.query_classes)),
+        }
+        summary.update(self.metrics.summary())
+        return summary
+
+
+class Session:
+    """A Dist-mu-RA session bound to one database and one simulated cluster.
+
+    The session is the single owner of the staged pipeline state: the plan
+    cache (rewriter + cost-ranking decisions), the result cache (whole
+    memoized executions), the statistics catalog and the execution lock
+    that serializes cluster use.  ``enable_plan_cache`` /
+    ``enable_result_cache`` set the session-wide defaults; callers (the
+    serving layer, individual actions) can override per call.
+    """
+
+    def __init__(self, data: LabeledGraph | Mapping[str, Relation],
+                 num_workers: int = 4,
+                 optimize: bool = True,
+                 strategy: str = AUTO,
+                 executor: str | ExecutorBackend = SERIAL,
+                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK,
+                 max_plans: int = 64,
+                 max_rounds: int = 8,
+                 *,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                 result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+                 enable_plan_cache: bool = True,
+                 enable_result_cache: bool = True):
+        if isinstance(data, LabeledGraph):
+            self.database: dict[str, Relation] = data.relations()
+        else:
+            self.database = dict(data)
+        self.cluster = SparkCluster(num_workers=num_workers, executor=executor)
+        self.optimize_plans = optimize
+        self.strategy = strategy
+        self.memory_per_task = memory_per_task
+        self.rewriter = MuRewriter(max_plans=max_plans, max_rounds=max_rounds)
+        self._schemas = schemas_of_database(self.database)
+        #: Persistent statistics used by the cost-based plan ranking.  The
+        #: mutation API refreshes the touched entries, so estimates always
+        #: reflect the current data (see :meth:`add_edges`).
+        self.catalog = StatisticsCatalog(self.database)
+        #: Monotonic counters tracking mutations: the database version is
+        #: bumped on every mutation, and each touched relation records the
+        #: version it was last changed at.  Both caches key on these.
+        self._database_version = 0
+        self._relation_versions: dict[str, int] = dict.fromkeys(self.database, 0)
+        self.enable_plan_cache = enable_plan_cache
+        self.enable_result_cache = enable_result_cache
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        #: Serializes cluster executions and mutations: the cluster's
+        #: executor backend and metrics are single-caller by design.  The
+        #: plan phase deliberately runs outside this lock.
+        self.execution_lock = threading.RLock()
+        self._background: ThreadPoolExecutor | None = None
+        self._background_lock = threading.Lock()
+        #: Memoized extensional database for the Datalog front-end,
+        #: tagged with the database version it was extracted at.
+        self._datalog_edb: dict[str, set[tuple]] | None = None
+        self._datalog_edb_version = -1
+
+    # -- Front-ends -----------------------------------------------------------------
+
+    def ucrpq(self, query: str | UCRPQ, strategy: str | None = None) -> Query:
+        """Lazy handle for a UCRPQ (text or parsed AST).  Nothing runs yet."""
+        if isinstance(query, str):
+            return Query(self, text=query, strategy=strategy)
+        return Query(self, ast=query, strategy=strategy)
+
+    def datalog(self, query: str | UCRPQ, use_magic: bool = True) -> DatalogQuery:
+        """The same UCRPQ, compiled through the Datalog baseline front-end."""
+        if isinstance(query, str):
+            return DatalogQuery(self, text=query, use_magic=use_magic)
+        return DatalogQuery(self, ast=query, use_magic=use_magic)
+
+    def term(self, term: Term,
+             classes: frozenset[str] = frozenset({"C7"}),
+             strategy: str | None = None) -> Query:
+        """Lazy handle for a raw mu-RA term (non-regular C7 workloads)."""
+        return Query(self, term=term, classes=classes, strategy=strategy)
+
+    def relation(self, label: str) -> PathBuilder:
+        """Start a programmatic path query from one edge label.
+
+        ``session.relation("a").closure().concat("b").between("?x", "?y")``
+        builds the same query as ``session.ucrpq("?x,?y <- ?x a+/b ?y")``.
+        """
+        return PathBuilder.label(self, label)
+
+    def prepare(self, query: str | UCRPQ,
+                params: tuple[str, ...] | None = None) -> PreparedQuery:
+        """Prepare a parameterized template (placeholders ``:name``).
+
+        Every :meth:`~repro.session.prepared.PreparedQuery.bind` after the
+        first is a plan-cache hit: the template is explored and ranked
+        once, and each binding substitutes its values into the selected
+        plan (see :mod:`repro.session.prepared`).
+        """
+        return PreparedQuery(self, query, params=params)
+
+    def as_query(self, query: "str | UCRPQ | Term | Query") -> Query:
+        """Coerce any supported query form into a lazy :class:`Query` handle."""
+        if isinstance(query, Query):
+            if query.session is not self:
+                raise TranslationError(
+                    "the query handle belongs to a different session")
+            return query
+        if isinstance(query, Term):
+            return self.term(query, classes=frozenset())
+        return self.ucrpq(query)
+
+    # -- Pipeline stages -----------------------------------------------------------
+
+    def parse(self, query: str | UCRPQ) -> UCRPQ:
+        """Parse UCRPQ text (ASTs pass through unchanged)."""
+        return parse_query(query) if isinstance(query, str) else query
+
+    def translate(self, query: str | UCRPQ) -> Term:
+        """Parse (if needed) and translate a UCRPQ into a mu-RA term.
+
+        Raises :class:`~repro.errors.TranslationError` for labels the
+        database does not have.  (Prepared templates never hit this with a
+        ``:name`` placeholder: label parameters are substituted with their
+        concrete labels before the template is translated.)
+        """
+        parsed = self.parse(query)
+        missing = sorted(label for label in parsed.labels()
+                         if label not in self.database)
+        if missing:
+            raise TranslationError(
+                f"query references unknown edge labels {missing}")
+        return translate_query(parsed)
+
+    def optimize(self, term: Term) -> tuple[RankedPlan, list[RankedPlan]]:
+        """Explore equivalent plans and rank them with the cost model.
+
+        This is the raw (uncached) explore+rank; :meth:`resolve_plan` is
+        the cached entry point the pipeline uses.  Ranking reads the
+        session's persistent :attr:`catalog`, so cost estimates follow
+        mutations instead of being recomputed from the full database.
+        """
+        plans = self.rewriter.explore(term, self._schemas)
+        ranked = rank_plans(plans, catalog=self.catalog)
+        return ranked[0], ranked
+
+    def resolve_plan(self, term: Term, strategy: str | None = None, *,
+                     use_cache: bool | None = None,
+                     ) -> tuple[CachedPlan, bool | None, PlanKey | None]:
+        """The shared plan phase: cache lookup, explore+rank, cache store.
+
+        Returns ``(plan, cache_hit, key)``.  ``cache_hit`` is ``None``
+        when the cache was not consulted (caching disabled, or the
+        optimizer is off and the term is used as-is).  This method is the
+        single plan path for every front-end and for the serving layer, so
+        their cache keys agree by construction.
+        """
+        if not self.optimize_plans:
+            selected = canonicalize(term)
+            return CachedPlan(term=selected, cost=float("nan"),
+                              plans_explored=1,
+                              dependencies=free_variables(selected)), None, None
+        use_cache = self.enable_plan_cache if use_cache is None else use_cache
+        if use_cache:
+            key = PlanKey.of(self, term, free_variables(term), strategy)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached, True, key
+        best, ranked = self.optimize(term)
+        plan = CachedPlan(term=best.term, cost=best.cost,
+                          plans_explored=len(ranked),
+                          dependencies=free_variables(best.term))
+        if not use_cache:
+            # No key either: callers use it for write-backs (the physical
+            # strategies patch), which must not touch a disabled cache.
+            return plan, None, None
+        self.plan_cache.put(key, plan)
+        return plan, False, key
+
+    def execute_plan(self, plan: CachedPlan, strategy: str | None = None,
+                     classes: frozenset[str] = frozenset(), *,
+                     use_result_cache: bool | None = None,
+                     plan_key: PlanKey | None = None,
+                     ) -> tuple[QueryResult, bool | None]:
+        """Execute a selected plan under the execution lock.
+
+        Consults the result cache first (a hit skips the cluster
+        entirely); on a miss the plan runs with the rewriter disabled and
+        the result is memoized against the current relation versions.
+        Returns ``(result, result_cache_hit)``.
+        """
+        use_cache = (self.enable_result_cache if use_result_cache is None
+                     else use_result_cache)
+        effective = strategy if strategy is not None else self.strategy
+        result_key = ResultKey(plan_key=plan.term_key, strategy=effective,
+                               num_workers=self.cluster.num_workers,
+                               memory_per_task=self.memory_per_task)
+        with self.execution_lock:
+            if use_cache:
+                cached = self.result_cache.lookup(result_key, self)
+                if cached is not None:
+                    return cached, True
+            result = self.execute_term(plan.term, strategy=strategy,
+                                       query_classes=classes, optimize=False)
+            # Patch in what the plan phase knew and the cache-skipping
+            # re-execution did not (plan count, estimated selection cost).
+            result.plans_explored = plan.plans_explored
+            result.estimated_cost = plan.cost
+            if use_cache:
+                self.result_cache.store(result_key, result,
+                                        plan.dependencies, self)
+            if plan_key is not None and not plan.physical_strategies:
+                self.plan_cache.put(plan_key, plan.with_strategies(
+                    result.physical_strategies))
+        return result, (False if use_cache else None)
+
+    # -- Execution ------------------------------------------------------------------
+
+    def execute_term(self, term: Term, strategy: str | None = None,
+                     query_classes: frozenset[str] = frozenset(),
+                     optimize: bool | None = None) -> QueryResult:
+        """Optimize (optionally) and execute a mu-RA term.
+
+        ``optimize`` overrides the session default for this call; the
+        staged pipeline passes ``False`` when it executes a plan it
+        already selected (and cached), skipping the rewriter and ranking.
+        """
+        started = time.perf_counter()
+        original = term
+        plans_explored = 1
+        estimated_cost = float("nan")
+        should_optimize = self.optimize_plans if optimize is None else optimize
+        if should_optimize:
+            best, ranked = self.optimize(term)
+            term = best.term
+            plans_explored = len(ranked)
+            estimated_cost = best.cost
+        with self.execution_lock:
+            self.cluster.reset_metrics()
+            executor = DistributedQueryExecutor(
+                self.cluster, self.database,
+                strategy=strategy if strategy is not None else self.strategy,
+                memory_per_task=self.memory_per_task)
+            outcome = executor.execute(term)
+            metrics = self.cluster.metrics
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            relation=outcome.relation,
+            selected_plan=term,
+            original_plan=original,
+            plans_explored=plans_explored,
+            estimated_cost=estimated_cost,
+            physical_strategies=outcome.strategies,
+            metrics=metrics,
+            elapsed_seconds=elapsed,
+            query_classes=query_classes,
+        )
+
+    def evaluate_centralized(self, term: Term) -> Relation:
+        """Reference single-node evaluation (used for testing and baselines)."""
+        return Evaluator(self.database).evaluate(term)
+
+    def datalog_edb(self) -> dict[str, set[tuple]]:
+        """Per-label EDB predicates for the Datalog front-end (memoized).
+
+        Recomputed after mutations (the memo is tagged with the database
+        version).  The snapshot is taken under the execution lock so a
+        concurrent mutation can neither change the dictionary mid-iteration
+        nor let a half-old EDB be memoized under the new version tag.
+        """
+        with self.execution_lock:
+            if self._datalog_edb is None \
+                    or self._datalog_edb_version != self._database_version:
+                from ..baselines.datalog.translate import database_to_edb
+                self._datalog_edb = database_to_edb(self.database)
+                self._datalog_edb_version = self._database_version
+            return self._datalog_edb
+
+    def submit_action(self, action) -> Future:
+        """Run a terminal action on the session's background worker.
+
+        Used by :meth:`Query.submit`; the worker is created lazily and
+        shut down by :meth:`close`.  Executions still serialize on the
+        session's execution lock, so background and foreground actions
+        never oversubscribe the cluster.
+        """
+        with self._background_lock:
+            if self._background is None:
+                self._background = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="session-submit")
+            return self._background.submit(action)
+
+    # -- Mutations and versioning ---------------------------------------------------
+
+    @property
+    def database_version(self) -> int:
+        """Monotonic counter bumped by every mutation of the session."""
+        return self._database_version
+
+    def relation_version(self, name: str) -> int:
+        """Version at which relation ``name`` last changed (0 = unchanged)."""
+        return self._relation_versions.get(name, 0)
+
+    def relation_versions(self, names: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(name, version)`` snapshot of the given relations.
+
+        Unknown names are included with version 0, so a cache entry built
+        before a relation existed is invalidated when it appears.
+        """
+        return tuple((name, self.relation_version(name))
+                     for name in sorted(set(names)))
+
+    def add_edges(self, label: str,
+                  pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
+        """Add ``(src, trg)`` edges to the ``label`` relation.
+
+        The inverse relation ``-label`` and the ``facts`` triple table (when
+        the database has them) are kept consistent, the touched relations'
+        statistics are refreshed in :attr:`catalog`, the database version
+        is bumped, and the dependent plan/result cache entries are purged.
+        Returns the names of the touched relations.
+        """
+        return self._apply_edge_mutation(label, pairs, removing=False)
+
+    def remove_edges(self, label: str,
+                     pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
+        """Remove ``(src, trg)`` edges from the ``label`` relation.
+
+        Same consistency and invalidation contract as :meth:`add_edges`.
+        """
+        return self._apply_edge_mutation(label, pairs, removing=True)
+
+    def _apply_edge_mutation(self, label: str, pairs, removing: bool) -> tuple[str, ...]:
+        if label.startswith(INVERSE_PREFIX):
+            raise TranslationError(
+                f"mutate the base relation {label[len(INVERSE_PREFIX):]!r} "
+                f"instead of the inverse {label!r}")
+        edge_pairs = {(src, trg) for src, trg in pairs}
+        # The whole mutation — planning, validation, application, version
+        # bump and cache purge — runs under the execution lock, so no
+        # concurrent mutation or in-flight execution can interleave with a
+        # half-applied change (the lock is re-entrant: the serving layer's
+        # workers may already hold it).
+        with self.execution_lock:
+            return self._mutate_locked(label, edge_pairs, removing)
+
+    def _mutate_locked(self, label: str, edge_pairs: set, removing: bool) -> tuple[str, ...]:
+        if removing and label not in self.database:
+            raise EvaluationError(
+                f"cannot remove edges from unknown relation {label!r}")
+        existing = self.database.get(label)
+        inverse = INVERSE_PREFIX + label
+        # Plan and validate every delta *before* touching the database, so a
+        # schema mismatch anywhere leaves the session completely unchanged
+        # (a partial mutation would desynchronize versions and caches).
+        planned: list[tuple[str, Relation | None, Relation]] = []
+        delta = Relation.from_pairs(edge_pairs, columns=(SRC, TRG))
+        planned.append((label, existing, delta))
+        if inverse in self.database or existing is None:
+            inverse_delta = Relation.from_pairs(
+                {(trg, src) for src, trg in edge_pairs}, columns=(SRC, TRG))
+            planned.append((inverse, self.database.get(inverse), inverse_delta))
+        facts = self.database.get("facts")
+        if facts is not None and facts.columns == tuple(sorted((SRC, PRED, TRG))):
+            # Rows align with the sorted schema ('pred', 'src', 'trg').
+            fact_delta = Relation(facts.columns,
+                                  [(label, src, trg) for src, trg in edge_pairs])
+            planned.append(("facts", facts, fact_delta))
+        for name, current, name_delta in planned:
+            if current is not None and current.columns != name_delta.columns:
+                raise SchemaError(
+                    f"relation {name!r} has schema {current.columns}; the "
+                    f"edge mutation API only supports {name_delta.columns} "
+                    f"relations")
+        touched: list[str] = []
+        for name, current, name_delta in planned:
+            base = (current if current is not None
+                    else Relation.empty(name_delta.columns))
+            self.database[name] = (base.difference(name_delta) if removing
+                                   else base.union(name_delta))
+            touched.append(name)
+        # Refresh the statistics *before* bumping the versions: a concurrent
+        # reader (the unlocked plan phase) that observes the new fingerprint
+        # must also observe the new statistics, otherwise it could cache a
+        # stale-ranked plan under a current-looking key.  The reverse
+        # interleaving (old fingerprint, new statistics) only wastes a cache
+        # slot that never hits again.
+        for name in touched:
+            self.catalog.refresh(name, self.database[name])
+        self._schemas = schemas_of_database(self.database)
+        self._database_version += 1
+        for name in touched:
+            self._relation_versions[name] = self._database_version
+        self.plan_cache.invalidate_relations(touched)
+        self.result_cache.invalidate_relations(touched)
+        return tuple(touched)
+
+    # -- Lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the cluster's executor pools and the background worker."""
+        with self._background_lock:
+            if self._background is not None:
+                self._background.shutdown(wait=True)
+                self._background = None
+        self.cluster.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- Introspection -----------------------------------------------------------------
+
+    def explain(self, query: str | UCRPQ) -> str:
+        """Return a human-readable account of the optimisation of a query."""
+        return self.ucrpq(query).explain()
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(relations={len(self.database)}, "
+                f"workers={self.cluster.num_workers}, "
+                f"executor={self.cluster.executor.name!r}, "
+                f"optimize={self.optimize_plans}, strategy={self.strategy!r})")

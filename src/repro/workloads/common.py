@@ -29,6 +29,16 @@ class WorkloadQuery:
             raise ValueError(f"{self.qid} is a raw mu-RA workload query")
         return parse_query(self.text)
 
+    def as_query(self, session):
+        """Lazy :class:`~repro.session.Query` handle for this entry.
+
+        UCRPQ entries go through the text front-end; raw mu-RA entries
+        (class C7) through the term front-end, carrying their classes.
+        """
+        if self.is_ucrpq:
+            return session.ucrpq(self.text)
+        return session.term(self.term, classes=self.classes)
+
     def __str__(self) -> str:
         return f"{self.qid}: {self.text if self.text else '<mu-RA term>'}"
 

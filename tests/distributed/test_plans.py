@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra import RelVar, closure, closure_from_seed, evaluate
-from repro.data import Eq, Relation
+from repro.data import Eq
 from repro.distributed import (PGLD, PPLW_POSTGRES, PPLW_SPARK, SparkCluster,
                                make_plan, plan_partitioning)
 from repro.algebra import Filter, schemas_of_database

@@ -116,3 +116,47 @@ class TestQueries:
         query = parse_query(text)
         reparsed = parse_query(str(query).replace(" UNION ", " ; "))
         assert reparsed == query
+
+
+class TestErrorMessages:
+    """Malformed inputs report the source position with a caret snippet."""
+
+    def test_unexpected_character_points_at_it(self):
+        source = "?x <- ?x a+ !"
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query(source)
+        message = str(excinfo.value)
+        assert "unexpected character '!'" in message
+        assert "at position 12" in message
+        assert source in message
+        assert excinfo.value.position == 12
+        # The caret sits under the offending character.
+        snippet_lines = message.splitlines()[-2:]
+        assert snippet_lines[0].index("!") == snippet_lines[1].index("^")
+
+    def test_misplaced_operator_points_at_it(self):
+        source = "?x <- ?x +knows ?y"
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query(source)
+        message = str(excinfo.value)
+        assert "expected IDENT but found '+'" in message
+        assert "at position 9" in message
+        snippet_lines = message.splitlines()[-2:]
+        assert snippet_lines[1].rstrip().endswith("^")
+        assert snippet_lines[1].index("^") == 2 + 9  # two-space indent
+
+    def test_truncated_query_points_past_the_end(self):
+        source = "?x <- ?x knows+"
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query(source)
+        message = str(excinfo.value)
+        assert "unexpected end of query" in message
+        assert f"at position {len(source)}" in message
+        assert source in message
+
+    def test_trailing_input_is_located(self):
+        source = "?x <- ?x knows ?y )"
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query(source)
+        assert "trailing input ')'" in str(excinfo.value)
+        assert excinfo.value.position == 18

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.engine import DistMuRA
 from repro.query.parser import parse_query
-from repro.query.translate import translate_query
 from repro.rewriter.normalize import cache_key
 from repro.service import CachedPlan, LRUCache, PlanCache, PlanKey
 from repro.algebra.variables import free_variables

@@ -7,7 +7,7 @@ import time
 
 import pytest
 
-from repro import (DistMuRA, LabeledGraph, QueryService, ServiceError,
+from repro import (DistMuRA, QueryService, ServiceError,
                    ServiceOverloadError)
 from repro.service import FAILED, OK
 
@@ -107,7 +107,7 @@ def test_admission_control_rejects_when_queue_full(engine):
     try:
         # Occupy the single worker with a query that blocks on the engine
         # lock, then fill the one queue slot.
-        with service._engine_lock:
+        with service.session.execution_lock:
             blocked = service.submit(graph_lock_query)
             time.sleep(0.05)  # let the worker pick it up and block
             queued = service.submit(graph_lock_query)
@@ -124,7 +124,7 @@ def test_admission_control_rejects_when_queue_full(engine):
 def test_expired_deadline_skips_execution(engine):
     service = QueryService(engine, max_in_flight=1)
     try:
-        with service._engine_lock:
+        with service.session.execution_lock:
             # The worker blocks on this one...
             running = service.submit(KNOWS)
             # ...so this one waits in the queue past its deadline.
@@ -142,7 +142,7 @@ def test_expired_deadline_skips_execution(engine):
 def test_default_timeout_is_applied(engine):
     service = QueryService(engine, max_in_flight=1, default_timeout=0.0)
     try:
-        with service._engine_lock:
+        with service.session.execution_lock:
             first = service.submit(KNOWS)   # deadline already expired
             time.sleep(0.05)
         assert first.result(timeout=10).status == FAILED

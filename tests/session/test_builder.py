@@ -1,0 +1,72 @@
+"""The programmatic builder front-end produces the same pipeline results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def session(small_labeled_graph):
+    with Session(small_labeled_graph, num_workers=2) as session:
+        yield session
+
+
+class TestBuilderShapes:
+    def test_closure_matches_text_front_end(self, session):
+        built = session.relation("knows").closure().between("?x", "?y")
+        text = session.ucrpq("?x,?y <- ?x knows+ ?y")
+        assert built.collect().relation == text.collect().relation
+        # Same canonical identity: the two front-ends share cache entries.
+        assert built.cache_key == text.cache_key
+
+    def test_concat_and_constant_endpoint(self, session):
+        built = (session.relation("livesIn")
+                 .concat(session.relation("isLocatedIn").closure())
+                 .between("?x", "europe"))
+        text = session.ucrpq("?x <- ?x livesIn/isLocatedIn+ europe")
+        assert built.collect().relation == text.collect().relation
+        assert "C2" in built.classes
+
+    def test_union_of_labels(self, session):
+        built = (session.relation("knows").union("livesIn")
+                 .between("?x", "?y"))
+        text = session.ucrpq("?x,?y <- ?x (knows|livesIn) ?y")
+        assert built.collect().relation == text.collect().relation
+
+    def test_string_coercion_in_concat(self, session):
+        built = session.relation("knows").closure().concat("livesIn")
+        assert str(built) == "knows+/livesIn"
+
+    def test_inverse_label_syntax(self, session):
+        direct = session.relation("-knows").between("?x", "?y")
+        text = session.ucrpq("?x,?y <- ?x -knows ?y")
+        assert direct.collect().relation == text.collect().relation
+
+    def test_inverse_reverses_concatenation(self, session):
+        path = session.relation("knows").concat("livesIn").inverse()
+        assert str(path) == "-livesIn/-knows"
+        forward = session.relation("knows").concat("livesIn").between("?x", "?y")
+        backward = path.between("?y", "?x")
+        assert forward.collect().relation == backward.collect().relation
+
+    def test_builders_are_immutable(self, session):
+        base = session.relation("knows")
+        base.closure()
+        assert str(base) == "knows"
+
+
+class TestBuilderValidation:
+    def test_two_constants_need_explicit_head(self, session):
+        with pytest.raises(TranslationError):
+            session.relation("knows").between("alice", "bob")
+
+    def test_explicit_head_must_be_variables(self, session):
+        with pytest.raises(TranslationError):
+            session.relation("knows").between("?x", "?y", head=("alice",))
+
+    def test_bad_path_operand_is_rejected(self, session):
+        with pytest.raises(TranslationError):
+            session.relation("knows").concat(42)

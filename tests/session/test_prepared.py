@@ -1,0 +1,135 @@
+"""Prepared/parameterized queries: plan once, bind many, answers correct."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.errors import TranslationError
+from repro.session.parameters import Parameter, parameters_of
+
+
+@pytest.fixture
+def session(small_labeled_graph):
+    with Session(small_labeled_graph, num_workers=2) as session:
+        yield session
+
+
+def count_explores(session):
+    """Instrument the rewriter; returns the live call-count list."""
+    calls = []
+    original = session.rewriter.explore
+
+    def counting_explore(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    session.rewriter.explore = counting_explore
+    return calls
+
+
+class TestValueParameters:
+    def test_bindings_match_adhoc_queries(self, session):
+        prepared = session.prepare("?y <- :start knows+ ?y")
+        for start in ("alice", "bob", "nobody"):
+            bound = prepared.bind(start=start).collect().relation
+            adhoc = session.ucrpq(f"?y <- {start} knows+ ?y") \
+                if start != "nobody" else None
+            if adhoc is not None:
+                assert bound == adhoc.collect().relation
+            else:
+                assert len(bound) == 0
+
+    def test_one_explore_for_many_bindings(self, session):
+        calls = count_explores(session)
+        prepared = session.prepare("?y <- :start knows+ ?y")
+        for start in ("alice", "bob", "carol", "dave", "alice"):
+            prepared.bind(start=start).collect()
+        assert calls == [1]
+        stats = session.plan_cache.stats
+        assert stats.hits >= 4
+
+    def test_distinct_bindings_do_not_share_results(self, session):
+        prepared = session.prepare("?y <- :start knows ?y")
+        alice = prepared.bind(start="alice").collect().relation
+        bob = prepared.bind(start="bob").collect().relation
+        assert alice != bob
+
+    def test_mutation_invalidates_the_template_plan(self, session):
+        calls = count_explores(session)
+        prepared = session.prepare("?y <- :start knows+ ?y")
+        prepared.bind(start="alice").collect()
+        assert calls == [1]
+        session.add_edges("knows", [("zoe", "alice")])
+        prepared.bind(start="zoe").collect()
+        # New statistics, new fingerprint: the template is re-planned once.
+        assert calls == [1, 1]
+
+
+class TestLabelParameters:
+    def test_label_binding_selects_the_relation(self, session):
+        prepared = session.prepare("?x,?y <- ?x :edge+ ?y", params=("edge",))
+        knows = prepared.bind(edge="knows").collect().relation
+        located = prepared.bind(edge="isLocatedIn").collect().relation
+        assert knows == session.ucrpq("?x,?y <- ?x knows+ ?y").collect().relation
+        assert located == \
+            session.ucrpq("?x,?y <- ?x isLocatedIn+ ?y").collect().relation
+
+    def test_rebinding_same_label_hits_the_plan_cache(self, session):
+        calls = count_explores(session)
+        prepared = session.prepare("?x,?y <- ?x :edge+ ?y")
+        prepared.bind(edge="knows").collect()
+        prepared.bind(edge="isLocatedIn").collect()
+        prepared.bind(edge="knows").collect()
+        # One explore per distinct label (their statistics differ), then hits.
+        assert calls == [1, 1]
+
+    def test_unknown_label_binding_fails_cleanly(self, session):
+        prepared = session.prepare("?x,?y <- ?x :edge+ ?y")
+        with pytest.raises(TranslationError):
+            prepared.bind(edge="noSuchLabel")
+
+    def test_label_binding_must_be_a_string(self, session):
+        prepared = session.prepare("?x,?y <- ?x :edge+ ?y")
+        with pytest.raises(TranslationError):
+            prepared.bind(edge=42)
+
+
+class TestTemplateValidation:
+    def test_inferred_params_cover_labels_and_values(self, session):
+        prepared = session.prepare("?y <- :start :edge+ ?y")
+        assert prepared.params == ("edge", "start")
+        assert prepared.label_params == frozenset({"edge"})
+        assert prepared.value_params == frozenset({"start"})
+
+    def test_declared_params_must_match_placeholders(self, session):
+        with pytest.raises(TranslationError):
+            session.prepare("?y <- :start knows+ ?y", params=("start", "end"))
+        with pytest.raises(TranslationError):
+            session.prepare("?y <- :start knows+ ?y", params=())
+
+    def test_bind_rejects_missing_and_unknown_parameters(self, session):
+        prepared = session.prepare("?y <- :start knows+ ?y")
+        with pytest.raises(TranslationError):
+            prepared.bind()
+        with pytest.raises(TranslationError):
+            prepared.bind(start="alice", end="bob")
+
+    def test_namespaced_identifiers_are_not_placeholders(self, session):
+        session.add_edges("rdfs:subClassOf", [("a", "b")])
+        prepared = session.prepare("?x,?y <- ?x rdfs:subClassOf ?y ")
+        assert prepared.params == ()
+        assert prepared.bind().count() == 1
+
+
+class TestParameterSentinels:
+    def test_template_term_carries_sentinels(self, session):
+        prepared = session.prepare("?y <- :start knows+ ?y")
+        bound = prepared.bind(start="alice")
+        template = bound._plan_term
+        assert parameters_of(template) == frozenset({"start"})
+        # The executed plan has the concrete value substituted in.
+        assert parameters_of(bound.plan().term) == frozenset()
+
+    def test_sentinel_repr_cannot_collide_with_parser_output(self):
+        assert " " in repr(Parameter("start"))

@@ -1,0 +1,141 @@
+"""Laziness and memoization of the staged Query pipeline.
+
+The acceptance contract of the Session API: constructing a handle does
+no work at all (not even parsing), each stage runs exactly once on first
+access, and the stages agree with the batch entry points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.errors import QueryParseError, TranslationError
+
+QUERY = "?x,?y <- ?x knows+ ?y"
+
+
+@pytest.fixture
+def session(small_labeled_graph):
+    with Session(small_labeled_graph, num_workers=2) as session:
+        yield session
+
+
+class TestConstructionIsFree:
+    def test_construction_does_not_parse(self, session, monkeypatch):
+        calls = []
+        import repro.session.session as session_module
+        original = session_module.parse_query
+
+        def counting(text):
+            calls.append(text)
+            return original(text)
+
+        monkeypatch.setattr(session_module, "parse_query", counting)
+        query = session.ucrpq(QUERY)
+        assert calls == []
+        query.ast
+        assert calls == [QUERY]
+        query.ast  # memoized: no second parse
+        query.term
+        assert calls == [QUERY]
+        assert repr(query).count("ast") == 1
+
+    def test_malformed_text_only_fails_on_first_stage_access(self, session):
+        query = session.ucrpq("?x <- ?x +broken")  # constructing is fine
+        with pytest.raises(QueryParseError):
+            query.ast
+
+    def test_unknown_label_only_fails_at_translation(self, session):
+        query = session.ucrpq("?x,?y <- ?x noSuchLabel+ ?y")
+        query.ast  # parsing succeeds
+        with pytest.raises(TranslationError):
+            query.term
+
+    def test_no_optimization_until_plan_stage(self, session):
+        explores = []
+        original = session.rewriter.explore
+
+        def counting_explore(*args, **kwargs):
+            explores.append(1)
+            return original(*args, **kwargs)
+
+        session.rewriter.explore = counting_explore
+        query = session.ucrpq(QUERY)
+        query.ast
+        query.term
+        query.normalized
+        query.cache_key
+        assert explores == []
+        query.plan()
+        assert explores == [1]
+        query.plan()      # memoized on the handle
+        query.collect()   # reuses the resolved plan
+        assert explores == [1]
+
+
+class TestStages:
+    def test_stage_chain_is_consistent(self, session):
+        query = session.ucrpq(QUERY)
+        assert [v.name for v in query.ast.head] == ["x", "y"]
+        assert query.cache_key  # canonical printed form, non-empty
+        # The canonical form of the translated term is the plan identity:
+        # an equivalent handle built from the parsed AST agrees.
+        twin = session.ucrpq(query.ast)
+        assert twin.cache_key == query.cache_key
+
+    def test_classes_are_reported(self, session):
+        assert "C2" in session.ucrpq("?x <- ?x isLocatedIn+ europe").classes
+
+    def test_raw_term_handle_has_no_ast(self, session):
+        term = session.ucrpq(QUERY).term
+        handle = session.term(term, classes=frozenset({"C7"}))
+        with pytest.raises(TranslationError):
+            handle.ast
+        assert handle.classes == frozenset({"C7"})
+        assert handle.count() > 0
+
+    def test_explain_mentions_pipeline_and_classes(self, session):
+        text = session.ucrpq("?x <- ?x isLocatedIn+ europe").explain()
+        assert "C2" in text
+        assert "plans explored" in text
+        assert "front-end -> term -> normalize -> rank" in text
+
+
+class TestActions:
+    def test_collect_count_exists_agree(self, session):
+        query = session.ucrpq(QUERY)
+        result = query.collect()
+        assert query.count() == len(result.relation)
+        assert query.exists() is (len(result.relation) > 0)
+
+    def test_collect_is_memoized_per_strategy(self, session):
+        from repro import PGLD, PPLW_SPARK
+        query = session.ucrpq(QUERY)
+        assert query.collect() is query.collect()
+        assert query.collect(PGLD) is not query.collect(PPLW_SPARK)
+
+    def test_stream_batches_cover_the_result(self, session):
+        query = session.ucrpq(QUERY)
+        batches = list(query.stream(batch_size=3))
+        assert all(len(batch) <= 3 for batch in batches)
+        streamed = {row for batch in batches for row in batch}
+        assert streamed == set(query.collect().relation.rows)
+
+    def test_stream_rejects_nonpositive_batch(self, session):
+        with pytest.raises(ValueError):
+            next(session.ucrpq(QUERY).stream(batch_size=0))
+
+    def test_submit_returns_future_with_query_result(self, session):
+        future = session.ucrpq(QUERY).submit()
+        result = future.result(timeout=30)
+        assert len(result.relation) == session.ucrpq(QUERY).count()
+
+    def test_matches_eager_facade_answer(self, small_labeled_graph, session):
+        import warnings
+        from repro import DistMuRA
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with DistMuRA(small_labeled_graph, num_workers=2) as engine:
+                eager = engine.query(QUERY)
+        assert session.ucrpq(QUERY).collect().relation == eager.relation

@@ -1,0 +1,94 @@
+"""Session-level behaviour: front-end parity, caches, mutations, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def session(small_labeled_graph):
+    with Session(small_labeled_graph, num_workers=2) as session:
+        yield session
+
+
+class TestDatalogFrontEnd:
+    def test_matches_ucrpq_front_end(self, session):
+        text = "?x,?y <- ?x knows+ ?y"
+        mu = session.ucrpq(text).collect().relation
+        datalog = session.datalog(text).collect().relation
+        assert mu == datalog
+
+    def test_stages_are_lazy_and_memoized(self, session):
+        handle = session.datalog("?x,?y <- ?x knows+ ?y")
+        assert handle._program is not handle.program  # sentinel replaced
+        assert handle.program is handle.program
+        assert handle.collect() is handle.collect()
+
+    def test_program_reports_left_linear_recursion(self, session):
+        handle = session.datalog("?x,?y <- ?x knows+ ?y")
+        decomposable, non_decomposable = handle.distribution()
+        assert decomposable or non_decomposable
+
+    def test_edb_follows_mutations(self, session):
+        before = session.datalog("?x,?y <- ?x knows ?y").count()
+        session.add_edges("knows", [("dave", "erin")])
+        after = session.datalog("?x,?y <- ?x knows ?y").count()
+        assert after == before + 1
+
+
+class TestSessionCaches:
+    def test_result_cache_serves_repeated_handles(self, session):
+        text = "?x,?y <- ?x knows+ ?y"
+        first = session.ucrpq(text)
+        first.collect()
+        assert first.last_result_cache_hit is False
+        second = session.ucrpq(text)
+        second.collect()
+        assert second.last_result_cache_hit is True
+
+    def test_mutation_invalidates_both_caches(self, session):
+        text = "?x,?y <- ?x knows+ ?y"
+        session.ucrpq(text).collect()
+        assert len(session.plan_cache) == 1
+        assert len(session.result_cache) == 1
+        session.add_edges("knows", [("dave", "erin")])
+        assert len(session.plan_cache) == 0
+        assert len(session.result_cache) == 0
+        fresh = session.ucrpq(text)
+        assert ("alice", "erin") in fresh.collect().relation.to_pairs("x", "y")
+
+    def test_caches_can_be_disabled_per_session(self, small_labeled_graph):
+        with Session(small_labeled_graph, num_workers=2,
+                     enable_plan_cache=False,
+                     enable_result_cache=False) as session:
+            query = session.ucrpq("?x,?y <- ?x knows+ ?y")
+            query.collect()
+            assert query.last_plan_cache_hit is None
+            assert query.last_result_cache_hit is None
+            assert len(session.plan_cache) == 0
+
+
+class TestFrontEndDispatch:
+    def test_as_query_accepts_all_forms(self, session):
+        text = "?x,?y <- ?x knows+ ?y"
+        by_text = session.as_query(text)
+        by_ast = session.as_query(session.parse(text))
+        by_term = session.as_query(by_text.term)
+        handle = session.ucrpq(text)
+        assert session.as_query(handle) is handle
+        assert by_text.collect().relation == by_ast.collect().relation
+        assert by_text.collect().relation == by_term.collect().relation
+
+    def test_foreign_handles_are_rejected(self, session, small_labeled_graph):
+        with Session(small_labeled_graph) as other:
+            foreign = other.ucrpq("?x,?y <- ?x knows ?y")
+            with pytest.raises(TranslationError):
+                session.as_query(foreign)
+
+    def test_explain_goes_through_the_pipeline(self, session):
+        text = session.explain("?x <- ?x isLocatedIn+ europe")
+        assert "C2" in text
+        assert "plans explored" in text

@@ -1,0 +1,87 @@
+"""The compatibility facades: correct answers, one warning per call site."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import DistMuRA, QueryService, Session
+from repro._compat import reset_deprecation_registry
+
+QUERY = "?x,?y <- ?x edge+ ?y"
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+def recorded_deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestDistMuRAFacade:
+    def test_query_still_matches_the_session_pipeline(self, seeded_random_graph):
+        with Session(seeded_random_graph, num_workers=2) as session:
+            expected = session.ucrpq(QUERY).collect().relation
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with DistMuRA(seeded_random_graph, num_workers=2) as engine:
+                assert engine.query(QUERY).relation == expected
+
+    def test_warns_exactly_once_per_call_site(self, seeded_random_graph):
+        with DistMuRA(seeded_random_graph, num_workers=2) as engine:
+            with warnings.catch_warnings(record=True) as record:
+                warnings.simplefilter("always")
+                for _ in range(5):
+                    engine.query(QUERY)  # one site, five calls
+            assert len(recorded_deprecations(record)) == 1
+
+    def test_distinct_call_sites_each_warn(self, seeded_random_graph):
+        with DistMuRA(seeded_random_graph, num_workers=2) as engine:
+            with warnings.catch_warnings(record=True) as record:
+                warnings.simplefilter("always")
+                for _ in range(3):
+                    engine.query(QUERY)  # first site, three calls
+                engine.query(QUERY)      # second site
+            assert len(recorded_deprecations(record)) == 2
+
+    def test_facade_is_a_session(self, seeded_random_graph):
+        with DistMuRA(seeded_random_graph, num_workers=2) as engine:
+            assert isinstance(engine, Session)
+            # The lazy front-ends work on the facade without warnings.
+            with warnings.catch_warnings(record=True) as record:
+                warnings.simplefilter("always")
+                engine.ucrpq(QUERY).collect()
+            assert not recorded_deprecations(record)
+
+    def test_legacy_cache_defaults_are_off(self, seeded_random_graph):
+        with DistMuRA(seeded_random_graph, num_workers=2) as engine:
+            assert engine.enable_plan_cache is False
+            assert engine.enable_result_cache is False
+        with Session(seeded_random_graph, num_workers=2) as session:
+            assert session.enable_plan_cache is True
+            assert session.enable_result_cache is True
+
+
+class TestQueryServiceFacade:
+    def test_query_matches_submit(self, seeded_random_graph):
+        with Session(seeded_random_graph, num_workers=2) as session:
+            with QueryService(session, max_in_flight=2) as service:
+                via_submit = service.submit(QUERY, block=True).result()
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    via_query = service.query(QUERY)
+                assert via_query.result.relation == via_submit.result.relation
+
+    def test_warns_exactly_once_per_call_site(self, seeded_random_graph):
+        with Session(seeded_random_graph, num_workers=2) as session:
+            with QueryService(session, max_in_flight=2) as service:
+                with warnings.catch_warnings(record=True) as record:
+                    warnings.simplefilter("always")
+                    for _ in range(4):
+                        service.query(QUERY)
+                assert len(recorded_deprecations(record)) == 1

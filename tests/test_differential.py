@@ -1,20 +1,21 @@
-"""Cross-engine differential tests on seeded random graphs.
+"""Cross-front-end differential tests on seeded random graphs.
 
-One query, many ways to answer it: the three distributed fixpoint plans
-(Pgld, Pplw^s, Pplw^pg), each on the three executor backends (serial,
-threads, processes), the centralized mu-RA evaluator, and the BigDatalog
-baseline engine.  Every combination must produce exactly the same relation
-— any divergence is either a distribution bug (fixpoint splitting, final
-union), a concurrency bug (task isolation, metrics races), or a semantics
-bug in one of the engines.
+One query, many ways to answer it — all through one :class:`Session`: the
+three distributed fixpoint plans (Pgld, Pplw^s, Pplw^pg), each on the
+three executor backends (serial, threads, processes), the centralized
+mu-RA evaluator, and the Datalog front-end (``session.datalog``, the same
+left-linear translation the BigDatalog baseline uses).  Every combination
+must produce exactly the same relation — any divergence is either a
+distribution bug (fixpoint splitting, final union), a concurrency bug
+(task isolation, metrics races), or a semantics bug in one of the
+front-end compilers.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import DistMuRA
-from repro.baselines.datalog import BigDatalogEngine
+from repro import Session
 from repro.data.relation import Relation
 from repro.distributed import (EXECUTOR_BACKENDS, PGLD, PPLW_POSTGRES,
                                PPLW_SPARK)
@@ -34,9 +35,9 @@ def canonical(relation: Relation) -> tuple:
 
 
 def centralized_answer(graph, query_text: str) -> tuple:
-    engine = DistMuRA(graph, optimize=False)
-    term = engine.translate(query_text)
-    return canonical(engine.evaluate_centralized(term))
+    session = Session(graph, optimize=False)
+    term = session.ucrpq(query_text).term
+    return canonical(session.evaluate_centralized(term))
 
 
 @pytest.fixture(scope="module")
@@ -61,9 +62,9 @@ class TestPlanExecutorMatrix:
     @pytest.mark.parametrize("strategy", ALL_PLANS)
     def test_closure(self, seeded_random_graph, closure_reference,
                      strategy, executor):
-        with DistMuRA(seeded_random_graph, num_workers=4, optimize=False,
-                      executor=executor) as engine:
-            result = engine.query(CLOSURE_QUERY, strategy=strategy)
+        with Session(seeded_random_graph, num_workers=4, optimize=False,
+                     executor=executor) as session:
+            result = session.ucrpq(CLOSURE_QUERY).collect(strategy=strategy)
         assert canonical(result.relation) == closure_reference
         assert result.metrics.executor == executor
         assert result.metrics.tasks_launched > 0
@@ -72,16 +73,16 @@ class TestPlanExecutorMatrix:
     @pytest.mark.parametrize("strategy", ALL_PLANS)
     def test_concatenated_closures(self, seeded_two_label_graph,
                                    concat_reference, strategy, executor):
-        with DistMuRA(seeded_two_label_graph, num_workers=4, optimize=False,
-                      executor=executor) as engine:
-            result = engine.query(CONCAT_QUERY, strategy=strategy)
+        with Session(seeded_two_label_graph, num_workers=4, optimize=False,
+                     executor=executor) as session:
+            result = session.ucrpq(CONCAT_QUERY).collect(strategy=strategy)
         assert canonical(result.relation) == concat_reference
 
     @pytest.mark.parametrize("strategy", ALL_PLANS)
     def test_tree_closure(self, seeded_tree_graph, tree_reference, strategy):
-        with DistMuRA(seeded_tree_graph, num_workers=3, optimize=False,
-                      executor="threads") as engine:
-            result = engine.query(CLOSURE_QUERY, strategy=strategy)
+        with Session(seeded_tree_graph, num_workers=3, optimize=False,
+                     executor="threads") as session:
+            result = session.ucrpq(CLOSURE_QUERY).collect(strategy=strategy)
         assert canonical(result.relation) == tree_reference
 
 
@@ -91,31 +92,39 @@ class TestOptimizedPlansStillAgree:
     @pytest.mark.parametrize("strategy", ALL_PLANS)
     def test_closure_with_optimizer(self, seeded_random_graph,
                                     closure_reference, strategy):
-        with DistMuRA(seeded_random_graph, num_workers=4, optimize=True,
-                      executor="threads") as engine:
-            result = engine.query(CLOSURE_QUERY, strategy=strategy)
+        with Session(seeded_random_graph, num_workers=4, optimize=True,
+                     executor="threads") as session:
+            result = session.ucrpq(CLOSURE_QUERY).collect(strategy=strategy)
         assert canonical(result.relation) == closure_reference
 
 
-class TestCrossEngine:
-    """Dist-mu-RA vs the independently implemented Datalog baseline."""
+class TestCrossFrontEnd:
+    """The UCRPQ and Datalog front-ends agree over one shared session."""
 
     def test_closure_matches_datalog(self, seeded_random_graph,
                                      closure_reference):
-        baseline = BigDatalogEngine(seeded_random_graph, num_workers=4)
-        result = baseline.run_query(CLOSURE_QUERY)
+        with Session(seeded_random_graph, num_workers=4) as session:
+            result = session.datalog(CLOSURE_QUERY).collect()
         assert canonical(result.relation) == closure_reference
 
     def test_concat_matches_datalog(self, seeded_two_label_graph,
                                     concat_reference):
-        baseline = BigDatalogEngine(seeded_two_label_graph, num_workers=4)
-        result = baseline.run_query(CONCAT_QUERY)
+        with Session(seeded_two_label_graph, num_workers=4) as session:
+            result = session.datalog(CONCAT_QUERY).collect()
         assert canonical(result.relation) == concat_reference
 
     def test_tree_matches_datalog(self, seeded_tree_graph, tree_reference):
-        baseline = BigDatalogEngine(seeded_tree_graph, num_workers=4)
-        result = baseline.run_query(CLOSURE_QUERY)
+        with Session(seeded_tree_graph, num_workers=4) as session:
+            result = session.datalog(CLOSURE_QUERY).collect()
         assert canonical(result.relation) == tree_reference
+
+    def test_both_front_ends_one_session(self, seeded_random_graph,
+                                         closure_reference):
+        """Front-ends share a session (and its caches) without interfering."""
+        with Session(seeded_random_graph, num_workers=4) as session:
+            mu = session.ucrpq(CLOSURE_QUERY).collect().relation
+            datalog = session.datalog(CLOSURE_QUERY).collect().relation
+            assert canonical(mu) == canonical(datalog) == closure_reference
 
 
 class TestWorkerCountInvariance:
@@ -125,7 +134,7 @@ class TestWorkerCountInvariance:
     @pytest.mark.parametrize("strategy", (PPLW_SPARK, PPLW_POSTGRES))
     def test_closure(self, seeded_random_graph, closure_reference,
                      strategy, num_workers):
-        with DistMuRA(seeded_random_graph, num_workers=num_workers,
-                      optimize=False, executor="threads") as engine:
-            result = engine.query(CLOSURE_QUERY, strategy=strategy)
+        with Session(seeded_random_graph, num_workers=num_workers,
+                     optimize=False, executor="threads") as session:
+            result = session.ucrpq(CLOSURE_QUERY).collect(strategy=strategy)
         assert canonical(result.relation) == closure_reference

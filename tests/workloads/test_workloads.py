@@ -6,9 +6,7 @@ import pytest
 
 from repro.algebra import evaluate
 from repro.baselines.datalog import SemiNaiveEngine, graph_to_edb
-from repro.data import Relation
 from repro.datasets import random_tree, uniprot_graph, yago_like_graph
-from repro.query import translate_query
 from repro.workloads import (anbn_datalog, anbn_term,
                              concatenated_closure_queries,
                              filtered_same_generation_term,
