@@ -1,13 +1,15 @@
-"""Tour of the Session API: lazy stages, three front-ends, prepared queries.
+"""Tour of the Session API: lazy stages, snapshots, transactions, graphs.
 
 Run with::
 
     python examples/session_tour.py
 
-The session owns the database, the statistics catalog, the plan/result
-caches and the simulated cluster; front-ends hand out lazy handles whose
-pipeline stages (parse -> translate -> normalize -> rank -> execute) run
-only when first inspected or when a terminal action fires.
+The session owns the simulated cluster and one or more named graphs,
+each held as an immutable versioned DatabaseSnapshot; front-ends hand
+out lazy handles whose pipeline stages (parse -> translate -> normalize
+-> rank -> execute) run only when first inspected or when a terminal
+action fires, and every handle pins the snapshot of its first stage so
+results are repeatable reads under concurrent commits.
 """
 
 from __future__ import annotations
@@ -80,14 +82,50 @@ def main() -> None:
     stats = session.plan_cache.stats
     print(f"  plan cache: {stats.hits} hits / {stats.misses} misses")
 
-    print("\n== 7. Mutations invalidate exactly the dependent entries ==")
+    print("\n== 7. Snapshots: mutations commit new versions, never purge ==")
+    pinned = session.ucrpq("?x,?y <- ?x knows ?y")
+    pinned.term  # first stage run: the handle pins the current head
+    before = session.snapshot()
     session.add_edges("knows", [("p0", "p39")])
+    after = session.snapshot()
+    print(f"  head: v{before.version} -> v{after.version} "
+          f"(old snapshot still readable: {len(before['knows'])} rows)")
+    print(f"  pinned handle reads v{pinned.pinned_snapshot.version}: "
+          f"{pinned.count()} rows; a fresh handle reads v{after.version}: "
+          f"{session.ucrpq('?x,?y <- ?x knows ?y').count()} rows")
     rerun = session.ucrpq("?x,?y <- ?x knows+ ?y")
     rerun.collect()
-    print(f"  after add_edges: plan-cache hit = {rerun.last_plan_cache_hit} "
-          f"(re-planned against fresh statistics)")
+    print(f"  new-head plan-cache hit = {rerun.last_plan_cache_hit} "
+          f"(new fingerprint, re-planned against fresh statistics)")
 
-    print("\n== 8. explain(): the whole pipeline, no execution ==")
+    print("\n== 8. Transactions: batch mutations, one commit (or rollback) ==")
+    with session.transaction() as txn:
+        txn.add_edges("knows", [("p39", "p0"), ("p38", "p1")])
+        txn.remove_edges("knows", [("p0", "p39")])
+    print(f"  committed as one version: now v{session.database_version}")
+    try:
+        with session.transaction() as txn:
+            txn.add_edges("knows", [("pX", "pY")])
+            raise RuntimeError("changed my mind")
+    except RuntimeError:
+        pass
+    print(f"  aborted batch rolled back: still v{session.database_version}")
+
+    print("\n== 9. Multi-graph sessions: one service, many datasets ==")
+    tiny = LabeledGraph(name="tiny")
+    tiny.add_edge("a", "knows", "b")
+    tiny.add_edge("b", "knows", "c")
+    session.attach("tiny", tiny)
+    scoped = session.graph("tiny")
+    print(f"  graphs: {session.graphs()}")
+    print(f"  same query, per graph: default={query.count()} "
+          f"tiny={scoped.ucrpq('?x,?y <- ?x knows+ ?y').count()}")
+    view = session.read_view()
+    session.add_edges("knows", [("p5", "p7")])
+    print(f"  read_view stays at v{view.database_version} while the live "
+          f"session moved to v{session.database_version}")
+
+    print("\n== 10. explain(): the whole pipeline, no execution ==")
     print(session.ucrpq("?x <- ?x livesIn/isLocatedIn+ europe").explain())
 
     session.close()

@@ -17,10 +17,11 @@ See ``README.md`` for a quickstart and ``DESIGN.md`` for the architecture.
 
 from .data.graph import LabeledGraph
 from .data.relation import Relation
+from .data.snapshot import DatabaseSnapshot
 from .data.tuples import Tup
 from .engine import DistMuRA
 from .session import (Parameter, PathBuilder, PreparedQuery, Query,
-                      QueryResult, Session)
+                      QueryResult, Session, Transaction)
 from .distributed.cluster import SparkCluster
 from .distributed.executor import EXECUTOR_BACKENDS, PROCESSES, SERIAL, THREADS
 from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
@@ -30,6 +31,7 @@ from .service import QueryService, ServedResult, ServiceMetrics
 __version__ = "1.3.0"
 
 __all__ = [
+    "DatabaseSnapshot",
     "DistMuRA",
     "EXECUTOR_BACKENDS",
     "LabeledGraph",
@@ -53,6 +55,7 @@ __all__ = [
     "Session",
     "SparkCluster",
     "THREADS",
+    "Transaction",
     "Tup",
     "__version__",
 ]

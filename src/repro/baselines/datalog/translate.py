@@ -124,7 +124,14 @@ def graph_to_edb(graph: LabeledGraph) -> dict[str, set[tuple]]:
 
 
 def database_to_edb(database: Mapping[str, Relation]) -> dict[str, set[tuple]]:
-    """Extract per-label EDB predicates from a session database.
+    """Extract per-label EDB predicates from a database snapshot.
+
+    ``database`` is any ``name -> Relation`` mapping — in the session
+    pipeline it is an immutable
+    :class:`~repro.data.snapshot.DatabaseSnapshot`, which makes the
+    extraction repeatable without locking and lets the session memoize
+    the EDB *on the snapshot* (one extraction per version, shared by
+    every Datalog query pinned to it).
 
     Binary ``(src, trg)`` relations become predicates; inverse relations
     (``-label``) and the ``facts`` triple table are skipped — the

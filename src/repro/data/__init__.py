@@ -6,6 +6,7 @@ from .io import (read_graph_tsv, read_relation_tsv, write_graph_tsv,
 from .predicates import (And, ColumnEq, Compare, Eq, In, Not, Or, Predicate,
                          TruePredicate, conjunction)
 from .relation import Relation
+from .snapshot import DEFAULT_GRAPH, DatabaseSnapshot
 from .stats import RelationStats, StatisticsCatalog
 from .storage import (DeltaAccumulator, HashIndex, RelationBuilder,
                       caching_enabled, compatibility_mode, set_caching_enabled)
@@ -15,6 +16,8 @@ __all__ = [
     "And",
     "ColumnEq",
     "Compare",
+    "DEFAULT_GRAPH",
+    "DatabaseSnapshot",
     "DeltaAccumulator",
     "Eq",
     "HashIndex",

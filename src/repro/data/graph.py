@@ -66,6 +66,31 @@ class LabeledGraph:
         for src, label, trg in edges:
             self.add_edge(src, label, trg)
 
+    def add_pairs(self, label: str, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Bulk-add ``(src, trg)`` pairs under one label.
+
+        The label is validated once and the pair sets are extended in
+        bulk, which is the fast path :meth:`from_relation` and the
+        dataset readers use instead of per-edge :meth:`add_edge` calls.
+        """
+        if not isinstance(label, str) or not label:
+            raise DatasetError(f"edge labels must be non-empty strings, got {label!r}")
+        if label.startswith(INVERSE_PREFIX):
+            raise DatasetError(
+                f"label {label!r} starts with the reserved inverse prefix "
+                f"{INVERSE_PREFIX!r}"
+            )
+        # Normalize (and arity-check) every pair *before* touching the
+        # graph, so a malformed pair cannot leave a half-applied bulk add
+        # behind; an empty iterable must not phantom-register the label.
+        normalized = {(src, trg) for src, trg in pairs}
+        if not normalized:
+            return
+        self._by_label[label].update(normalized)
+        for src, trg in normalized:
+            self._nodes.add(src)
+            self._nodes.add(trg)
+
     @classmethod
     def from_triples(cls, triples: Iterable[tuple[Any, str, Any]],
                      name: str = "graph") -> "LabeledGraph":
@@ -83,8 +108,17 @@ class LabeledGraph:
                 f"facts relation must have columns {expected}, got {facts.columns}"
             )
         graph = cls(name=name)
-        for row in facts.to_dicts():
-            graph.add_edge(row[SRC], row[PRED], row[TRG])
+        # Resolve the column positions once and bulk-add per label instead
+        # of round-tripping every row through a dictionary: the rows are
+        # already aligned with the sorted schema.
+        pred_at = facts.columns.index(PRED)
+        src_at = facts.columns.index(SRC)
+        trg_at = facts.columns.index(TRG)
+        by_label: dict[str, set[tuple[Any, Any]]] = defaultdict(set)
+        for row in facts.rows:
+            by_label[row[pred_at]].add((row[src_at], row[trg_at]))
+        for label, pairs in by_label.items():
+            graph.add_pairs(label, pairs)
         return graph
 
     # -- Inspection ---------------------------------------------------------
@@ -130,17 +164,22 @@ class LabeledGraph:
         pairs = self._by_label.get(base, set())
         if self._is_inverse(label):
             pairs = {(b, a) for a, b in pairs}
-        rows = [{src: a, trg: b} for a, b in pairs]
-        if not rows:
-            return Relation.empty((src, trg))
-        return Relation.from_dicts(rows, columns=(src, trg))
+        ordered = tuple(sorted((src, trg)))
+        if ordered == (src, trg):
+            rows = frozenset(pairs)
+        else:
+            rows = frozenset((b, a) for a, b in pairs)
+        # The pairs are aligned with the sorted schema by construction, so
+        # ingestion takes the same zero-copy path as the operators.
+        return Relation._from_trusted(ordered, rows)
 
     def facts(self) -> Relation:
         """Return the whole graph as a single (src, pred, trg) relation."""
-        rows = [{SRC: s, PRED: p, TRG: t} for s, p, t in self.iter_triples()]
-        if not rows:
-            return Relation.empty((SRC, PRED, TRG))
-        return Relation.from_dicts(rows, columns=(SRC, PRED, TRG))
+        columns = tuple(sorted((SRC, PRED, TRG)))  # ('pred', 'src', 'trg')
+        rows = frozenset((label, s, t)
+                         for label, pairs in self._by_label.items()
+                         for s, t in pairs)
+        return Relation._from_trusted(columns, rows)
 
     def relations(self) -> dict[str, Relation]:
         """Return a database mapping each label to its edge relation.

@@ -1,0 +1,234 @@
+"""Immutable, versioned database snapshots with structural sharing.
+
+A :class:`DatabaseSnapshot` is the unit of data ownership of the Session
+API: a frozen mapping from relation names to immutable
+:class:`~repro.data.relation.Relation` objects, tagged with a monotonic
+``version`` and with per-relation version counters.  The paper's
+Dist-mu-RA engine assumes a frozen database per query; snapshots make
+that assumption explicit and enforceable under concurrent mutation:
+
+* **Immutability** — a snapshot never changes.  Every reader (a pinned
+  query handle, an in-flight stream, a broadcast to the simulated
+  cluster, the Datalog baseline's EDB extraction) sees exactly the
+  version it started from, without holding any lock.
+* **Copy-on-write commits** — :meth:`DatabaseSnapshot.mutate` builds the
+  *successor* snapshot: only the touched relations are replaced, and
+  every untouched :class:`Relation` object (and therefore its memoized
+  hash indexes) is shared between the old and the new version.  Commit
+  cost is O(touched relations) plus a few dictionary copies.
+* **Version fingerprints** — :meth:`fingerprint` returns the sorted
+  ``(name, version)`` tuple of a set of relations, which is the
+  database half of every plan- and result-cache key.  Because keys are
+  version-qualified, mutations never purge caches: entries for old
+  versions simply stop being looked up and age out of the LRU.
+* **Snapshot-scoped statistics and schemas** — the cost model's
+  :class:`~repro.data.stats.StatisticsCatalog` and the schema mapping
+  travel *with* the snapshot, so an unlocked plan phase can never pair a
+  new fingerprint with stale statistics (or vice versa): both come from
+  the same immutable object.
+
+Snapshots are plain :class:`~collections.abc.Mapping` objects, so every
+consumer that used to take a ``dict[str, Relation]`` database (the
+evaluator, the physical executor, the Datalog translation) accepts a
+snapshot unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from ..errors import SchemaError
+from .relation import Relation
+from .stats import StatisticsCatalog
+
+#: Name given to the default graph of a session.
+DEFAULT_GRAPH = "default"
+
+
+class DatabaseSnapshot(Mapping):
+    """A frozen, versioned ``name -> Relation`` database.
+
+    Instances are created by :meth:`from_graph` / :meth:`from_relations`
+    (version 0) and by :meth:`mutate` (the copy-on-write successor).
+    The mapping interface is read-only; ``snapshot["knows"]`` returns the
+    relation exactly as a plain database dict would.
+    """
+
+    __slots__ = ("graph_name", "version", "_relations", "_versions",
+                 "_schemas", "_catalog", "_derived")
+
+    def __init__(self, relations: Mapping[str, Relation], *,
+                 graph_name: str = DEFAULT_GRAPH):
+        for name, relation in relations.items():
+            if not isinstance(relation, Relation):
+                raise SchemaError(
+                    f"database entry {name!r} is not a Relation: {relation!r}")
+        self.graph_name = graph_name
+        self.version = 0
+        self._relations: dict[str, Relation] = dict(relations)
+        self._versions: dict[str, int] = dict.fromkeys(self._relations, 0)
+        self._schemas: dict[str, tuple[str, ...]] = {
+            name: relation.columns
+            for name, relation in self._relations.items()}
+        self._catalog = StatisticsCatalog(self._relations)
+        #: Memo slot for derived artifacts computed *from* this snapshot
+        #: (e.g. the Datalog EDB).  Immutable data, so entries never go
+        #: stale; concurrent writers race benignly to identical values.
+        self._derived: dict[str, object] = {}
+
+    # -- Constructors ------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph, *, graph_name: str | None = None
+                   ) -> "DatabaseSnapshot":
+        """Ingest a :class:`~repro.data.graph.LabeledGraph` at version 0.
+
+        The snapshot gets one binary relation per label, the ``-label``
+        inverses and the ``facts`` triple table — the layout the query
+        translator expects (see :meth:`LabeledGraph.relations`).
+        """
+        name = graph_name if graph_name is not None \
+            else getattr(graph, "name", DEFAULT_GRAPH)
+        return cls(graph.relations(), graph_name=name)
+
+    @classmethod
+    def from_relations(cls, relations: Mapping[str, Relation], *,
+                       graph_name: str = DEFAULT_GRAPH) -> "DatabaseSnapshot":
+        """Wrap an existing ``name -> Relation`` mapping at version 0."""
+        return cls(relations, graph_name=graph_name)
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    # -- Versioning --------------------------------------------------------
+
+    def relation_version(self, name: str) -> int:
+        """Version at which ``name`` last changed (0 for unknown names)."""
+        return self._versions.get(name, 0)
+
+    def fingerprint(self, names) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(name, version)`` identity of the given relations.
+
+        Unknown names are included with version 0, so a cache entry built
+        before a relation existed stops matching once it appears.  This
+        tuple is the database half of every plan/result cache key.
+        """
+        return tuple((name, self.relation_version(name))
+                     for name in sorted(set(names)))
+
+    # -- Snapshot-scoped derived state -------------------------------------
+
+    @property
+    def catalog(self) -> StatisticsCatalog:
+        """The statistics this snapshot's data was summarized into.
+
+        Reading versions and statistics from one snapshot object is what
+        lets the plan phase run without the execution lock: both halves
+        of a cached plan's identity are frozen together.
+        """
+        return self._catalog
+
+    @property
+    def schemas(self) -> dict[str, tuple[str, ...]]:
+        """``name -> columns`` mapping (the rewriter/physical layer input)."""
+        return self._schemas
+
+    # -- Copy-on-write commits ---------------------------------------------
+
+    def mutate(self, changes: Mapping[str, Relation]) -> "DatabaseSnapshot":
+        """Return the successor snapshot with ``changes`` applied.
+
+        Structural sharing: the relations, versions, schemas and
+        statistics of every *untouched* name are shared with this
+        snapshot (same ``Relation`` objects, so their memoized hash
+        indexes survive the commit).  Only the entries named in
+        ``changes`` are recomputed, which keeps commit cost
+        O(touched relations) + O(#names) dictionary copies.
+        """
+        if not changes:
+            return self
+        successor = DatabaseSnapshot.__new__(DatabaseSnapshot)
+        successor.graph_name = self.graph_name
+        successor.version = self.version + 1
+        successor._relations = {**self._relations, **changes}
+        successor._versions = dict(self._versions)
+        successor._schemas = dict(self._schemas)
+        successor._catalog = self._catalog.copy()
+        successor._derived = {}
+        for name, relation in changes.items():
+            successor._versions[name] = successor.version
+            successor._schemas[name] = relation.columns
+            successor._catalog.refresh(name, relation)
+        return successor
+
+    def relabeled(self, graph_name: str) -> "DatabaseSnapshot":
+        """This snapshot's content under another graph name.
+
+        Shares everything (relations, versions, schemas, statistics)
+        with this snapshot; only the label differs.  Used when an
+        existing snapshot is attached to a session under a new name.
+        """
+        if graph_name == self.graph_name:
+            return self
+        twin = DatabaseSnapshot.__new__(DatabaseSnapshot)
+        twin.graph_name = graph_name
+        twin.version = self.version
+        twin._relations = self._relations
+        twin._versions = self._versions
+        twin._schemas = self._schemas
+        twin._catalog = self._catalog
+        twin._derived = {}
+        return twin
+
+    # -- Derived-artifact memo ---------------------------------------------
+
+    def derived(self, key: str, compute):
+        """Memoize ``compute(self)`` on the snapshot under ``key``.
+
+        Used for per-snapshot derived artifacts such as the Datalog EDB.
+        Safe without a lock: concurrent callers may both compute, but
+        they compute identical values from immutable inputs.
+        """
+        value = self._derived.get(key)
+        if value is None:
+            value = compute(self)
+            self._derived[key] = value
+        return value
+
+    # -- Introspection -----------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (f"DatabaseSnapshot(graph={self.graph_name!r}, "
+                f"version={self.version}, relations={len(self._relations)})")
+
+
+def adopt_database(database: Mapping[str, Relation]) -> Mapping[str, Relation]:
+    """Adopt a query database without copying when it is safe to share.
+
+    A :class:`DatabaseSnapshot` is immutable, so executors and fixpoint
+    plans (and the broadcasts they perform) can ship the snapshot itself
+    — structural sharing all the way down to the per-relation hash
+    indexes.  Mutable mappings are defensively copied, as before.
+    """
+    if isinstance(database, DatabaseSnapshot):
+        return database
+    return dict(database)
+
+
+def database_schemas(database: Mapping[str, Relation],
+                     ) -> Mapping[str, tuple[str, ...]]:
+    """``name -> columns`` of a database; free for snapshots (precomputed)."""
+    if isinstance(database, DatabaseSnapshot):
+        return database.schemas
+    return {name: relation.columns for name, relation in database.items()}

@@ -57,6 +57,19 @@ class StatisticsCatalog:
             for name, relation in database.items():
                 self.register(name, relation)
 
+    def copy(self) -> "StatisticsCatalog":
+        """Cheap copy-on-write duplicate sharing the (frozen) entries.
+
+        Used by :meth:`~repro.data.snapshot.DatabaseSnapshot.mutate`:
+        the successor snapshot copies the catalog's dictionary (O(#names))
+        and re-registers only the touched relations, so the per-relation
+        :class:`RelationStats` objects — which are immutable — are shared
+        across snapshot versions.
+        """
+        duplicate = StatisticsCatalog()
+        duplicate._stats = dict(self._stats)
+        return duplicate
+
     def register(self, name: str, relation: Relation) -> RelationStats:
         """Compute and store the statistics of ``relation`` under ``name``."""
         stats = RelationStats.of(relation)

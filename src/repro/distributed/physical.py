@@ -24,10 +24,10 @@ from dataclasses import dataclass, field
 
 from ..algebra.conditions import decompose
 from ..algebra.evaluate import Evaluator
-from ..algebra.schema import schemas_of_database
 from ..algebra.terms import Fixpoint, Literal, Term
 from ..algebra.variables import free_variables
 from ..data.relation import Relation
+from ..data.snapshot import adopt_database, database_schemas
 from ..errors import PlanSelectionError
 from .cluster import SparkCluster
 from .partitioner import PartitioningDecision, plan_partitioning
@@ -77,9 +77,9 @@ class PhysicalPlanGenerator:
     def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
                  memory_per_task: int = DEFAULT_MEMORY_PER_TASK):
         self.cluster = cluster
-        self.database = dict(database)
+        self.database = adopt_database(database)
         self.memory_per_task = memory_per_task
-        self._schemas = schemas_of_database(self.database)
+        self._schemas = database_schemas(self.database)
 
     # -- Plan generation ---------------------------------------------------------
 
@@ -134,7 +134,7 @@ class DistributedQueryExecutor:
                  strategy: str = AUTO,
                  memory_per_task: int = DEFAULT_MEMORY_PER_TASK):
         self.cluster = cluster
-        self.database = dict(database)
+        self.database = adopt_database(database)
         self.strategy = strategy
         self.generator = PhysicalPlanGenerator(cluster, self.database,
                                                memory_per_task=memory_per_task)
@@ -172,7 +172,7 @@ class DistributedQueryExecutor:
         if self.strategy == AUTO:
             return self.generator.select(fixpoint)
         partitioning = plan_partitioning(
-            fixpoint, schemas_of_database(self.database))
+            fixpoint, database_schemas(self.database))
         return PhysicalPlan(strategy=self.strategy, fixpoint=fixpoint,
                             partitioning=partitioning,
                             variable_part_size=self.generator.variable_part_size(

@@ -26,12 +26,12 @@ from dataclasses import dataclass
 
 from ..algebra.conditions import decompose
 from ..algebra.evaluate import Evaluator
-from ..algebra.schema import schemas_of_database
 from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
                              Rename, RelVar, Term, Union)
 from ..algebra.variables import free_variables, is_constant_in
 from ..data import storage
 from ..data.relation import Relation
+from ..data.snapshot import adopt_database, database_schemas
 from ..data.storage import DeltaAccumulator
 from ..errors import DistributionError, EvaluationError
 from . import local_engine as local_engine_module
@@ -58,7 +58,10 @@ class DistributedFixpointPlan:
     def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
                  partitioning_override: PartitioningDecision | None = None):
         self.cluster = cluster
-        self.database = dict(database)
+        # Immutable snapshots are adopted as-is (broadcasts then ship the
+        # snapshot's own relations, hash indexes included); mutable
+        # mappings are defensively copied, as before.
+        self.database = adopt_database(database)
         #: When set, bypass the stable-column analysis and use this decision
         #: instead (used by the partitioning ablation benchmark).
         self.partitioning_override = partitioning_override
@@ -81,7 +84,7 @@ class DistributedFixpointPlan:
     def _partitioning(self, fixpoint: Fixpoint) -> PartitioningDecision:
         if self.partitioning_override is not None:
             return self.partitioning_override
-        schemas = schemas_of_database(self.database)
+        schemas = database_schemas(self.database)
         return plan_partitioning(fixpoint, schemas)
 
     def _warm_broadcast_index(self, relation: Relation,

@@ -75,6 +75,14 @@ class DatasetError(ReproError):
     """A dataset generator received invalid parameters."""
 
 
+class TransactionError(ReproError):
+    """A mutation batch was used incorrectly.
+
+    Examples: mutating through a transaction that was already committed or
+    rolled back, or mutating a pinned read-only session view.
+    """
+
+
 class BenchmarkError(ReproError):
     """The benchmark harness was configured incorrectly."""
 

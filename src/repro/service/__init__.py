@@ -5,10 +5,10 @@ This package wraps a :class:`~repro.session.Session` into a
 session's shared staged pipeline:
 
 * :mod:`repro.service.plan_cache` — memoizes the rewriter + cost-ranking
-  decision per canonical query (owned by the session, shared with
-  embedded use and prepared queries),
-* :mod:`repro.service.result_cache` — memoizes whole query results against
-  the session's relation version counters,
+  decision per (canonical query, snapshot fingerprint) (owned per graph
+  by the session, shared with embedded use and prepared queries),
+* :mod:`repro.service.result_cache` — memoizes whole query results keyed
+  by the snapshot fingerprint of their inputs (no eager purges),
 * :mod:`repro.service.server` — admission control, scheduling, timeouts
   and the mutation pass-through,
 * :mod:`repro.service.metrics` — throughput, latency percentiles and
@@ -21,14 +21,13 @@ from .cache import CacheStats, LRUCache
 from ..percentiles import percentile
 from .metrics import MetricsSnapshot, ServiceMetrics
 from .plan_cache import CachedPlan, PlanCache, PlanKey
-from .result_cache import CachedResult, ResultCache, ResultKey
+from .result_cache import ResultCache, ResultKey
 from .server import (DEFAULT_MAX_IN_FLIGHT, DEFAULT_QUEUE_CAPACITY, FAILED,
                      OK, QueryService, ServedResult)
 
 __all__ = [
     "CacheStats",
     "CachedPlan",
-    "CachedResult",
     "DEFAULT_MAX_IN_FLIGHT",
     "DEFAULT_QUEUE_CAPACITY",
     "FAILED",

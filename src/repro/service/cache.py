@@ -25,6 +25,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries dropped by an explicit ``clear()`` (there is no other
+    #: invalidation left: keys are snapshot-qualified, so stale entries
+    #: miss naturally and leave through LRU eviction).
     invalidations: int = 0
 
     @property
@@ -78,36 +81,6 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
             self._entries[key] = value
-
-    def demote_hit(self) -> None:
-        """Reclassify one counted hit as a miss.
-
-        Used by version-checked caches: the entry was found (the LRU layer
-        counted a hit) but turned out stale, which the caller reports as a
-        miss plus an invalidation.
-        """
-        with self._lock:
-            self._stats.hits -= 1
-            self._stats.misses += 1
-
-    def discard(self, key: Hashable) -> bool:
-        """Drop one entry without counting it as an LRU eviction."""
-        with self._lock:
-            if key in self._entries:
-                del self._entries[key]
-                self._stats.invalidations += 1
-                return True
-            return False
-
-    def discard_where(self, predicate) -> int:
-        """Drop every entry whose ``(key, value)`` satisfies ``predicate``."""
-        with self._lock:
-            doomed = [key for key, value in self._entries.items()
-                      if predicate(key, value)]
-            for key in doomed:
-                del self._entries[key]
-            self._stats.invalidations += len(doomed)
-            return len(doomed)
 
     def clear(self) -> None:
         with self._lock:

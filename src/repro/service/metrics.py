@@ -19,6 +19,7 @@ exact over the whole lifetime.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import deque
@@ -46,6 +47,9 @@ class MetricsSnapshot:
     result_cache_hits: int
     plan_cache_hit_rate: float
     result_cache_hit_rate: float
+    #: Per-graph served counts for multi-graph services.  Requests with
+    #: no explicit graph are accounted under ``"default"``.
+    served_by_graph: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def summary(self) -> dict[str, object]:
         """Flat dictionary (the shape the benchmark reports consume)."""
@@ -80,6 +84,7 @@ class ServiceMetrics:
         self.plan_cache_lookups = 0
         self.result_cache_hits = 0
         self.result_cache_lookups = 0
+        self.served_by_graph: dict[str, int] = {}
         #: Sliding windows of the most recent samples (bounded memory).
         self.latencies: deque[float] = deque(maxlen=sample_capacity)
         self.queue_waits: deque[float] = deque(maxlen=sample_capacity)
@@ -96,17 +101,23 @@ class ServiceMetrics:
 
     def record_served(self, latency_seconds: float, queue_wait_seconds: float,
                       failed: bool, plan_cache_hit: bool | None,
-                      result_cache_hit: bool | None) -> None:
+                      result_cache_hit: bool | None,
+                      graph: str | None = None) -> None:
         """Account one completed query.
 
         The cache flags are ``None`` when the corresponding cache was not
         consulted (disabled, or the query failed before reaching it).
+        ``graph`` attributes the query to a named graph of a multi-graph
+        session (``None`` = the default graph).
         """
         with self._lock:
             if failed:
                 self.failed += 1
             else:
                 self.served += 1
+                scope = graph if graph is not None else "default"
+                self.served_by_graph[scope] = \
+                    self.served_by_graph.get(scope, 0) + 1
             self.latencies.append(latency_seconds)
             self.queue_waits.append(queue_wait_seconds)
             if plan_cache_hit is not None:
@@ -139,6 +150,7 @@ class ServiceMetrics:
                                           self.plan_cache_lookups),
                 result_cache_hit_rate=_rate(self.result_cache_hits,
                                             self.result_cache_lookups),
+                served_by_graph=dict(self.served_by_graph),
             )
 
 

@@ -8,14 +8,23 @@ queries.  The plan cache keys that work on
   (:func:`repro.rewriter.normalize.cache_key`), which erases the
   session-specific generated names so the same UCRPQ always maps to the
   same key, in any session,
-* a **database fingerprint**: the versions of the relations the query
-  reads (statistics drive the cost ranking, so a mutation of an input
-  relation must invalidate the selected plan), and
+* a **snapshot fingerprint**: the versions of the relations the query
+  reads, taken from the immutable
+  :class:`~repro.data.snapshot.DatabaseSnapshot` the query is planned
+  against (statistics drive the cost ranking, so a plan selected on one
+  snapshot must not be reused verbatim on another whose inputs changed),
+  and
 * the **engine configuration** that shaped the decision (strategy,
   worker count, memory budget, rewriter bounds).
 
 A hit skips ``MuRewriter.explore`` and ``rank_plans`` entirely and goes
 straight to execution with the previously selected plan.
+
+Because keys are version-qualified there is **no eager invalidation**: a
+mutation commits a new snapshot, queries planned against it use new keys,
+and entries for superseded snapshots are simply never looked up again and
+age out of the LRU ring.  Handles pinned to an old snapshot keep hitting
+their old entries for as long as the LRU retains them.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from ..rewriter.normalize import cache_key
 from .cache import CacheStats, LRUCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..data.snapshot import DatabaseSnapshot
     from ..session.session import Session
 
 #: Default number of selected plans kept.
@@ -45,8 +55,15 @@ class PlanKey:
     @classmethod
     def of(cls, engine: "Session", term: Term,
            dependencies: frozenset[str],
-           strategy: str | None) -> "PlanKey":
-        """Build the key of ``term`` against the current session state."""
+           strategy: str | None,
+           snapshot: "DatabaseSnapshot | None" = None) -> "PlanKey":
+        """Build the key of ``term`` against one database snapshot.
+
+        ``snapshot`` defaults to the engine's current head; pinned query
+        handles pass their own so repeated plans of an old-version handle
+        keep hitting the entry they created.
+        """
+        snapshot = snapshot if snapshot is not None else engine.snapshot()
         config = (
             strategy if strategy is not None else engine.strategy,
             engine.cluster.num_workers,
@@ -56,7 +73,7 @@ class PlanKey:
             engine.optimize_plans,
         )
         return cls(term_key=cache_key(term),
-                   database_fingerprint=engine.relation_versions(dependencies),
+                   database_fingerprint=snapshot.fingerprint(dependencies),
                    config=config)
 
 
@@ -96,17 +113,6 @@ class PlanCache:
 
     def put(self, key: PlanKey, plan: CachedPlan) -> None:
         self._cache.put(key, plan)
-
-    def invalidate_relations(self, names) -> int:
-        """Drop every plan whose fingerprint mentions one of ``names``.
-
-        Version-mismatched entries already miss on lookup; eager
-        invalidation only reclaims their slots earlier.
-        """
-        doomed = set(names)
-        return self._cache.discard_where(
-            lambda key, _: any(name in doomed
-                               for name, _version in key.database_fingerprint))
 
     def clear(self) -> None:
         self._cache.clear()

@@ -1,19 +1,24 @@
-"""Result cache: memoize query results against a versioned database.
+"""Result cache: memoize query results keyed by snapshot fingerprint.
 
-The cache maps (canonical selected plan, execution configuration) to the
-:class:`~repro.session.QueryResult` produced when that plan last ran.  An
-entry is only valid for the database state it was computed on; validity is
-tracked through the engine's per-relation version counters:
+The cache maps (canonical selected plan, execution configuration,
+snapshot fingerprint of the plan's inputs) to the
+:class:`~repro.session.QueryResult` produced when that plan last ran.
+The fingerprint — the ``(name, version)`` tuple of the relations the plan
+reads, taken from the immutable
+:class:`~repro.data.snapshot.DatabaseSnapshot` the execution is pinned
+to — is **part of the key**, not a validity check on the entry:
 
-* when the entry is stored, it records the versions of the relations the
-  plan reads (its free relation variables),
-* on lookup, the entry only hits if every one of those relations is still
-  at the recorded version — otherwise it is dropped and counted as an
-  invalidation (the caller then re-executes and re-stores).
+* a query pinned to snapshot version *v* looks up (and stores) entries
+  under *v*'s fingerprint, so concurrent commits of later versions never
+  disturb its hits,
+* a query against the new head uses the new fingerprint and simply
+  misses, re-executes and stores a fresh entry alongside the old one,
+* entries of superseded snapshots are never looked up again and age out
+  of the LRU ring — there is no eager purge-on-mutation anywhere.
 
-The service additionally purges dependent entries eagerly when a mutation
-goes through its API (:meth:`ResultCache.invalidate_relations`), so stale
-results do not linger in the LRU ring.
+Lookups and stores are plain (thread-safe) LRU operations with no
+version re-validation, which is what lets the serving layer take the
+result-cache hit path entirely outside the execution lock.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import TYPE_CHECKING
 from .cache import CacheStats, LRUCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
-    from ..session.session import QueryResult, Session
+    from ..session.session import QueryResult
 
 #: Default number of memoized results kept.
 DEFAULT_RESULT_CACHE_SIZE = 256
@@ -32,58 +37,35 @@ DEFAULT_RESULT_CACHE_SIZE = 256
 
 @dataclass(frozen=True)
 class ResultKey:
-    """Identity of one executed plan (the versions live in the entry)."""
+    """Identity of one executed plan on one database snapshot."""
 
     plan_key: str
     strategy: str
     num_workers: int
     memory_per_task: int
-
-
-@dataclass
-class CachedResult:
-    """One memoized execution."""
-
-    result: QueryResult
-    #: Free relation variables of the plan: what the result depends on.
-    dependencies: frozenset[str]
-    #: ``(name, version)`` snapshot the result was computed at.
-    versions: tuple[tuple[str, int], ...]
+    #: ``snapshot.fingerprint(plan.dependencies)`` — the versions of the
+    #: relations the plan reads.  Version-qualifying the key replaces the
+    #: old store-time/lookup-time version comparison.
+    fingerprint: tuple[tuple[str, int], ...] = ()
 
 
 class ResultCache:
-    """LRU result store with version-checked lookups."""
+    """LRU store of memoized executions, keyed per snapshot version."""
 
     def __init__(self, capacity: int = DEFAULT_RESULT_CACHE_SIZE):
         self._cache = LRUCache(capacity)
 
-    def lookup(self, key: ResultKey, engine: "Session") -> QueryResult | None:
-        """Return the memoized result if it is still valid, else ``None``.
+    def lookup(self, key: ResultKey) -> "QueryResult | None":
+        """Return the memoized result for this exact key, or ``None``.
 
-        A version mismatch drops the entry (counted as an invalidation on
-        top of the miss the dropped lookup already recorded).
+        No validity check is needed: the fingerprint inside ``key`` ties
+        the entry to the immutable snapshot it was computed on.
         """
-        entry: CachedResult | None = self._cache.get(key)
-        if entry is None:
-            return None
-        if engine.relation_versions(entry.dependencies) != entry.versions:
-            self._cache.demote_hit()
-            self._cache.discard(key)
-            return None
-        return entry.result
+        return self._cache.get(key)
 
-    def store(self, key: ResultKey, result: QueryResult,
-              dependencies: frozenset[str], engine: "Session") -> None:
-        """Memoize ``result`` at the engine's current relation versions."""
-        self._cache.put(key, CachedResult(
-            result=result, dependencies=dependencies,
-            versions=engine.relation_versions(dependencies)))
-
-    def invalidate_relations(self, names) -> int:
-        """Eagerly drop every result depending on one of ``names``."""
-        doomed = set(names)
-        return self._cache.discard_where(
-            lambda _key, entry: bool(entry.dependencies & doomed))
+    def store(self, key: ResultKey, result: "QueryResult") -> None:
+        """Memoize ``result`` under its snapshot-qualified key."""
+        self._cache.put(key, result)
 
     def clear(self) -> None:
         self._cache.clear()

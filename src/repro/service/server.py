@@ -21,12 +21,19 @@ into a serving subsystem for many concurrent clients:
   :meth:`~repro.session.Session.execute_plan` stages — the exact same
   code path (and therefore the exact same cache keys) as embedded use.
 * **Caching** — the session's :class:`~repro.service.plan_cache.PlanCache`
-  and :class:`~repro.service.result_cache.ResultCache`, gated by the
-  service's ``enable_plan_cache`` / ``enable_result_cache`` flags and
-  invalidated through the session's relation version counters.
+  and :class:`~repro.service.result_cache.ResultCache` (one pair per
+  attached graph), gated by the service's ``enable_plan_cache`` /
+  ``enable_result_cache`` flags.  Keys are snapshot-fingerprint-qualified,
+  so result-cache hits are served without the execution lock and
+  mutations never purge anything.
 * **Mutations** — :meth:`add_edges` / :meth:`remove_edges` forward to the
-  session's mutation API, which applies the change and purges dependent
-  cache entries atomically under the execution lock.
+  session's mutation API, which commits a copy-on-write successor
+  snapshot and atomically swaps the graph's head; in-flight queries keep
+  reading the snapshot they pinned.
+* **Multi-graph** — ``submit(..., graph="yago")`` scopes a request to a
+  graph previously registered with :meth:`Session.attach`: it is planned
+  against that graph's head snapshot and lands in that graph's caches,
+  so one service instance serves many datasets.
 * **Timeouts** — a per-query deadline (``timeout`` seconds from
   submission) maps to the benchmark harness's ``failed`` status: queries
   that exceed it while queued are not executed at all, and queries that
@@ -84,6 +91,10 @@ class ServedResult:
     status: str
     result: "QueryResult | None" = None
     detail: str = ""
+    #: Name of the graph the query was actually served against (the
+    #: submission's ``graph=`` or the handle's own scope; ``None`` only
+    #: for requests that failed before reaching a graph).
+    graph: str | None = None
     #: ``True``/``False`` when the cache was consulted, ``None`` otherwise.
     plan_cache_hit: bool | None = None
     result_cache_hit: bool | None = None
@@ -109,6 +120,7 @@ class _Task:
     deadline: float | None
     submitted_at: float
     future: Future
+    graph: str | None = None
 
 
 class QueryService:
@@ -140,8 +152,7 @@ class QueryService:
         self.enable_plan_cache = enable_plan_cache
         self.enable_result_cache = enable_result_cache
         self.default_timeout = default_timeout
-        engine.plan_cache = PlanCache(plan_cache_size)
-        engine.result_cache = ResultCache(result_cache_size)
+        engine.configure_caches(plan_cache_size, result_cache_size)
         self.metrics = ServiceMetrics()
         self._own_engine = own_engine
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
@@ -168,13 +179,16 @@ class QueryService:
     # -- Client API -----------------------------------------------------------
 
     def submit(self, query: "str | UCRPQ | Term", strategy: str | None = None,
-               timeout: float | None = None, block: bool = False) -> Future:
+               timeout: float | None = None, block: bool = False,
+               graph: str | None = None) -> Future:
         """Enqueue a query; returns a future resolving to a :class:`ServedResult`.
 
         With ``block=False`` (the default) a full admission queue rejects
         the query with :class:`ServiceOverloadError`; with ``block=True``
         the caller waits for a slot (backpressure).  ``timeout`` starts a
         deadline at submission time (defaults to ``default_timeout``).
+        ``graph`` scopes the query to a named graph of the session
+        (see :meth:`Session.attach`); ``None`` means the default graph.
         """
         if self._closed:
             raise ServiceError("the query service is closed")
@@ -182,7 +196,7 @@ class QueryService:
         now = time.perf_counter()
         task = _Task(query=query, strategy=strategy,
                      deadline=now + timeout if timeout is not None else None,
-                     submitted_at=now, future=Future())
+                     submitted_at=now, future=Future(), graph=graph)
         try:
             self._queue.put(task, block=block)
         except queue.Full:
@@ -226,13 +240,23 @@ class QueryService:
 
     # -- Mutations ------------------------------------------------------------
 
-    def add_edges(self, label: str, pairs) -> tuple[str, ...]:
-        """Add edges through the session (atomic mutation + cache purge)."""
-        return self.session.add_edges(label, pairs)
+    def add_edges(self, label: str, pairs,
+                  graph: str | None = None) -> tuple[str, ...]:
+        """Add edges through the session (atomic snapshot commit).
 
-    def remove_edges(self, label: str, pairs) -> tuple[str, ...]:
-        """Remove edges through the session (atomic mutation + cache purge)."""
-        return self.session.remove_edges(label, pairs)
+        Never blocks behind running queries and never purges caches:
+        the new head snapshot simply keys new cache entries.
+        """
+        return self._scope(graph).add_edges(label, pairs)
+
+    def remove_edges(self, label: str, pairs,
+                     graph: str | None = None) -> tuple[str, ...]:
+        """Remove edges through the session (atomic snapshot commit)."""
+        return self._scope(graph).remove_edges(label, pairs)
+
+    def _scope(self, graph: str | None):
+        """The session (view) a request or mutation addresses."""
+        return self.session if graph is None else self.session.graph(graph)
 
     # -- Worker side -----------------------------------------------------------
 
@@ -262,11 +286,22 @@ class QueryService:
             # session) — runs inside the guard, so a bad submission fails
             # its own future instead of killing the worker thread.
             try:
-                handle = self.session.as_query(task.query)
+                scope = self._scope(task.graph)
+                handle = scope.as_query(task.query)
+                if task.graph is not None \
+                        and handle.session.graph_name != scope.graph_name:
+                    # A pre-built handle carries its own graph scope; a
+                    # conflicting graph= would silently serve the wrong
+                    # dataset under the requested graph's name.
+                    raise ServiceError(
+                        f"the submitted handle is scoped to graph "
+                        f"{handle.session.graph_name!r}; it cannot be "
+                        f"served as graph {task.graph!r}")
                 served = self._serve(handle, task, queue_wait)
             except ReproError as error:
                 served = ServedResult(query_text=str(task.query),
                                       status=FAILED, detail=str(error),
+                                      graph=task.graph,
                                       queue_wait_seconds=queue_wait)
             except BaseException as error:  # pragma: no cover - defensive
                 task.future.set_exception(error)
@@ -283,7 +318,8 @@ class QueryService:
             queue_wait_seconds=served.queue_wait_seconds,
             failed=not served.succeeded,
             plan_cache_hit=served.plan_cache_hit,
-            result_cache_hit=served.result_cache_hit)
+            result_cache_hit=served.result_cache_hit,
+            graph=served.graph)
         task.future.set_result(served)
 
     def _serve(self, handle, task: _Task, queue_wait: float) -> ServedResult:
@@ -293,17 +329,22 @@ class QueryService:
         path: the handle's own default strategy and (for prepared
         bindings) its shared template plan are honored, ``task.strategy``
         takes precedence when given, and the session caches are consulted
-        afresh per request.  The plan phase runs concurrently across
-        workers; the execution phase serializes on the session's
-        execution lock.
+        afresh per request against the head snapshot captured at the
+        start of the call.  The plan phase and result-cache hits run
+        concurrently across workers with no lock at all; only cache-miss
+        executions serialize on the session's execution lock.
         """
         result, plan_hit, result_hit = handle.run_once(
             task.strategy,
             use_plan_cache=self.enable_plan_cache,
             use_result_cache=self.enable_result_cache)
+        # Attribute by the graph actually served: a pre-built handle
+        # scoped to a named graph carries its scope even when submitted
+        # without graph=.
         return ServedResult(query_text=handle.describe(), status=OK,
                             result=result, plan_cache_hit=plan_hit,
                             result_cache_hit=result_hit,
+                            graph=handle.session.graph_name,
                             queue_wait_seconds=queue_wait)
 
     # -- Lifecycle -------------------------------------------------------------

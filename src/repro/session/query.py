@@ -16,12 +16,23 @@ every front-end funnels into the same :meth:`Session.resolve_plan` /
 a query arrives as text, as a parsed AST, as a raw term, through the
 serving layer, or through a prepared-statement binding.
 
+**Snapshot isolation.**  The first stage that needs the database —
+translation, planning or execution — pins the session's head
+:class:`~repro.data.snapshot.DatabaseSnapshot` on the handle
+(:attr:`Query.pinned_snapshot`).  Every later stage and action of the
+handle reads that same immutable version, so ``collect()``, ``count()``,
+``stream()`` and repeated ``plan()`` calls are repeatable reads even
+while writers commit new snapshots concurrently.  The one exception is
+:meth:`Query.run_once`, the serving path, which reads the *current* head
+on every call (still one consistent snapshot per call).
+
 :class:`DatalogQuery` is the same shape for the Datalog baseline
 front-end: ``.ast`` / ``.program`` stages, then ``collect()``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterator
 from concurrent.futures import Future
@@ -36,11 +47,31 @@ from ..rewriter.normalize import canonicalize
 from .parameters import bind_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from ..data.snapshot import DatabaseSnapshot
     from ..service.plan_cache import CachedPlan
     from .session import QueryResult, Session
 
 #: Sentinel distinguishing "not computed yet" from computed-as-None.
 _UNSET = object()
+
+#: Guards the one-time snapshot pin of every handle.  A single shared
+#: lock suffices: pinning happens at most once per handle and holds the
+#: lock only for a head-pointer read, so contention is negligible.
+_PIN_LOCK = threading.Lock()
+
+
+def _pin_snapshot(handle) -> "DatabaseSnapshot":
+    """The one pin protocol shared by every handle kind.
+
+    Double-checked under the shared lock so concurrent first-stage runs
+    (e.g. ``submit()`` racing a foreground ``plan()``) agree on one
+    snapshot — a handle's pin really is set atomically, once.
+    """
+    if handle._snapshot is None:
+        with _PIN_LOCK:
+            if handle._snapshot is None:
+                handle._snapshot = handle.session.snapshot()
+    return handle._snapshot
 
 
 class Query:
@@ -67,6 +98,8 @@ class Query:
         #: Parameter values substituted into the selected plan (prepared).
         self._bindings = dict(bindings or {})
         self._description = description
+        #: Snapshot the handle reads; pinned at the first stage run.
+        self._snapshot: "DatabaseSnapshot | None" = None
         # Memoized stages.
         self._ast = _UNSET
         self._term = _UNSET
@@ -87,6 +120,21 @@ class Query:
         return self._text
 
     @property
+    def pinned_snapshot(self) -> "DatabaseSnapshot | None":
+        """The snapshot this handle reads, or ``None`` before the pin.
+
+        Set (atomically, once) by the first stage that needs the
+        database; every subsequent stage and terminal action of the
+        handle uses it, making the handle a repeatable read of one
+        version regardless of concurrent commits.
+        """
+        return self._snapshot
+
+    def _pin(self) -> "DatabaseSnapshot":
+        """Pin the session's current head on first use and return it."""
+        return _pin_snapshot(self)
+
+    @property
     def ast(self) -> UCRPQ:
         """The parsed UCRPQ (parses on first access)."""
         if self._ast is _UNSET:
@@ -103,11 +151,22 @@ class Query:
     @property
     def term(self) -> Term:
         """The translated mu-RA term (translates on first access)."""
+        return self._term_with(self._pin())
+
+    def _term_with(self, snapshot: "DatabaseSnapshot") -> Term:
+        """Memoized translation, label-checked against ``snapshot``.
+
+        The translation itself is data-independent (only the label check
+        reads the database), so memoizing under whichever snapshot ran
+        first is sound; passing an explicit snapshot lets
+        :meth:`run_once` keep its whole trip on the one head it captured.
+        """
         if self._term is _UNSET:
             if self._given_term is not None:
                 self._term = self._given_term
             else:
-                self._term = self.session.translate(self.ast)
+                self._term = self.session.translate(self.ast,
+                                                    snapshot=snapshot)
         return self._term
 
     @property
@@ -160,15 +219,16 @@ class Query:
     def collect(self, strategy: str | None = None) -> "QueryResult":
         """Execute the selected plan and return the full :class:`QueryResult`.
 
-        Memoized per strategy: a handle is a one-shot staged computation.
-        Build a new handle (or use the serving layer) to observe data
-        mutated after the first collection.
+        Memoized per strategy: a handle is a one-shot staged computation
+        pinned to one snapshot.  Build a new handle (or use the serving
+        layer) to observe data committed after the handle's pin.
         """
         effective = self._effective(strategy)
         if effective not in self._results:
             plan, hit, key = self._resolve(strategy)
             result, result_hit = self.session.execute_plan(
-                plan, effective, self.classes, plan_key=key)
+                plan, effective, self.classes, plan_key=key,
+                snapshot=self._pin())
             self.last_result_cache_hit = result_hit
             self._results[effective] = result
         return self._results[effective]
@@ -179,18 +239,24 @@ class Query:
                  ) -> "tuple[QueryResult, bool | None, bool | None]":
         """One un-memoized trip through the pipeline (the serving path).
 
-        Unlike :meth:`collect`, nothing is memoized on the handle, so the
-        session caches are consulted afresh — this is what a server wants
-        when the same handle (or an equivalent one) is served repeatedly
-        against a mutating database.  Honors the handle's own default
-        strategy and, for prepared bindings, the shared template plan.
+        Unlike :meth:`collect`, nothing is memoized on the handle and the
+        handle's pin is bypassed: each call captures the session's head
+        snapshot at entry and plans + executes against that one version
+        (a repeatable read *within* the call, the freshest data *across*
+        calls) — this is what a server wants when equivalent handles are
+        served repeatedly against a mutating database.  Honors the
+        handle's own default strategy and, for prepared bindings, the
+        shared template plan.
         Returns ``(result, plan_cache_hit, result_cache_hit)``.
         """
         effective = self._effective(strategy)
-        plan, plan_hit, key = self._plan_for(effective, use_cache=use_plan_cache)
+        snapshot = self.session.snapshot()
+        plan, plan_hit, key = self._plan_for(effective, use_cache=use_plan_cache,
+                                             snapshot=snapshot)
         result, result_hit = self.session.execute_plan(
             plan, effective, self.classes,
-            use_result_cache=use_result_cache, plan_key=key)
+            use_result_cache=use_result_cache, plan_key=key,
+            snapshot=snapshot)
         return result, plan_hit, result_hit
 
     def count(self, strategy: str | None = None) -> int:
@@ -203,18 +269,32 @@ class Query:
 
     def stream(self, batch_size: int = 256,
                strategy: str | None = None) -> Iterator[list[tuple]]:
-        """Yield the result rows in batches of ``batch_size`` tuples."""
+        """Yield the result rows in batches of ``batch_size`` tuples.
+
+        Snapshot-consistent: calling ``stream()`` pins the handle's
+        snapshot and runs the pipeline *immediately* (not at the first
+        ``next()``), so the batches always cover exactly the pinned
+        version — mutations committed between yielded batches (or
+        between creating and consuming the iterator) cannot change, tear
+        or reorder the stream.  Batches themselves are produced lazily
+        from the materialized result, one at a time.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        self._pin()
         relation = self.collect(strategy).relation
-        batch: list[tuple] = []
-        for row in relation.rows:
-            batch.append(row)
-            if len(batch) == batch_size:
+
+        def batches() -> Iterator[list[tuple]]:
+            batch: list[tuple] = []
+            for row in relation.rows:
+                batch.append(row)
+                if len(batch) == batch_size:
+                    yield batch
+                    batch = []
+            if batch:
                 yield batch
-                batch = []
-        if batch:
-            yield batch
+
+        return batches()
 
     def submit(self, strategy: str | None = None) -> Future:
         """Run :meth:`collect` on the session's background worker.
@@ -259,18 +339,24 @@ class Query:
         return self._plans[effective]
 
     def _plan_for(self, effective: str | None,
-                  use_cache: bool | None = None) -> tuple:
+                  use_cache: bool | None = None,
+                  snapshot: "DatabaseSnapshot | None" = None) -> tuple:
         """Resolve ``(plan, cache_hit, key)`` through the session.
 
-        For prepared bindings the plan phase runs on the shared template
-        term and the binding's constants are substituted into the selected
-        plan afterwards.  A bound plan must never be written back into the
-        template's plan-cache slot (a later binding would inherit its
-        constants), so its key is dropped.
+        Plans against the handle's pinned snapshot unless the caller
+        (the serving path) passes its own.  For prepared bindings the
+        plan phase runs on the shared template term and the binding's
+        constants are substituted into the selected plan afterwards.  A
+        bound plan must never be written back into the template's
+        plan-cache slot (a later binding would inherit its constants),
+        so its key is dropped.
         """
-        base = self._plan_term if self._plan_term is not None else self.term
+        snapshot = snapshot if snapshot is not None else self._pin()
+        base = (self._plan_term if self._plan_term is not None
+                else self._term_with(snapshot))
         plan, hit, key = self.session.resolve_plan(base, effective,
-                                                   use_cache=use_cache)
+                                                   use_cache=use_cache,
+                                                   snapshot=snapshot)
         if self._bindings:
             plan = bind_plan(plan, self._bindings)
             key = None
@@ -295,6 +381,8 @@ class DatalogQuery:
         self._text = text
         self._given_ast = ast
         self.use_magic = use_magic
+        #: Snapshot the evaluation reads; pinned at the first collect().
+        self._snapshot: "DatabaseSnapshot | None" = None
         self._ast = _UNSET
         self._program = _UNSET
         self._specialization = _UNSET
@@ -303,6 +391,14 @@ class DatalogQuery:
     @property
     def text(self) -> str | None:
         return self._text
+
+    @property
+    def pinned_snapshot(self) -> "DatabaseSnapshot | None":
+        """The snapshot this handle reads (same contract as :class:`Query`)."""
+        return self._snapshot
+
+    def _pin(self) -> "DatabaseSnapshot":
+        return _pin_snapshot(self)
 
     @property
     def ast(self) -> UCRPQ:
@@ -348,7 +444,8 @@ class DatalogQuery:
             program = self.program
             decomposable, non_decomposable = self.distribution()
             engine = SemiNaiveEngine()
-            facts = engine.evaluate(program, self.session.datalog_edb())
+            facts = engine.evaluate(program,
+                                    self.session.datalog_edb(self._pin()))
             columns = tuple(sorted(v.name for v in self.ast.head))
             relation = goal_relation(self.ast, facts, columns)
             self._result = BigDatalogResult(

@@ -1,8 +1,9 @@
-"""The :class:`Session`: one database, one cluster, one staged query pipeline.
+"""The :class:`Session`: snapshot-isolated graphs, one staged query pipeline.
 
-A session owns everything a query needs — the database, the statistics
-catalog, the plan and result caches, the rewriter and the simulated
-cluster — and hands out **lazy query handles** through its front-ends:
+A session owns everything a query needs — the cluster, the rewriter, the
+execution lock and one or more **named graphs**, each held as an
+immutable, versioned :class:`~repro.data.snapshot.DatabaseSnapshot` —
+and hands out **lazy query handles** through its front-ends:
 
 * :meth:`Session.ucrpq` — the UCRPQ surface syntax (text or parsed AST),
 * :meth:`Session.datalog` — the same queries compiled through the Datalog
@@ -23,32 +24,49 @@ terminal action (``collect()``, ``count()``, ``exists()``, ``stream()``,
     print(query.plan().cost)                          # parse+translate+rank
     rows = query.collect().relation                   # execute
 
-The pipeline stages are shared by every front-end and by the serving layer
-(:class:`~repro.service.QueryService`), so cache keys agree no matter how a
-query enters the system.
+**Data ownership.**  The database behind a session is never edited in
+place.  :meth:`add_edges` / :meth:`remove_edges` (or a batched
+:meth:`transaction`) build a *successor* snapshot by copy-on-write —
+unchanged relations, and therefore their memoized hash indexes, are
+shared across versions — and atomically swap the graph's head.  A query
+handle pins the head snapshot the first time one of its stages runs, so
+``collect()`` / ``stream()`` / a prepared ``bind()`` are repeatable reads
+at a well-defined version even while writers commit.  Plan- and
+result-cache keys carry the snapshot fingerprint, so mutations never
+purge caches, and the plan phase and result-cache hits run entirely
+outside the execution lock — only physical executions still serialize on
+the cluster's executor backend.
+
+**Multi-graph.**  :meth:`attach` registers additional named graphs and
+:meth:`graph` returns a session view scoped to one of them (own head,
+own version counters, own plan/result caches; shared cluster, rewriter
+and execution lock), so one service instance serves many datasets.
+:meth:`read_view` returns a view pinned to the current head for
+long-running analyses.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import ChainMap
 from collections.abc import Iterable, Mapping
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..algebra.evaluate import Evaluator
-from ..algebra.schema import schemas_of_database
 from ..algebra.terms import Term
 from ..algebra.variables import free_variables
 from ..cost.selection import RankedPlan, rank_plans
 from ..data.graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
 from ..data.relation import Relation
-from ..data.stats import StatisticsCatalog
+from ..data.snapshot import DEFAULT_GRAPH, DatabaseSnapshot
 from ..distributed.cluster import ClusterMetrics, SparkCluster
 from ..distributed.executor import SERIAL, ExecutorBackend
 from ..distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
                                     DistributedQueryExecutor)
-from ..errors import EvaluationError, SchemaError, TranslationError
+from ..errors import (DatasetError, EvaluationError, SchemaError,
+                      TransactionError, TranslationError)
 from ..query.ast import UCRPQ
 from ..query.parser import parse_query
 from ..query.translate import translate_query
@@ -94,18 +112,138 @@ class QueryResult:
         return summary
 
 
-class Session:
-    """A Dist-mu-RA session bound to one database and one simulated cluster.
+@dataclass
+class GraphState:
+    """The mutable cell of one named graph: head pointer + caches.
 
-    The session is the single owner of the staged pipeline state: the plan
-    cache (rewriter + cost-ranking decisions), the result cache (whole
-    memoized executions), the statistics catalog and the execution lock
-    that serializes cluster use.  ``enable_plan_cache`` /
-    ``enable_result_cache`` set the session-wide defaults; callers (the
-    serving layer, individual actions) can override per call.
+    The *snapshots* are immutable; this cell is the only mutable thing —
+    the head reference is swapped atomically under :attr:`commit_lock`
+    by commits, and the version-keyed caches are appended to by readers.
+    Session views of the same graph all share one ``GraphState``.
     """
 
-    def __init__(self, data: LabeledGraph | Mapping[str, Relation],
+    name: str
+    head: DatabaseSnapshot
+    plan_cache: PlanCache
+    result_cache: ResultCache
+    commit_lock: threading.RLock = field(default_factory=threading.RLock)
+
+
+class Transaction:
+    """A batch of edge mutations committed as one snapshot.
+
+    Mutations recorded through :meth:`add_edges` / :meth:`remove_edges`
+    are buffered; :meth:`commit` validates and applies them all against
+    the head at commit time and swaps in a **single** successor snapshot
+    (one version bump), or applies nothing at all if any of them is
+    invalid.  :meth:`rollback` discards the buffer.  As a context
+    manager the transaction commits on a clean exit and rolls back when
+    the body raises::
+
+        with session.transaction() as txn:
+            txn.add_edges("knows", [("a", "b")])
+            txn.remove_edges("worksAt", [("a", "cnrs")])
+        # one commit, one new snapshot version
+    """
+
+    def __init__(self, session: "Session"):
+        self._session = session
+        self._ops: list[tuple[str, set, bool]] = []
+        self._outcome: str | None = None
+
+    def add_edges(self, label: str,
+                  pairs: Iterable[tuple[object, object]]) -> "Transaction":
+        """Buffer an edge addition; applied at :meth:`commit`."""
+        return self._buffer(label, pairs, removing=False)
+
+    def remove_edges(self, label: str,
+                     pairs: Iterable[tuple[object, object]]) -> "Transaction":
+        """Buffer an edge removal; applied at :meth:`commit`."""
+        return self._buffer(label, pairs, removing=True)
+
+    def _buffer(self, label: str, pairs, removing: bool) -> "Transaction":
+        if self._outcome is not None:
+            raise TransactionError(
+                f"this transaction was already {self._outcome}")
+        self._session._check_mutable()
+        _check_not_inverse(label)
+        self._ops.append((label, {(s, t) for s, t in pairs}, removing))
+        return self
+
+    def commit(self) -> tuple[str, ...]:
+        """Apply every buffered mutation as one atomic snapshot swap.
+
+        Returns the names of the touched relations (empty when the whole
+        batch is a no-op, in which case no new snapshot is created).  A
+        validation failure applies nothing and leaves the transaction
+        open, so the caller can still :meth:`rollback` (or fix the
+        buffer's problem and retry through a new transaction).
+        """
+        if self._outcome is not None:
+            raise TransactionError(
+                f"this transaction was already {self._outcome}")
+        touched = self._session._commit_ops(self._ops)
+        self._outcome = "committed"
+        return touched
+
+    def rollback(self) -> None:
+        """Discard the buffered mutations; the head is left untouched."""
+        if self._outcome is not None:
+            raise TransactionError(
+                f"this transaction was already {self._outcome}")
+        self._outcome = "rolled back"
+        self._ops.clear()
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, *exc_info: object) -> None:
+        if self._outcome is not None:
+            return
+        if exc_type is not None:
+            self.rollback()
+        else:
+            self.commit()
+
+    def __repr__(self) -> str:
+        state = self._outcome or "open"
+        return f"Transaction(ops={len(self._ops)}, {state})"
+
+
+def _is_unchanged(current: Relation | None, updated: Relation) -> bool:
+    """Whether committing ``updated`` over ``current`` would change nothing.
+
+    A missing relation that would be committed empty counts as unchanged
+    (the batch created and then emptied it).  The length pre-check keeps
+    the common changed case O(1); full row comparison only runs for
+    equal-size relations.
+    """
+    if current is None:
+        return len(updated) == 0
+    return len(current) == len(updated) and current == updated
+
+
+def _check_not_inverse(label: str) -> None:
+    if label.startswith(INVERSE_PREFIX):
+        raise TranslationError(
+            f"mutate the base relation {label[len(INVERSE_PREFIX):]!r} "
+            f"instead of the inverse {label!r}")
+
+
+class Session:
+    """A Dist-mu-RA session bound to named graph snapshots and one cluster.
+
+    The session is the single owner of the staged pipeline state: per
+    graph, the head :class:`~repro.data.snapshot.DatabaseSnapshot`, the
+    plan cache (rewriter + cost-ranking decisions) and the result cache
+    (whole memoized executions); shared across graphs, the cluster, the
+    rewriter and the execution lock that serializes physical cluster
+    use.  ``enable_plan_cache`` / ``enable_result_cache`` set the
+    session-wide defaults; callers (the serving layer, individual
+    actions) can override per call.
+    """
+
+    def __init__(self, data: "LabeledGraph | Mapping[str, Relation] | DatabaseSnapshot",
                  num_workers: int = 4,
                  optimize: bool = True,
                  strategy: str = AUTO,
@@ -118,39 +256,218 @@ class Session:
                  result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
                  enable_plan_cache: bool = True,
                  enable_result_cache: bool = True):
-        if isinstance(data, LabeledGraph):
-            self.database: dict[str, Relation] = data.relations()
-        else:
-            self.database = dict(data)
         self.cluster = SparkCluster(num_workers=num_workers, executor=executor)
         self.optimize_plans = optimize
         self.strategy = strategy
         self.memory_per_task = memory_per_task
         self.rewriter = MuRewriter(max_plans=max_plans, max_rounds=max_rounds)
-        self._schemas = schemas_of_database(self.database)
-        #: Persistent statistics used by the cost-based plan ranking.  The
-        #: mutation API refreshes the touched entries, so estimates always
-        #: reflect the current data (see :meth:`add_edges`).
-        self.catalog = StatisticsCatalog(self.database)
-        #: Monotonic counters tracking mutations: the database version is
-        #: bumped on every mutation, and each touched relation records the
-        #: version it was last changed at.  Both caches key on these.
-        self._database_version = 0
-        self._relation_versions: dict[str, int] = dict.fromkeys(self.database, 0)
         self.enable_plan_cache = enable_plan_cache
         self.enable_result_cache = enable_result_cache
-        self.plan_cache = PlanCache(plan_cache_size)
-        self.result_cache = ResultCache(result_cache_size)
-        #: Serializes cluster executions and mutations: the cluster's
-        #: executor backend and metrics are single-caller by design.  The
-        #: plan phase deliberately runs outside this lock.
+        self._plan_cache_size = plan_cache_size
+        self._result_cache_size = result_cache_size
+        #: Serializes physical cluster executions: the cluster's executor
+        #: backend and metrics are single-caller by design.  The plan
+        #: phase, result-cache hits and mutations all run outside it.
         self.execution_lock = threading.RLock()
         self._background: ThreadPoolExecutor | None = None
         self._background_lock = threading.Lock()
-        #: Memoized extensional database for the Datalog front-end,
-        #: tagged with the database version it was extracted at.
-        self._datalog_edb: dict[str, set[tuple]] | None = None
-        self._datalog_edb_version = -1
+        #: Named graphs of the session.  Every session view of a graph
+        #: shares its ``GraphState`` cell (head pointer + caches).
+        self._graphs: dict[str, GraphState] = {}
+        self._graphs_lock = threading.Lock()
+        self._graph_views: dict[str, Session] = {}
+        #: This object's scope: which graph it addresses, and (for read
+        #: views) the snapshot it is pinned to instead of the live head.
+        self._root: Session = self
+        self._graph_name = DEFAULT_GRAPH
+        self._pinned: DatabaseSnapshot | None = None
+        self.attach(DEFAULT_GRAPH, data)
+
+    # -- Graphs and snapshots --------------------------------------------------------
+
+    def attach(self, name: str,
+               data: "LabeledGraph | Mapping[str, Relation] | DatabaseSnapshot",
+               ) -> DatabaseSnapshot:
+        """Register ``data`` as the named graph ``name`` (version 0).
+
+        Accepts a :class:`LabeledGraph`, a plain ``name -> Relation``
+        mapping, or an existing :class:`DatabaseSnapshot`.  Each graph
+        gets its own head, version counters and plan/result caches, so
+        queries, mutations and cache entries of different graphs never
+        interfere.  Returns the attached snapshot.
+        """
+        snapshot = self._as_snapshot(name, data)
+        root = self._root
+        with self._graphs_lock:
+            if name in self._graphs:
+                raise DatasetError(
+                    f"a graph named {name!r} is already attached; "
+                    f"detach() it first")
+            self._graphs[name] = GraphState(
+                name=name, head=snapshot,
+                plan_cache=PlanCache(root._plan_cache_size),
+                result_cache=ResultCache(root._result_cache_size))
+        return snapshot
+
+    def detach(self, name: str) -> None:
+        """Forget the named graph (its caches and head are dropped).
+
+        Snapshots already pinned by in-flight handles remain readable
+        *as data* (they are immutable objects), but the name stops
+        resolving: any further pipeline operation through the detached
+        graph — including actions on handles that pinned before the
+        detach — raises :class:`~repro.errors.DatasetError`, because
+        the graph's cache and head cell are gone.  Detach is an
+        administrative operation; quiesce the graph's traffic first.
+        """
+        if name == DEFAULT_GRAPH:
+            raise DatasetError("the default graph cannot be detached")
+        with self._graphs_lock:
+            if name not in self._graphs:
+                raise DatasetError(f"no graph named {name!r} is attached")
+            del self._graphs[name]
+            self._root._graph_views.pop(name, None)
+
+    def graphs(self) -> tuple[str, ...]:
+        """The sorted names of the attached graphs."""
+        with self._graphs_lock:
+            return tuple(sorted(self._graphs))
+
+    def graph(self, name: str) -> "Session":
+        """A session view scoped to the named graph.
+
+        The view shares the cluster, the rewriter, the execution lock
+        and the graph's ``GraphState`` cell with this session — it is a
+        front-end scope, not a copy — so ``session.graph("yago")
+        .ucrpq(...)`` plans, caches and executes against the "yago"
+        head.  Views are memoized per name and safe to share across
+        threads; closing a view is a no-op (the root session owns the
+        shared resources).
+        """
+        if name == self._graph_name and self._pinned is None:
+            return self
+        self._require_graph(name)
+        root = self._root
+        with root._graphs_lock:
+            view = root._graph_views.get(name)
+            if view is None:
+                view = _SessionView(root, name, pinned=None)
+                root._graph_views[name] = view
+            return view
+
+    def read_view(self) -> "Session":
+        """A read-only session view pinned to the current head snapshot.
+
+        Every query planned or executed through the view — no matter
+        when — reads the snapshot that was the head when ``read_view()``
+        was called; mutations through the view raise
+        :class:`~repro.errors.TransactionError`.  Useful for long
+        analyses that must not observe concurrent commits.
+        """
+        return _SessionView(self._root, self._graph_name,
+                            pinned=self.snapshot())
+
+    @property
+    def graph_name(self) -> str:
+        """Name of the graph this session object is scoped to."""
+        return self._graph_name
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """The database this session object currently reads.
+
+        For a live session (or graph view) this is the graph's head —
+        the latest committed version; for a :meth:`read_view` it is the
+        pinned snapshot.  The returned object is immutable: it can be
+        queried, iterated, shipped or compared at leisure regardless of
+        later commits.
+        """
+        if self._pinned is not None:
+            return self._pinned
+        return self._state.head
+
+    @property
+    def database(self) -> DatabaseSnapshot:
+        """Legacy alias for :meth:`snapshot` (a read-only mapping).
+
+        Pre-snapshot code read and mutated ``session.database`` as a
+        plain dict.  The attribute now returns the immutable head
+        snapshot — all read patterns (``session.database["knows"]``,
+        ``len(...)``, ``.items()``) keep working; writers must go
+        through :meth:`add_edges` / :meth:`remove_edges` /
+        :meth:`transaction`.  See the migration table in ``README.md``.
+        """
+        return self.snapshot()
+
+    @property
+    def _state(self) -> GraphState:
+        state = self._root._graphs.get(self._graph_name)
+        if state is None:
+            raise DatasetError(
+                f"graph {self._graph_name!r} is no longer attached")
+        return state
+
+    def _require_graph(self, name: str) -> None:
+        if name not in self._root._graphs:
+            raise DatasetError(
+                f"no graph named {name!r} is attached "
+                f"(attached: {list(self.graphs())})")
+
+    @staticmethod
+    def _as_snapshot(name: str, data) -> DatabaseSnapshot:
+        if isinstance(data, DatabaseSnapshot):
+            # Re-label under the attach name (e.g. attaching a copy of
+            # another graph's head), so diagnostics and every successor
+            # snapshot report the graph they actually serve.
+            return data.relabeled(name)
+        if isinstance(data, LabeledGraph):
+            return DatabaseSnapshot.from_graph(data, graph_name=name)
+        return DatabaseSnapshot.from_relations(data, graph_name=name)
+
+    # -- Cache plumbing --------------------------------------------------------------
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The plan cache of this session's graph."""
+        return self._state.plan_cache
+
+    @plan_cache.setter
+    def plan_cache(self, cache: PlanCache) -> None:
+        self._state.plan_cache = cache
+
+    @property
+    def result_cache(self) -> ResultCache:
+        """The result cache of this session's graph."""
+        return self._state.result_cache
+
+    @result_cache.setter
+    def result_cache(self, cache: ResultCache) -> None:
+        self._state.result_cache = cache
+
+    def configure_caches(self, plan_cache_size: int,
+                         result_cache_size: int) -> None:
+        """Install fresh plan/result caches of the given sizes everywhere.
+
+        Replaces the caches of every attached graph and records the
+        sizes for graphs attached later.  Used by the serving layer,
+        which owns the caching configuration of the session it fronts.
+        """
+        root = self._root
+        root._plan_cache_size = plan_cache_size
+        root._result_cache_size = result_cache_size
+        with root._graphs_lock:
+            for state in root._graphs.values():
+                state.plan_cache = PlanCache(plan_cache_size)
+                state.result_cache = ResultCache(result_cache_size)
+
+    @property
+    def catalog(self):
+        """The statistics catalog of the snapshot this session reads.
+
+        Statistics are snapshot-scoped: they travel with the immutable
+        snapshot so the unlocked plan phase always pairs a fingerprint
+        with the statistics computed from the same data.
+        """
+        return self.snapshot().catalog
 
     # -- Front-ends -----------------------------------------------------------------
 
@@ -187,14 +504,17 @@ class Session:
         Every :meth:`~repro.session.prepared.PreparedQuery.bind` after the
         first is a plan-cache hit: the template is explored and ranked
         once, and each binding substitutes its values into the selected
-        plan (see :mod:`repro.session.prepared`).
+        plan (see :mod:`repro.session.prepared`).  Each ``bind()``
+        returns a fresh handle that pins the head snapshot of *its*
+        first stage run, so re-binding after a commit sees the new head
+        while in-flight bindings keep their version.
         """
         return PreparedQuery(self, query, params=params)
 
     def as_query(self, query: "str | UCRPQ | Term | Query") -> Query:
         """Coerce any supported query form into a lazy :class:`Query` handle."""
         if isinstance(query, Query):
-            if query.session is not self:
+            if query.session._root is not self._root:
                 raise TranslationError(
                     "the query handle belongs to a different session")
             return query
@@ -208,36 +528,42 @@ class Session:
         """Parse UCRPQ text (ASTs pass through unchanged)."""
         return parse_query(query) if isinstance(query, str) else query
 
-    def translate(self, query: str | UCRPQ) -> Term:
+    def translate(self, query: str | UCRPQ,
+                  snapshot: DatabaseSnapshot | None = None) -> Term:
         """Parse (if needed) and translate a UCRPQ into a mu-RA term.
 
         Raises :class:`~repro.errors.TranslationError` for labels the
-        database does not have.  (Prepared templates never hit this with a
-        ``:name`` placeholder: label parameters are substituted with their
-        concrete labels before the template is translated.)
+        snapshot does not have.  (Prepared templates never hit this with
+        a ``:name`` placeholder: label parameters are substituted with
+        their concrete labels before the template is translated.)
         """
+        snapshot = snapshot if snapshot is not None else self.snapshot()
         parsed = self.parse(query)
         missing = sorted(label for label in parsed.labels()
-                         if label not in self.database)
+                         if label not in snapshot)
         if missing:
             raise TranslationError(
                 f"query references unknown edge labels {missing}")
         return translate_query(parsed)
 
-    def optimize(self, term: Term) -> tuple[RankedPlan, list[RankedPlan]]:
+    def optimize(self, term: Term,
+                 snapshot: DatabaseSnapshot | None = None,
+                 ) -> tuple[RankedPlan, list[RankedPlan]]:
         """Explore equivalent plans and rank them with the cost model.
 
         This is the raw (uncached) explore+rank; :meth:`resolve_plan` is
         the cached entry point the pipeline uses.  Ranking reads the
-        session's persistent :attr:`catalog`, so cost estimates follow
-        mutations instead of being recomputed from the full database.
+        snapshot's own statistics catalog, so the (lock-free) plan phase
+        always costs a term against the exact data version it will read.
         """
-        plans = self.rewriter.explore(term, self._schemas)
-        ranked = rank_plans(plans, catalog=self.catalog)
+        snapshot = snapshot if snapshot is not None else self.snapshot()
+        plans = self.rewriter.explore(term, snapshot.schemas)
+        ranked = rank_plans(plans, catalog=snapshot.catalog)
         return ranked[0], ranked
 
     def resolve_plan(self, term: Term, strategy: str | None = None, *,
                      use_cache: bool | None = None,
+                     snapshot: DatabaseSnapshot | None = None,
                      ) -> tuple[CachedPlan, bool | None, PlanKey | None]:
         """The shared plan phase: cache lookup, explore+rank, cache store.
 
@@ -245,8 +571,11 @@ class Session:
         when the cache was not consulted (caching disabled, or the
         optimizer is off and the term is used as-is).  This method is the
         single plan path for every front-end and for the serving layer, so
-        their cache keys agree by construction.
+        their cache keys agree by construction.  It runs entirely outside
+        the execution lock: the snapshot and its statistics are immutable,
+        and the cache is internally synchronized.
         """
+        snapshot = snapshot if snapshot is not None else self.snapshot()
         if not self.optimize_plans:
             selected = canonicalize(term)
             return CachedPlan(term=selected, cost=float("nan"),
@@ -254,11 +583,12 @@ class Session:
                               dependencies=free_variables(selected)), None, None
         use_cache = self.enable_plan_cache if use_cache is None else use_cache
         if use_cache:
-            key = PlanKey.of(self, term, free_variables(term), strategy)
+            key = PlanKey.of(self, term, free_variables(term), strategy,
+                             snapshot=snapshot)
             cached = self.plan_cache.get(key)
             if cached is not None:
                 return cached, True, key
-        best, ranked = self.optimize(term)
+        best, ranked = self.optimize(term, snapshot=snapshot)
         plan = CachedPlan(term=best.term, cost=best.cost,
                           plans_explored=len(ranked),
                           dependencies=free_variables(best.term))
@@ -273,64 +603,76 @@ class Session:
                      classes: frozenset[str] = frozenset(), *,
                      use_result_cache: bool | None = None,
                      plan_key: PlanKey | None = None,
+                     snapshot: DatabaseSnapshot | None = None,
                      ) -> tuple[QueryResult, bool | None]:
-        """Execute a selected plan under the execution lock.
+        """Execute a selected plan against one snapshot.
 
-        Consults the result cache first (a hit skips the cluster
-        entirely); on a miss the plan runs with the rewriter disabled and
-        the result is memoized against the current relation versions.
+        Consults the result cache first — the key carries the snapshot
+        fingerprint of the plan's inputs, so a hit is valid by
+        construction and is served **without the execution lock**.  On a
+        miss the plan runs on the cluster (executions serialize on the
+        lock) and the result is memoized under the same fingerprint.
+        Two concurrent misses on one key may both execute; they compute
+        identical results and the second store is a harmless overwrite.
         Returns ``(result, result_cache_hit)``.
         """
+        snapshot = snapshot if snapshot is not None else self.snapshot()
         use_cache = (self.enable_result_cache if use_result_cache is None
                      else use_result_cache)
         effective = strategy if strategy is not None else self.strategy
-        result_key = ResultKey(plan_key=plan.term_key, strategy=effective,
-                               num_workers=self.cluster.num_workers,
-                               memory_per_task=self.memory_per_task)
-        with self.execution_lock:
-            if use_cache:
-                cached = self.result_cache.lookup(result_key, self)
-                if cached is not None:
-                    return cached, True
-            result = self.execute_term(plan.term, strategy=strategy,
-                                       query_classes=classes, optimize=False)
-            # Patch in what the plan phase knew and the cache-skipping
-            # re-execution did not (plan count, estimated selection cost).
-            result.plans_explored = plan.plans_explored
-            result.estimated_cost = plan.cost
-            if use_cache:
-                self.result_cache.store(result_key, result,
-                                        plan.dependencies, self)
-            if plan_key is not None and not plan.physical_strategies:
-                self.plan_cache.put(plan_key, plan.with_strategies(
-                    result.physical_strategies))
+        result_key = ResultKey(
+            plan_key=plan.term_key, strategy=effective,
+            num_workers=self.cluster.num_workers,
+            memory_per_task=self.memory_per_task,
+            fingerprint=snapshot.fingerprint(plan.dependencies))
+        if use_cache:
+            cached = self.result_cache.lookup(result_key)
+            if cached is not None:
+                return cached, True
+        result = self.execute_term(plan.term, strategy=strategy,
+                                   query_classes=classes, optimize=False,
+                                   snapshot=snapshot)
+        # Patch in what the plan phase knew and the cache-skipping
+        # re-execution did not (plan count, estimated selection cost).
+        result.plans_explored = plan.plans_explored
+        result.estimated_cost = plan.cost
+        if use_cache:
+            self.result_cache.store(result_key, result)
+        if plan_key is not None and not plan.physical_strategies:
+            self.plan_cache.put(plan_key, plan.with_strategies(
+                result.physical_strategies))
         return result, (False if use_cache else None)
 
     # -- Execution ------------------------------------------------------------------
 
     def execute_term(self, term: Term, strategy: str | None = None,
                      query_classes: frozenset[str] = frozenset(),
-                     optimize: bool | None = None) -> QueryResult:
-        """Optimize (optionally) and execute a mu-RA term.
+                     optimize: bool | None = None,
+                     snapshot: DatabaseSnapshot | None = None) -> QueryResult:
+        """Optimize (optionally) and execute a mu-RA term on one snapshot.
 
         ``optimize`` overrides the session default for this call; the
         staged pipeline passes ``False`` when it executes a plan it
         already selected (and cached), skipping the rewriter and ranking.
+        Only the physical execution itself holds the execution lock —
+        the snapshot is immutable, so concurrent commits never interfere
+        with the broadcast data.
         """
+        snapshot = snapshot if snapshot is not None else self.snapshot()
         started = time.perf_counter()
         original = term
         plans_explored = 1
         estimated_cost = float("nan")
         should_optimize = self.optimize_plans if optimize is None else optimize
         if should_optimize:
-            best, ranked = self.optimize(term)
+            best, ranked = self.optimize(term, snapshot=snapshot)
             term = best.term
             plans_explored = len(ranked)
             estimated_cost = best.cost
         with self.execution_lock:
             self.cluster.reset_metrics()
             executor = DistributedQueryExecutor(
-                self.cluster, self.database,
+                self.cluster, snapshot,
                 strategy=strategy if strategy is not None else self.strategy,
                 memory_per_task=self.memory_per_task)
             outcome = executor.execute(term)
@@ -348,25 +690,25 @@ class Session:
             query_classes=query_classes,
         )
 
-    def evaluate_centralized(self, term: Term) -> Relation:
+    def evaluate_centralized(self, term: Term,
+                             snapshot: DatabaseSnapshot | None = None,
+                             ) -> Relation:
         """Reference single-node evaluation (used for testing and baselines)."""
-        return Evaluator(self.database).evaluate(term)
+        snapshot = snapshot if snapshot is not None else self.snapshot()
+        return Evaluator(snapshot).evaluate(term)
 
-    def datalog_edb(self) -> dict[str, set[tuple]]:
-        """Per-label EDB predicates for the Datalog front-end (memoized).
+    def datalog_edb(self, snapshot: DatabaseSnapshot | None = None,
+                    ) -> dict[str, set[tuple]]:
+        """Per-label EDB predicates of one snapshot (memoized on it).
 
-        Recomputed after mutations (the memo is tagged with the database
-        version).  The snapshot is taken under the execution lock so a
-        concurrent mutation can neither change the dictionary mid-iteration
-        nor let a half-old EDB be memoized under the new version tag.
+        No lock is needed: the snapshot is immutable, so the extraction
+        is repeatable, and the memo lives on the snapshot object itself —
+        every pinned Datalog query of a version shares one EDB while
+        later versions compute their own.
         """
-        with self.execution_lock:
-            if self._datalog_edb is None \
-                    or self._datalog_edb_version != self._database_version:
-                from ..baselines.datalog.translate import database_to_edb
-                self._datalog_edb = database_to_edb(self.database)
-                self._datalog_edb_version = self._database_version
-            return self._datalog_edb
+        from ..baselines.datalog.translate import database_to_edb
+        snapshot = snapshot if snapshot is not None else self.snapshot()
+        return snapshot.derived("datalog_edb", database_to_edb)
 
     def submit_action(self, action) -> Future:
         """Run a terminal action on the session's background worker.
@@ -376,6 +718,9 @@ class Session:
         session's execution lock, so background and foreground actions
         never oversubscribe the cluster.
         """
+        root = self._root
+        if root is not self:
+            return root.submit_action(action)
         with self._background_lock:
             if self._background is None:
                 self._background = ThreadPoolExecutor(
@@ -386,31 +731,40 @@ class Session:
 
     @property
     def database_version(self) -> int:
-        """Monotonic counter bumped by every mutation of the session."""
-        return self._database_version
+        """Version of the snapshot this session reads (bumped per commit)."""
+        return self.snapshot().version
 
     def relation_version(self, name: str) -> int:
         """Version at which relation ``name`` last changed (0 = unchanged)."""
-        return self._relation_versions.get(name, 0)
+        return self.snapshot().relation_version(name)
 
     def relation_versions(self, names: Iterable[str]) -> tuple[tuple[str, int], ...]:
-        """Sorted ``(name, version)`` snapshot of the given relations.
+        """Sorted ``(name, version)`` fingerprint of the given relations.
 
         Unknown names are included with version 0, so a cache entry built
-        before a relation existed is invalidated when it appears.
+        before a relation existed stops matching once it appears.
         """
-        return tuple((name, self.relation_version(name))
-                     for name in sorted(set(names)))
+        return self.snapshot().fingerprint(names)
+
+    def transaction(self) -> Transaction:
+        """Start a mutation batch committed as one snapshot (see
+        :class:`Transaction`)."""
+        self._check_mutable()
+        return Transaction(self)
 
     def add_edges(self, label: str,
                   pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
         """Add ``(src, trg)`` edges to the ``label`` relation.
 
-        The inverse relation ``-label`` and the ``facts`` triple table (when
-        the database has them) are kept consistent, the touched relations'
-        statistics are refreshed in :attr:`catalog`, the database version
-        is bumped, and the dependent plan/result cache entries are purged.
-        Returns the names of the touched relations.
+        Builds a copy-on-write successor snapshot — the inverse relation
+        ``-label`` and the ``facts`` triple table (when the graph has
+        them) are kept consistent, and the successor carries refreshed
+        statistics for the touched relations — then atomically swaps the
+        graph's head.  In-flight readers keep their pinned snapshots;
+        caches are untouched (keys are version-qualified).  Adding only
+        already-present pairs (or an empty iterable) is a **no-op**: no
+        snapshot is created and no version is bumped.  Returns the names
+        of the touched relations (empty for a no-op).
         """
         return self._apply_edge_mutation(label, pairs, removing=False)
 
@@ -418,41 +772,86 @@ class Session:
                      pairs: Iterable[tuple[object, object]]) -> tuple[str, ...]:
         """Remove ``(src, trg)`` edges from the ``label`` relation.
 
-        Same consistency and invalidation contract as :meth:`add_edges`.
+        Same snapshot-commit and no-op contract as :meth:`add_edges`
+        (removing pairs that are not present changes nothing and bumps
+        no version).
         """
         return self._apply_edge_mutation(label, pairs, removing=True)
 
-    def _apply_edge_mutation(self, label: str, pairs, removing: bool) -> tuple[str, ...]:
-        if label.startswith(INVERSE_PREFIX):
-            raise TranslationError(
-                f"mutate the base relation {label[len(INVERSE_PREFIX):]!r} "
-                f"instead of the inverse {label!r}")
-        edge_pairs = {(src, trg) for src, trg in pairs}
-        # The whole mutation — planning, validation, application, version
-        # bump and cache purge — runs under the execution lock, so no
-        # concurrent mutation or in-flight execution can interleave with a
-        # half-applied change (the lock is re-entrant: the serving layer's
-        # workers may already hold it).
-        with self.execution_lock:
-            return self._mutate_locked(label, edge_pairs, removing)
+    def _check_mutable(self) -> None:
+        if self._pinned is not None:
+            raise TransactionError(
+                "this is a pinned read view; mutate through the live "
+                "session (or session.graph(name)) instead")
 
-    def _mutate_locked(self, label: str, edge_pairs: set, removing: bool) -> tuple[str, ...]:
-        if removing and label not in self.database:
+    def _apply_edge_mutation(self, label: str, pairs, removing: bool) -> tuple[str, ...]:
+        self._check_mutable()
+        _check_not_inverse(label)
+        edge_pairs = {(src, trg) for src, trg in pairs}
+        return self._commit_ops([(label, edge_pairs, removing)])
+
+    def _commit_ops(self, ops: list[tuple[str, set, bool]]) -> tuple[str, ...]:
+        """Validate and apply a batch of mutations as one head swap.
+
+        Writers serialize on the graph's commit lock; readers are never
+        blocked — they keep using the old head (or their pinned
+        snapshot) until the swap, which is a single reference
+        assignment.  Every delta is validated *before* anything is
+        applied, so a schema mismatch anywhere leaves the graph
+        completely unchanged.
+        """
+        state = self._state
+        with state.commit_lock:
+            head = state.head
+            changes: dict[str, Relation] = {}
+            # Later ops in the batch observe earlier ones through the
+            # overlay, so a transaction behaves like sequential edits
+            # compressed into one commit.
+            overlay = ChainMap(changes, head)
+            for label, edge_pairs, removing in ops:
+                # Unknown-relation removals must raise even with nothing
+                # to remove (callers rely on it to catch typo'd names).
+                if removing and label not in overlay:
+                    raise EvaluationError(
+                        f"cannot remove edges from unknown relation "
+                        f"{label!r}")
+                if not edge_pairs:
+                    continue
+                changes.update(self._plan_mutation(
+                    overlay, label, edge_pairs, removing))
+            # Ops in a batch can net out (add then remove the same pair):
+            # drop every change whose final value equals the head's — and
+            # phantom empty relations the batch both created and emptied —
+            # so a no-op batch commits nothing at all.
+            changes = {name: updated for name, updated in changes.items()
+                       if not _is_unchanged(head.get(name), updated)}
+            if not changes:
+                return ()
+            state.head = head.mutate(changes)
+            return tuple(changes)
+
+    @staticmethod
+    def _plan_mutation(database: Mapping[str, Relation], label: str,
+                       edge_pairs: set, removing: bool) -> dict[str, Relation]:
+        """Compute the per-relation replacements of one edge mutation.
+
+        Returns only the relations whose contents actually change — an
+        empty dict means the mutation is a no-op (adding present pairs,
+        removing absent ones) and must not produce a new snapshot.
+        """
+        if removing and label not in database:
             raise EvaluationError(
                 f"cannot remove edges from unknown relation {label!r}")
-        existing = self.database.get(label)
+        existing = database.get(label)
         inverse = INVERSE_PREFIX + label
-        # Plan and validate every delta *before* touching the database, so a
-        # schema mismatch anywhere leaves the session completely unchanged
-        # (a partial mutation would desynchronize versions and caches).
         planned: list[tuple[str, Relation | None, Relation]] = []
         delta = Relation.from_pairs(edge_pairs, columns=(SRC, TRG))
         planned.append((label, existing, delta))
-        if inverse in self.database or existing is None:
+        if inverse in database or existing is None:
             inverse_delta = Relation.from_pairs(
                 {(trg, src) for src, trg in edge_pairs}, columns=(SRC, TRG))
-            planned.append((inverse, self.database.get(inverse), inverse_delta))
-        facts = self.database.get("facts")
+            planned.append((inverse, database.get(inverse), inverse_delta))
+        facts = database.get("facts")
         if facts is not None and facts.columns == tuple(sorted((SRC, PRED, TRG))):
             # Rows align with the sorted schema ('pred', 'src', 'trg').
             fact_delta = Relation(facts.columns,
@@ -464,28 +863,17 @@ class Session:
                     f"relation {name!r} has schema {current.columns}; the "
                     f"edge mutation API only supports {name_delta.columns} "
                     f"relations")
-        touched: list[str] = []
+        changes: dict[str, Relation] = {}
         for name, current, name_delta in planned:
             base = (current if current is not None
                     else Relation.empty(name_delta.columns))
-            self.database[name] = (base.difference(name_delta) if removing
-                                   else base.union(name_delta))
-            touched.append(name)
-        # Refresh the statistics *before* bumping the versions: a concurrent
-        # reader (the unlocked plan phase) that observes the new fingerprint
-        # must also observe the new statistics, otherwise it could cache a
-        # stale-ranked plan under a current-looking key.  The reverse
-        # interleaving (old fingerprint, new statistics) only wastes a cache
-        # slot that never hits again.
-        for name in touched:
-            self.catalog.refresh(name, self.database[name])
-        self._schemas = schemas_of_database(self.database)
-        self._database_version += 1
-        for name in touched:
-            self._relation_versions[name] = self._database_version
-        self.plan_cache.invalidate_relations(touched)
-        self.result_cache.invalidate_relations(touched)
-        return tuple(touched)
+            updated = (base.difference(name_delta) if removing
+                       else base.union(name_delta))
+            # Union only grows and difference only shrinks, so equal
+            # cardinality means equal contents: skip untouched relations.
+            if current is None or len(updated) != len(base):
+                changes[name] = updated
+        return changes
 
     # -- Lifecycle -----------------------------------------------------------------
 
@@ -510,7 +898,43 @@ class Session:
         return self.ucrpq(query).explain()
 
     def __repr__(self) -> str:
-        return (f"{type(self).__name__}(relations={len(self.database)}, "
+        snapshot = self.snapshot()
+        pinned = ", pinned" if self._pinned is not None else ""
+        return (f"{type(self).__name__}(graph={snapshot.graph_name!r}, "
+                f"version={snapshot.version}{pinned}, "
+                f"relations={len(snapshot)}, "
                 f"workers={self.cluster.num_workers}, "
                 f"executor={self.cluster.executor.name!r}, "
                 f"optimize={self.optimize_plans}, strategy={self.strategy!r})")
+
+
+class _SessionView(Session):
+    """A scoped facade over a root session: one graph, optionally pinned.
+
+    A view owns only its scope (which graph it addresses, and — for read
+    views — the snapshot it is pinned to); *every other attribute read
+    falls through to the root session live*, so configuration changed on
+    the root after the view was created (strategy, cache flags, memory
+    budget) is always observed.  Views are what :meth:`Session.graph`
+    and :meth:`Session.read_view` return; the root session owns the
+    shared resources, so closing a view is deliberately a no-op.
+    """
+
+    def __init__(self, root: Session, graph_name: str,
+                 pinned: DatabaseSnapshot | None):
+        # Deliberately no super().__init__: the view stores its scope
+        # only and reads everything else through the root (__getattr__).
+        self._root = root
+        self._graph_name = graph_name
+        self._pinned = pinned
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found on the instance/class:
+        # i.e. the root session's engine state.  Guard the scope slots
+        # so a half-constructed view cannot recurse.
+        if name in ("_root", "_graph_name", "_pinned"):
+            raise AttributeError(name)
+        return getattr(self._root, name)
+
+    def close(self) -> None:
+        """No-op: the root session owns the cluster and worker pools."""

@@ -1,0 +1,100 @@
+"""LabeledGraph ingestion: bulk construction and relational round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import LabeledGraph, Relation
+from repro.errors import DatasetError, SchemaError
+
+
+def triples():
+    return [
+        ("alice", "knows", "bob"),
+        ("bob", "knows", "carol"),
+        ("alice", "livesIn", "lyon"),
+        ("lyon", "isLocatedIn", "france"),
+    ]
+
+
+class TestFromRelation:
+    def test_round_trips_through_facts(self):
+        graph = LabeledGraph.from_triples(triples(), name="g")
+        rebuilt = LabeledGraph.from_relation(graph.facts(), name="g")
+        assert set(rebuilt.iter_triples()) == set(graph.iter_triples())
+        assert rebuilt.nodes == graph.nodes
+        assert rebuilt.labels == graph.labels
+
+    def test_bulk_path_matches_per_edge_construction(self):
+        """from_relation no longer round-trips rows through to_dicts();
+        the bulk path must build the identical graph."""
+        facts = LabeledGraph.from_triples(triples()).facts()
+        bulk = LabeledGraph.from_relation(facts)
+        slow = LabeledGraph()
+        for row in facts.to_dicts():
+            slow.add_edge(row["src"], row["pred"], row["trg"])
+        assert set(bulk.iter_triples()) == set(slow.iter_triples())
+        assert bulk.nodes == slow.nodes
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(SchemaError):
+            LabeledGraph.from_relation(
+                Relation.from_pairs([("a", "b")], columns=("src", "trg")))
+
+    def test_bulk_add_validates_labels(self):
+        graph = LabeledGraph()
+        with pytest.raises(DatasetError):
+            graph.add_pairs("", [("a", "b")])
+        with pytest.raises(DatasetError):
+            graph.add_pairs("-inverse", [("a", "b")])
+
+    def test_add_pairs_extends_nodes_and_edges(self):
+        graph = LabeledGraph()
+        graph.add_pairs("knows", [("a", "b"), ("b", "c")])
+        graph.add_pairs("knows", [("b", "c"), ("c", "d")])  # dedup
+        assert graph.edge_count("knows") == 3
+        assert graph.nodes == frozenset("abcd")
+
+    def test_add_pairs_validates_before_mutating(self):
+        """A malformed pair must leave the graph completely untouched,
+        and an empty bulk-add must not phantom-register the label."""
+        graph = LabeledGraph()
+        graph.add_pairs("knows", [("a", "b")])
+        with pytest.raises(ValueError):
+            graph.add_pairs("knows", [("c", "d"), ("x", "y", "z")])
+        assert graph.edges("knows").to_pairs("src", "trg") == {("a", "b")}
+        assert graph.nodes == frozenset("ab")
+        graph.add_pairs("ghost", [])
+        assert graph.labels == ("knows",)
+        assert "ghost" not in graph.relations()
+
+
+class TestRelationalViews:
+    def test_edges_and_inverse_views(self):
+        graph = LabeledGraph.from_triples(triples())
+        forward = graph.edges("knows")
+        assert forward.columns == ("src", "trg")
+        assert forward.to_pairs("src", "trg") == {("alice", "bob"),
+                                                  ("bob", "carol")}
+        inverse = graph.edges("-knows")
+        assert inverse.to_pairs("src", "trg") == {("bob", "alice"),
+                                                  ("carol", "bob")}
+        assert graph.edges("missing") == Relation.empty(("src", "trg"))
+
+    def test_edges_with_custom_column_names(self):
+        graph = LabeledGraph.from_triples(triples())
+        relation = graph.edges("knows", src="b", trg="a")
+        # Schema is sorted; values must still map src->b, trg->a.
+        assert relation.columns == ("a", "b")
+        assert relation.to_pairs("b", "a") == {("alice", "bob"),
+                                               ("bob", "carol")}
+
+    def test_facts_covers_every_triple(self):
+        graph = LabeledGraph.from_triples(triples())
+        facts = graph.facts()
+        assert facts.columns == ("pred", "src", "trg")
+        assert len(facts) == len(triples())
+        assert facts.to_pairs("src", "trg") == {
+            (s, t) for s, _, t in triples()}
+        empty = LabeledGraph()
+        assert empty.facts() == Relation.empty(("pred", "src", "trg"))

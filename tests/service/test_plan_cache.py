@@ -78,17 +78,21 @@ class TestPlanCache:
         second, _ = make_key(engine, QUERY)
         assert first == second
 
-    def test_invalidate_relations_purges_dependent_plans(self, small_labeled_graph):
+    def test_old_and_new_snapshot_entries_coexist(self, small_labeled_graph):
+        """No purge-on-mutation: version-qualified keys simply diverge."""
         engine = DistMuRA(small_labeled_graph)
         cache = PlanCache(capacity=8)
-        knows_key, knows_term = make_key(engine, QUERY)
-        lives_key, lives_term = make_key(engine, "?x <- ?x livesIn ?y")
-        cache.put(knows_key, make_plan(knows_term))
-        cache.put(lives_key, make_plan(lives_term))
-        dropped = cache.invalidate_relations(("knows",))
-        assert dropped == 1
-        assert len(cache) == 1
-        assert cache.get(lives_key) is not None
+        old_key, old_term = make_key(engine, QUERY)
+        cache.put(old_key, make_plan(old_term))
+        engine.add_edges("knows", [("zoe", "alice")])
+        new_key, new_term = make_key(engine, QUERY)
+        assert new_key != old_key
+        cache.put(new_key, make_plan(new_term))
+        # Both versions are live: a handle pinned to the old snapshot
+        # keeps hitting its entry while head queries hit the new one.
+        assert len(cache) == 2
+        assert cache.get(old_key) is not None
+        assert cache.get(new_key) is not None
 
     def test_lru_bound_evicts_oldest_plan(self, small_labeled_graph):
         engine = DistMuRA(small_labeled_graph)

@@ -1,4 +1,4 @@
-"""Result cache: memoization, version-checked validity, invalidation."""
+"""Result cache: memoization under snapshot-fingerprint-qualified keys."""
 
 from __future__ import annotations
 
@@ -13,66 +13,79 @@ def make_engine(graph):
     return DistMuRA(graph, num_workers=2)
 
 
-def run_and_store(engine, cache, text):
+def key_of(engine, result, snapshot=None):
+    snapshot = snapshot if snapshot is not None else engine.snapshot()
+    deps = free_variables(result.selected_plan)
+    return ResultKey(plan_key=cache_key(result.selected_plan),
+                     strategy=engine.strategy,
+                     num_workers=engine.cluster.num_workers,
+                     memory_per_task=engine.memory_per_task,
+                     fingerprint=snapshot.fingerprint(deps))
+
+
+def run_and_store(engine, cache, text, snapshot=None):
     term = engine.translate(parse_query(text))
     result = engine.execute_term(term)
-    deps = free_variables(result.selected_plan)
-    key = ResultKey(plan_key=cache_key(result.selected_plan),
-                    strategy=engine.strategy,
-                    num_workers=engine.cluster.num_workers,
-                    memory_per_task=engine.memory_per_task)
-    cache.store(key, result, deps, engine)
-    return key, result, deps
+    key = key_of(engine, result, snapshot)
+    cache.store(key, result)
+    return key, result
 
 
 def test_lookup_returns_memoized_result(small_labeled_graph):
     engine = make_engine(small_labeled_graph)
     cache = ResultCache(capacity=8)
-    key, result, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
-    assert cache.lookup(key, engine) is result
+    key, result = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    assert cache.lookup(key) is result
     stats = cache.stats
     assert stats.hits == 1 and stats.misses == 0
 
 
-def test_mutation_of_dependency_invalidates_on_lookup(small_labeled_graph):
+def test_mutation_of_dependency_changes_the_key(small_labeled_graph):
+    """A head query after a commit misses (new fingerprint, new key)."""
     engine = make_engine(small_labeled_graph)
     cache = ResultCache(capacity=8)
-    key, _, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    old_snapshot = engine.snapshot()
+    key, result = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
     engine.add_edges("knows", [("dave", "erin")])
-    assert cache.lookup(key, engine) is None
-    stats = cache.stats
-    # The stale entry counts as a miss plus an invalidation, never a hit.
-    assert stats.hits == 0 and stats.misses == 1 and stats.invalidations == 1
-    assert len(cache) == 0
+    new_key = key_of(engine, result)
+    assert new_key != key
+    assert cache.lookup(new_key) is None
+    # The old entry is NOT purged: a reader pinned to the old snapshot
+    # rebuilds the same key from its fingerprint and still hits.
+    assert key_of(engine, result, old_snapshot) == key
+    assert cache.lookup(key) is result
 
 
-def test_mutation_of_unrelated_relation_keeps_entry(small_labeled_graph):
+def test_mutation_of_unrelated_relation_keeps_the_key(small_labeled_graph):
     engine = make_engine(small_labeled_graph)
     cache = ResultCache(capacity=8)
-    key, result, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    key, result = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
     engine.add_edges("worksAt", [("erin", "cnrs")])
-    assert cache.lookup(key, engine) is result
+    # The fingerprint only covers the plan's inputs: same key, still hits.
+    assert key_of(engine, result) == key
+    assert cache.lookup(key) is result
 
 
-def test_eager_invalidate_relations_purges_dependents(small_labeled_graph):
+def test_entries_for_both_versions_coexist(small_labeled_graph):
     engine = make_engine(small_labeled_graph)
     cache = ResultCache(capacity=8)
-    knows_key, _, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
-    lives_key, lives_result, _ = run_and_store(engine, cache,
-                                               "?x <- ?x livesIn ?y")
-    dropped = cache.invalidate_relations(("knows",))
-    assert dropped == 1
-    assert cache.lookup(knows_key, engine) is None
-    assert cache.lookup(lives_key, engine) is lives_result
-
-
-def test_restore_after_mutation_hits_again(small_labeled_graph):
-    engine = make_engine(small_labeled_graph)
-    cache = ResultCache(capacity=8)
-    key, _, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    old_key, old_result = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
     engine.add_edges("knows", [("dave", "erin")])
-    assert cache.lookup(key, engine) is None
-    # Re-executing at the new version re-arms the entry.
-    key2, result2, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
-    assert key2 == key
-    assert cache.lookup(key2, engine) is result2
+    new_key, new_result = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    assert new_key != old_key
+    assert cache.lookup(old_key) is old_result
+    assert cache.lookup(new_key) is new_result
+    assert len(new_result.relation) > len(old_result.relation)
+
+
+def test_superseded_entries_age_out_of_the_lru(small_labeled_graph):
+    """Stale versions are reclaimed by LRU pressure, not by purges."""
+    engine = make_engine(small_labeled_graph)
+    cache = ResultCache(capacity=2)
+    first_key, _ = run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    for edge in (("d1", "e1"), ("d2", "e2")):
+        engine.add_edges("knows", [edge])
+        run_and_store(engine, cache, "?x,?y <- ?x knows+ ?y")
+    assert len(cache) == 2
+    assert cache.lookup(first_key) is None
+    assert cache.stats.evictions == 1

@@ -81,22 +81,20 @@ def test_mutation_changes_cost_estimates_via_catalog(service, engine):
     assert engine.catalog.get("knows").cardinality == base + 20
 
 
-def test_stats_refresh_precedes_version_bump(engine):
-    """Ordering regression: a reader observing the post-mutation versions
-    must also observe the post-mutation statistics (the unlocked plan
-    phase caches plans under the version fingerprint)."""
-    observed = []
-    original = engine.catalog.refresh
-
-    def spying_refresh(name, relation):
-        observed.append(engine.database_version)
-        return original(name, relation)
-
-    engine.catalog.refresh = spying_refresh
-    before = engine.database_version
+def test_stats_and_versions_are_snapshot_atomic(engine):
+    """A reader can never pair a new fingerprint with stale statistics:
+    versions and the statistics catalog live on the same immutable
+    snapshot, so the unlocked plan phase reads both from one object."""
+    before = engine.snapshot()
+    before_cardinality = before.catalog.get("knows").cardinality
     engine.add_edges("knows", [("p", "q")])
-    assert observed and all(version == before for version in observed)
-    assert engine.database_version == before + 1
+    after = engine.snapshot()
+    assert after is not before
+    assert after.version == before.version + 1
+    assert after.catalog.get("knows").cardinality == before_cardinality + 1
+    # The superseded snapshot still reports its own (old) pairing.
+    assert before.catalog.get("knows").cardinality == before_cardinality
+    assert before.relation_version("knows") != after.relation_version("knows")
 
 
 def test_admission_control_rejects_when_queue_full(engine):

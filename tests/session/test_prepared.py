@@ -66,6 +66,32 @@ class TestValueParameters:
         assert calls == [1, 1]
 
 
+class TestPreparedAcrossSnapshots:
+    def test_rebinding_after_commit_sees_the_new_head(self, session):
+        """prepare() once, bind/collect, mutate, bind/collect again: the
+        second execution reads the new head while the template's
+        one-explore-per-snapshot guarantee still holds."""
+        calls = count_explores(session)
+        prepared = session.prepare("?y <- :start knows+ ?y")
+        first = prepared.bind(start="alice")
+        before = first.collect().relation
+        assert calls == [1]
+        session.add_edges("knows", [("dave", "zoe")])
+        second = prepared.bind(start="alice")
+        after = second.collect().relation
+        # The new binding pinned the new head: zoe is reachable now.
+        assert "zoe" in after.column_values("y")
+        assert second.pinned_snapshot.version == 1
+        # One re-explore for the new fingerprint, then hits again.
+        assert calls == [1, 1]
+        third = prepared.bind(start="bob")
+        third.collect()
+        assert calls == [1, 1]
+        # The first binding stays a repeatable read of its snapshot.
+        assert first.collect().relation == before
+        assert first.pinned_snapshot.version == 0
+
+
 class TestLabelParameters:
     def test_label_binding_selects_the_relation(self, session):
         prepared = session.prepare("?x,?y <- ?x :edge+ ?y", params=("edge",))

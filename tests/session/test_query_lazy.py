@@ -126,6 +126,29 @@ class TestActions:
         with pytest.raises(ValueError):
             next(session.ucrpq(QUERY).stream(batch_size=0))
 
+    def test_stream_is_snapshot_consistent_under_mutations(self, session):
+        """Mutations interleaved between yielded batches (or between
+        creating and consuming the iterator) never change the stream:
+        stream() pins the handle's snapshot and the batches cover exactly
+        that version.  Before snapshots this silently depended on when
+        the first batch was pulled."""
+        handle = session.ucrpq(QUERY)
+        stream = handle.stream(batch_size=2)
+        pinned = handle.pinned_snapshot
+        assert pinned is not None  # pinned at stream() call, not first next()
+        expected = set(handle.collect().relation.rows)
+        streamed: set = set()
+        mutations = 0
+        for batch in stream:
+            streamed.update(batch)
+            session.add_edges("knows", [(f"m{mutations}", f"m{mutations + 1}")])
+            mutations += 1
+        assert mutations >= 2  # the interleaving actually happened
+        assert streamed == expected
+        assert handle.pinned_snapshot is pinned
+        # A fresh handle sees every interleaved commit.
+        assert session.ucrpq(QUERY).count() > len(expected)
+
     def test_submit_returns_future_with_query_result(self, session):
         future = session.ucrpq(QUERY).submit()
         result = future.result(timeout=30)

@@ -49,16 +49,28 @@ class TestSessionCaches:
         second.collect()
         assert second.last_result_cache_hit is True
 
-    def test_mutation_invalidates_both_caches(self, session):
+    def test_mutation_never_purges_caches(self, session):
+        """Keys are snapshot-qualified: a commit leaves both caches
+        untouched, fresh handles key off the new head and old-snapshot
+        readers keep hitting their entries."""
         text = "?x,?y <- ?x knows+ ?y"
-        session.ucrpq(text).collect()
+        before = session.ucrpq(text).collect()
         assert len(session.plan_cache) == 1
         assert len(session.result_cache) == 1
+        old_view = session.read_view()  # pinned to the pre-commit head
         session.add_edges("knows", [("dave", "erin")])
-        assert len(session.plan_cache) == 0
-        assert len(session.result_cache) == 0
+        # No eager purge: both entries survive the commit verbatim.
+        assert len(session.plan_cache) == 1
+        assert len(session.result_cache) == 1
         fresh = session.ucrpq(text)
         assert ("alice", "erin") in fresh.collect().relation.to_pairs("x", "y")
+        assert fresh.last_result_cache_hit is False
+        # A reader pinned to the superseded snapshot is a pure cache hit.
+        old_reader = old_view.ucrpq(text)
+        assert old_reader.collect().relation == before.relation
+        assert old_reader.last_plan_cache_hit is True
+        assert old_reader.last_result_cache_hit is True
+        assert len(session.result_cache) == 2
 
     def test_caches_can_be_disabled_per_session(self, small_labeled_graph):
         with Session(small_labeled_graph, num_workers=2,
