@@ -23,16 +23,19 @@ the per-worker local engine and the Datalog baseline:
   O(|produced|) instead of rebuilding the frozenset of the whole
   accumulated result (``result.union(new)``) every round.
 
-A process-wide switch (:func:`set_caching_enabled`,
+A context-local switch (:func:`set_caching_enabled`,
 :func:`compatibility_mode`) disables the index memoization and the delta
 fast path, restoring the seed behaviour; ``benchmarks/
-bench_storage_speedup.py`` uses it to show the speedup is real.
+bench_storage_speedup.py`` uses it to show the speedup is real.  The
+switch is a :class:`contextvars.ContextVar`, so flipping it in one thread
+never changes the semantics under concurrently running worker threads.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any
 
 from ..errors import SchemaError
@@ -42,22 +45,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (relation.py imports 
 
 Row = tuple
 
-#: Process-wide switch for the index memoization and delta fast paths.
+#: Context-local switch for the index memoization and delta fast paths.
 #: ``True`` in normal operation; benchmarks flip it to measure the
-#: compatibility (seed-equivalent) mode.
-_caching_enabled = True
+#: compatibility (seed-equivalent) mode.  A :class:`ContextVar` scopes the
+#: flip to the flipping context: a benchmark or test entering
+#: ``compatibility_mode()`` cannot change ``DeltaAccumulator`` semantics
+#: under service worker threads that are mid-fixpoint (threads start from
+#: the default context, so they observe the enabled default).
+_caching_enabled: ContextVar[bool] = ContextVar("repro_storage_caching",
+                                                default=True)
 
 
 def caching_enabled() -> bool:
     """True when index memoization and delta accumulation are active."""
-    return _caching_enabled
+    return _caching_enabled.get()
 
 
 def set_caching_enabled(enabled: bool) -> bool:
-    """Set the caching switch; returns the previous value."""
-    global _caching_enabled
-    previous = _caching_enabled
-    _caching_enabled = bool(enabled)
+    """Set the caching switch in this context; returns the previous value."""
+    previous = _caching_enabled.get()
+    _caching_enabled.set(bool(enabled))
     return previous
 
 
@@ -103,8 +110,15 @@ class HashIndex:
         self.buckets = buckets
 
     def probe(self, key: tuple) -> list[Row]:
-        """Return the rows whose key positions equal ``key`` (possibly [])."""
-        return self.buckets.get(key, _EMPTY_BUCKET)
+        """Return the rows whose key positions equal ``key`` (possibly []).
+
+        A miss returns a **fresh** empty list: callers are free to mutate
+        whatever ``probe`` hands back (the Datalog engine accumulates into
+        probe results), and a shared empty-bucket singleton would let one
+        such mutation corrupt every future empty probe process-wide.
+        """
+        bucket = self.buckets.get(key)
+        return bucket if bucket is not None else []
 
     def __contains__(self, key: tuple) -> bool:
         return key in self.buckets
@@ -127,9 +141,6 @@ class HashIndex:
     def __repr__(self) -> str:
         return (f"HashIndex(positions={self.key_positions}, "
                 f"keys={len(self.buckets)}, rows={len(self)})")
-
-
-_EMPTY_BUCKET: list = []
 
 
 class RelationBuilder:

@@ -9,6 +9,9 @@ session's shared staged pipeline:
   by the session, shared with embedded use and prepared queries),
 * :mod:`repro.service.result_cache` — memoizes whole query results keyed
   by the snapshot fingerprint of their inputs (no eager purges),
+* :mod:`repro.service.view_maintenance` — incrementally maintains cached
+  recursive results across commits (semi-naive resume for insertions,
+  delete-and-rederive for deletions, cost-model fallback),
 * :mod:`repro.service.server` — admission control, scheduling, timeouts
   and the mutation pass-through,
 * :mod:`repro.service.metrics` — throughput, latency percentiles and
@@ -17,13 +20,15 @@ session's shared staged pipeline:
 See the "Serving layer" section of ``DESIGN.md`` and ``examples/serve.py``.
 """
 
-from .cache import CacheStats, LRUCache
+from .cache import MISS, CacheStats, LRUCache
 from ..percentiles import percentile
 from .metrics import MetricsSnapshot, ServiceMetrics
 from .plan_cache import CachedPlan, PlanCache, PlanKey
 from .result_cache import ResultCache, ResultKey
 from .server import (DEFAULT_MAX_IN_FLIGHT, DEFAULT_QUEUE_CAPACITY, FAILED,
                      OK, QueryService, ServedResult)
+from .view_maintenance import (MaintenanceDecision, MaintenanceStats,
+                               ViewMaintainer)
 
 __all__ = [
     "CacheStats",
@@ -32,6 +37,9 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "FAILED",
     "LRUCache",
+    "MISS",
+    "MaintenanceDecision",
+    "MaintenanceStats",
     "MetricsSnapshot",
     "OK",
     "PlanCache",
@@ -41,5 +49,6 @@ __all__ = [
     "ResultKey",
     "ServedResult",
     "ServiceMetrics",
+    "ViewMaintainer",
     "percentile",
 ]

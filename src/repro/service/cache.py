@@ -17,6 +17,11 @@ from typing import Any, Hashable
 
 from ..errors import ServiceError
 
+#: Public miss sentinel: pass as ``default`` to :meth:`LRUCache.get` to
+#: distinguish a cached ``None`` (or other falsy) value from a miss.
+#: ``None`` itself is a storable value, never the cache's own marker.
+MISS = object()
+
 
 @dataclass
 class CacheStats:
@@ -60,15 +65,21 @@ class LRUCache:
         self._lock = threading.Lock()
         self._stats = CacheStats()
 
-    def get(self, key: Hashable) -> Any | None:
-        """Return the cached value (marking it most recently used) or None."""
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used) or ``default``.
+
+        Presence, not truthiness, decides hit vs miss: a stored ``None``
+        is returned (and counted) as a hit.  Callers that cache ``None``
+        values pass :data:`MISS` (or their own sentinel) as ``default``
+        to tell the two apart.
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
                 return self._entries[key]
             self._stats.misses += 1
-            return None
+            return default
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU one when full."""
@@ -81,6 +92,17 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
             self._entries[key] = value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value without touching LRU order or counters.
+
+        Maintenance-style scans use this so observing the cache does not
+        distort its recency ordering or its hit-rate statistics.
+        """
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key]
+            return default
 
     def clear(self) -> None:
         with self._lock:

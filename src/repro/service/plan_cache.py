@@ -51,6 +51,12 @@ class PlanKey:
     term_key: str
     database_fingerprint: tuple[tuple[str, int], ...]
     config: tuple
+    #: Name of the graph the snapshot belongs to.  Statistics — and
+    #: therefore the selected plan — are per graph, so a fingerprint
+    #: collision between two graphs at the same versions (both freshly
+    #: attached at version 0, say) must not let one graph's plan decision
+    #: answer for the other's whenever a cache is shared across graphs.
+    graph: str = ""
 
     @classmethod
     def of(cls, engine: "Session", term: Term,
@@ -74,7 +80,8 @@ class PlanKey:
         )
         return cls(term_key=cache_key(term),
                    database_fingerprint=snapshot.fingerprint(dependencies),
-                   config=config)
+                   config=config,
+                   graph=snapshot.graph_name)
 
 
 @dataclass

@@ -47,6 +47,14 @@ class ResultKey:
     #: relations the plan reads.  Version-qualifying the key replaces the
     #: old store-time/lookup-time version comparison.
     fingerprint: tuple[tuple[str, int], ...] = ()
+    #: Name of the graph the snapshot belongs to.  The fingerprint alone
+    #: is *under*-qualified across graphs: two attached graphs with the
+    #: same relation names at the same versions (e.g. both freshly
+    #: attached at version 0) would otherwise produce identical keys, and
+    #: any deployment sharing one cache across graphs (a single memory
+    #: budget, or the maintenance layer promoting entries) would serve
+    #: graph A's rows to a query on graph B.
+    graph: str = ""
 
 
 class ResultCache:
@@ -66,6 +74,34 @@ class ResultCache:
     def store(self, key: ResultKey, result: "QueryResult") -> None:
         """Memoize ``result`` under its snapshot-qualified key."""
         self._cache.put(key, result)
+
+    def promote(self, old_key: ResultKey, new_key: ResultKey,
+                maintained_result: "QueryResult") -> None:
+        """Re-register a maintained entry under its successor fingerprint.
+
+        The view-maintenance layer calls this after a commit: the entry
+        under ``old_key`` (the pre-commit fingerprint) was incrementally
+        updated to ``maintained_result``, which now answers lookups under
+        ``new_key`` (the successor snapshot's fingerprint).  The old
+        entry is deliberately left in place — readers pinned to the
+        superseded snapshot keep hitting it until it ages out of the LRU.
+        """
+        if old_key.plan_key != new_key.plan_key:
+            raise ValueError(
+                "promote() must keep the plan identity: "
+                f"{old_key.plan_key!r} != {new_key.plan_key!r}")
+        self._cache.put(new_key, maintained_result)
+
+    def entries(self) -> list[tuple[ResultKey, "QueryResult"]]:
+        """Snapshot of ``(key, result)`` pairs, least recently used first.
+
+        Used by the maintenance layer to find the entries a commit made
+        stale; the list is an independent copy, so iterating it races
+        with nothing.
+        """
+        cache = self._cache
+        return [(key, value) for key in cache.keys()
+                if (value := cache.peek(key)) is not None]
 
     def clear(self) -> None:
         self._cache.clear()

@@ -76,6 +76,7 @@ from ..service.plan_cache import (DEFAULT_PLAN_CACHE_SIZE, CachedPlan,
                                   PlanCache, PlanKey)
 from ..service.result_cache import (DEFAULT_RESULT_CACHE_SIZE, ResultCache,
                                     ResultKey)
+from ..service.view_maintenance import MaintenanceStats, ViewMaintainer
 from .builder import PathBuilder
 from .prepared import PreparedQuery
 from .query import DatalogQuery, Query
@@ -255,7 +256,12 @@ class Session:
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
                  result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
                  enable_plan_cache: bool = True,
-                 enable_result_cache: bool = True):
+                 enable_result_cache: bool = True,
+                 view_maintenance: str = "sync"):
+        if view_maintenance not in ("sync", "async", "off"):
+            raise DatasetError(
+                f"view_maintenance must be 'sync', 'async' or 'off', "
+                f"got {view_maintenance!r}")
         self.cluster = SparkCluster(num_workers=num_workers, executor=executor)
         self.optimize_plans = optimize
         self.strategy = strategy
@@ -265,6 +271,14 @@ class Session:
         self.enable_result_cache = enable_result_cache
         self._plan_cache_size = plan_cache_size
         self._result_cache_size = result_cache_size
+        #: How cached results are maintained across commits: "sync" runs
+        #: the :class:`~repro.service.view_maintenance.ViewMaintainer`
+        #: under the commit lock (callers observe maintained entries as
+        #: soon as the commit returns), "async" runs it on the background
+        #: worker, "off" restores the stale-until-recomputed behaviour.
+        self.view_maintenance = view_maintenance
+        self.view_maintainer = ViewMaintainer()
+        self._last_maintenance: MaintenanceStats | None = None
         #: Serializes physical cluster executions: the cluster's executor
         #: backend and metrics are single-caller by design.  The plan
         #: phase, result-cache hits and mutations all run outside it.
@@ -624,7 +638,8 @@ class Session:
             plan_key=plan.term_key, strategy=effective,
             num_workers=self.cluster.num_workers,
             memory_per_task=self.memory_per_task,
-            fingerprint=snapshot.fingerprint(plan.dependencies))
+            fingerprint=snapshot.fingerprint(plan.dependencies),
+            graph=snapshot.graph_name)
         if use_cache:
             cached = self.result_cache.lookup(result_key)
             if cached is not None:
@@ -827,8 +842,55 @@ class Session:
                        if not _is_unchanged(head.get(name), updated)}
             if not changes:
                 return ()
-            state.head = head.mutate(changes)
+            successor = head.mutate(changes)
+            state.head = successor
+            # Maintain cached recursive results across the swap (still
+            # under the commit lock in "sync" mode, so the next writer
+            # sees a settled cache and readers of the new head can hit
+            # maintained entries immediately).
+            self._maintain_after_commit(state, head, successor)
             return tuple(changes)
+
+    def _maintain_after_commit(self, state: GraphState,
+                               old_head: DatabaseSnapshot,
+                               new_head: DatabaseSnapshot) -> None:
+        """Run (or schedule) view maintenance for one committed mutation.
+
+        Dispatches on the root session's :attr:`view_maintenance` mode;
+        an empty result cache costs nothing — commits on a cold graph
+        stay pure dictionary work.
+        """
+        root = self._root
+        if root.view_maintenance == "off":
+            return
+        # An empty cache makes the pass free, so the only gate needed is
+        # the mode switch — note the session-level ``enable_result_cache``
+        # flag is *not* consulted: the serving layer disables the session
+        # flag and opts in per call, yet its cached entries still want
+        # maintaining.
+        cache = state.result_cache
+        if len(cache) == 0:
+            return
+        maintainer = root.view_maintainer
+
+        def run() -> MaintenanceStats:
+            stats = maintainer.maintain_commit(cache, old_head, new_head)
+            root._last_maintenance = stats
+            return stats
+
+        if root.view_maintenance == "async":
+            root.submit_action(run)
+        else:
+            run()
+
+    @property
+    def last_maintenance(self) -> "MaintenanceStats | None":
+        """Decision log of the most recent maintenance pass (or ``None``).
+
+        Diagnostics only — benchmarks and tests use it to assert which
+        maintenance path (resume, DRed, fallback) a commit exercised.
+        """
+        return self._root._last_maintenance
 
     @staticmethod
     def _plan_mutation(database: Mapping[str, Relation], label: str,

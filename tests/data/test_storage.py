@@ -64,6 +64,20 @@ class TestHashIndex:
         assert index.probe((3,)) == [(3, 4)]
         assert len(index) == 3
 
+    def test_mutating_a_missed_probe_cannot_poison_later_probes(self):
+        """Regression: misses used to return one shared empty-list
+        singleton, so a caller accumulating into a probe result (as the
+        Datalog engine does) silently corrupted every future empty probe
+        of every index in the process."""
+        index = HashIndex([(1, 2)], (0,))
+        miss = index.probe((9,))
+        miss.append(("poisoned",))
+        assert index.probe((9,)) == []
+        other = HashIndex([(7, 8)], (0,))
+        assert other.probe((0,)) == []
+        # The index itself is also untouched: the key is still a miss.
+        assert (9,) not in index and len(index) == 1
+
 
 class TestRelationIndexes:
     def test_memoized_on_the_relation(self):
@@ -205,3 +219,33 @@ class TestCachingSwitch:
         with compatibility_mode():
             slow = evaluate(term, database)
         assert fast == slow
+
+    def test_switch_is_context_local_not_process_global(self):
+        """Regression: the switch used to be a module-level global, so a
+        benchmark entering compatibility mode flipped the semantics of
+        ``DeltaAccumulator`` under concurrently running service worker
+        threads mid-fixpoint.  As a ``ContextVar`` the flip is scoped:
+        new threads start from the default context and stay enabled."""
+        import threading
+
+        seen_in_worker = []
+        worker_may_run = threading.Event()
+        worker_done = threading.Event()
+
+        def worker():
+            worker_may_run.wait(timeout=10)
+            seen_in_worker.append(caching_enabled())
+            accumulator = DeltaAccumulator(edges([(1, 2)]))
+            # With caching enabled the accumulator takes the mutable-set
+            # fast path (its compat flag is False).
+            seen_in_worker.append(not accumulator._compat)
+            worker_done.set()
+
+        thread = threading.Thread(target=worker)
+        with compatibility_mode():
+            assert not caching_enabled()
+            thread.start()
+            worker_may_run.set()
+            assert worker_done.wait(timeout=10)
+        thread.join(timeout=10)
+        assert seen_in_worker == [True, True]

@@ -1,0 +1,49 @@
+"""LRU cache mechanics that the key-level tests don't cover: falsy
+values vs misses, the public MISS sentinel and order-preserving peeks."""
+
+from __future__ import annotations
+
+from repro.service import LRUCache, MISS
+
+
+def test_cached_none_is_a_hit_not_a_miss():
+    """Regression: ``get`` used to signal misses with ``None``, so a
+    legitimately cached ``None`` (or any falsy value) was recomputed on
+    every call and counted as a miss forever."""
+    cache = LRUCache(capacity=4)
+    cache.put("k", None)
+    assert cache.get("k", MISS) is None
+    assert cache.get("absent", MISS) is MISS
+    stats = cache.stats
+    assert stats.hits == 1 and stats.misses == 1
+
+
+def test_falsy_values_round_trip():
+    cache = LRUCache(capacity=8)
+    for key, value in (("zero", 0), ("empty", ()), ("false", False)):
+        cache.put(key, value)
+    for key, value in (("zero", 0), ("empty", ()), ("false", False)):
+        assert cache.get(key, MISS) == value
+    assert cache.stats.misses == 0
+
+
+def test_default_is_returned_on_miss():
+    cache = LRUCache(capacity=2)
+    assert cache.get("nope") is None
+    assert cache.get("nope", default="fallback") == "fallback"
+
+
+def test_peek_does_not_disturb_lru_order_or_counters():
+    cache = LRUCache(capacity=2)
+    cache.put("old", 1)
+    cache.put("new", 2)
+    before = cache.stats
+    # A get() would refresh "old"; peek must not, so "old" is still the
+    # eviction victim when a third entry arrives.
+    assert cache.peek("old") == 1
+    assert cache.peek("absent", default=MISS) is MISS
+    cache.put("third", 3)
+    assert "old" not in cache
+    assert "new" in cache and "third" in cache
+    after = cache.stats
+    assert (after.hits, after.misses) == (before.hits, before.misses)

@@ -20,7 +20,8 @@ def key_of(engine, result, snapshot=None):
                      strategy=engine.strategy,
                      num_workers=engine.cluster.num_workers,
                      memory_per_task=engine.memory_per_task,
-                     fingerprint=snapshot.fingerprint(deps))
+                     fingerprint=snapshot.fingerprint(deps),
+                     graph=snapshot.graph_name)
 
 
 def run_and_store(engine, cache, text, snapshot=None):
@@ -76,6 +77,57 @@ def test_entries_for_both_versions_coexist(small_labeled_graph):
     assert cache.lookup(old_key) is old_result
     assert cache.lookup(new_key) is new_result
     assert len(new_result.relation) > len(old_result.relation)
+
+
+def test_keys_are_graph_qualified(small_labeled_graph):
+    """Same plan, same fingerprint, different graph => different keys.
+
+    Two freshly attached graphs with the same relation names sit at the
+    same versions, so the fingerprint alone cannot tell them apart; the
+    ``graph`` field must."""
+    engine = make_engine(small_labeled_graph)
+    key, result = run_and_store(engine, ResultCache(8),
+                                "?x,?y <- ?x knows+ ?y")
+    twin = engine.snapshot().relabeled("twin")
+    twin_key = key_of(engine, result, twin)
+    assert twin.fingerprint(("knows",)) == engine.snapshot().fingerprint(
+        ("knows",))
+    assert twin_key != key
+    assert twin_key.graph == "twin" and key.graph == engine.snapshot().graph_name
+
+
+def test_shared_cache_never_serves_rows_across_graphs(small_labeled_graph):
+    """Regression: ``ResultKey`` omitted the graph identity.
+
+    Two graphs with identical relation names at identical versions
+    produced identical keys, so a deployment sharing one result cache
+    across graphs (one memory budget for all tenants) served graph A's
+    memoized rows to the same query on graph B.  With graph-qualified
+    keys each graph hits only its own entries."""
+    from repro import Session
+    from repro.data.graph import LabeledGraph
+
+    other = LabeledGraph(name="other")
+    other.add_edges([("x1", "knows", "x2"),
+                     ("alice", "livesIn", "grenoble"),
+                     ("grenoble", "isLocatedIn", "france"),
+                     ("alice", "worksAt", "inria")])
+    text = "?x,?y <- ?x knows+ ?y"
+    with Session(small_labeled_graph, num_workers=2) as session:
+        session.attach("other", other)
+        shared = ResultCache(capacity=8)
+        session.result_cache = shared
+        session.graph("other").result_cache = shared
+        rows_a = session.ucrpq(text).collect().relation
+        query_b = session.graph("other").ucrpq(text)
+        rows_b = query_b.collect().relation
+        # Before the fix the second query *hit* graph A's entry and
+        # returned A's transitive closure; B has exactly one knows-pair.
+        assert query_b.last_result_cache_hit is False
+        assert rows_b != rows_a
+        assert set(rows_b.to_pairs("x", "y")) == {("x1", "x2")}
+        # Both entries coexist in the one shared cache, keyed apart.
+        assert len(shared) == 2
 
 
 def test_superseded_entries_age_out_of_the_lru(small_labeled_graph):

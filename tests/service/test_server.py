@@ -62,15 +62,24 @@ def test_unknown_label_maps_to_failed_status(service):
     assert served.result is None
 
 
-def test_mutation_invalidates_and_refreshes_results(service, engine):
+def test_mutation_maintains_and_refreshes_results(service, engine):
     before = service.query(KNOWS)
     touched = service.add_edges("knows", [("dave", "erin")])
     assert "knows" in touched
+    # The insert-only commit maintained the cached fixpoint, so the
+    # fresh-head query is served from the promoted entry — and it must
+    # reflect the new edge, not the pre-commit rows.
     after = service.query(KNOWS)
-    assert after.result_cache_hit is False
+    assert after.result_cache_hit is True
+    assert engine.last_maintenance.resumed == 1
     assert after.rows > before.rows
     assert ("dave", "erin") in after.result.relation.to_pairs("x", "y")
+    # Deletions on this tiny graph exceed the maintenance cost threshold:
+    # the entry is skipped (decision logged) and the next query
+    # recomputes through the normal miss path — correctly either way.
     service.remove_edges("knows", [("dave", "erin")])
+    decisions = {d.action for d in engine.last_maintenance.decisions}
+    assert decisions & {"dred", "fallback-recompute"}
     restored = service.query(KNOWS)
     assert restored.result.relation == before.result.relation
 

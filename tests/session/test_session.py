@@ -49,28 +49,48 @@ class TestSessionCaches:
         second.collect()
         assert second.last_result_cache_hit is True
 
-    def test_mutation_never_purges_caches(self, session):
-        """Keys are snapshot-qualified: a commit leaves both caches
-        untouched, fresh handles key off the new head and old-snapshot
-        readers keep hitting their entries."""
+    def test_mutation_maintains_caches_instead_of_purging(self, session):
+        """Keys are snapshot-qualified and commits *maintain* cached
+        recursive results: the old entry survives for pinned readers and
+        a maintained twin appears under the successor fingerprint, so a
+        fresh handle hits without re-running the fixpoint."""
         text = "?x,?y <- ?x knows+ ?y"
         before = session.ucrpq(text).collect()
         assert len(session.plan_cache) == 1
         assert len(session.result_cache) == 1
         old_view = session.read_view()  # pinned to the pre-commit head
         session.add_edges("knows", [("dave", "erin")])
-        # No eager purge: both entries survive the commit verbatim.
+        # No eager purge — and the insert-only commit resumed the cached
+        # fixpoint, promoting a second entry keyed to the new head.
         assert len(session.plan_cache) == 1
-        assert len(session.result_cache) == 1
+        assert len(session.result_cache) == 2
+        stats = session.last_maintenance
+        assert stats is not None and stats.resumed == 1
         fresh = session.ucrpq(text)
         assert ("alice", "erin") in fresh.collect().relation.to_pairs("x", "y")
-        assert fresh.last_result_cache_hit is False
+        assert fresh.last_result_cache_hit is True
         # A reader pinned to the superseded snapshot is a pure cache hit.
         old_reader = old_view.ucrpq(text)
         assert old_reader.collect().relation == before.relation
         assert old_reader.last_plan_cache_hit is True
         assert old_reader.last_result_cache_hit is True
-        assert len(session.result_cache) == 2
+
+    def test_maintenance_off_restores_stale_miss_contract(
+            self, small_labeled_graph):
+        """With maintenance off, the pre-maintenance behaviour holds:
+        the commit leaves the cache verbatim and a fresh handle misses
+        (then recomputes correctly through the normal path)."""
+        with Session(small_labeled_graph, num_workers=2,
+                     view_maintenance="off") as session:
+            text = "?x,?y <- ?x knows+ ?y"
+            session.ucrpq(text).collect()
+            session.add_edges("knows", [("dave", "erin")])
+            assert len(session.result_cache) == 1
+            assert session.last_maintenance is None
+            fresh = session.ucrpq(text)
+            pairs = fresh.collect().relation.to_pairs("x", "y")
+            assert ("alice", "erin") in pairs
+            assert fresh.last_result_cache_hit is False
 
     def test_caches_can_be_disabled_per_session(self, small_labeled_graph):
         with Session(small_labeled_graph, num_workers=2,
@@ -81,6 +101,73 @@ class TestSessionCaches:
             assert query.last_plan_cache_hit is None
             assert query.last_result_cache_hit is None
             assert len(session.plan_cache) == 0
+
+
+class TestPlanMutationEdgeCases:
+    """Unit coverage of ``Session._plan_mutation`` and batch netting."""
+
+    def test_partial_overlap_removal_touches_only_present_pairs(self, session):
+        """Removing a mix of present and absent pairs removes exactly
+        the present ones — and keeps the inverse and facts tables in
+        lockstep."""
+        before = session.snapshot()
+        touched = session.remove_edges(
+            "knows", [("alice", "bob"), ("ghost", "spook")])
+        assert "knows" in touched
+        after = session.snapshot()
+        assert len(after["knows"]) == len(before["knows"]) - 1
+        assert ("alice", "bob") not in after["knows"].rows
+        assert ("bob", "alice") not in after["-knows"].rows
+        if "facts" in after:
+            assert ("knows", "alice", "bob") not in after["facts"].rows
+
+    def test_fully_absent_removal_is_a_noop(self, session):
+        version = session.database_version
+        touched = session.remove_edges("knows", [("ghost", "spook")])
+        assert touched == ()
+        assert session.database_version == version
+
+    def test_additions_update_inverse_and_facts_consistently(self, session):
+        session.add_edges("knows", [("dave", "erin")])
+        after = session.snapshot()
+        assert ("dave", "erin") in after["knows"].rows
+        assert ("erin", "dave") in after["-knows"].rows
+        if "facts" in after:
+            assert ("knows", "dave", "erin") in after["facts"].rows
+            # One version bump covers all three relations of the label.
+            assert (after.relation_version("facts")
+                    == after.relation_version("knows")
+                    == after.relation_version("-knows"))
+
+    def test_plan_mutation_returns_only_changed_relations(self, session):
+        """Direct unit check: adding an already-present pair plans no
+        changes at all (no phantom inverse/facts replacements)."""
+        database = session.snapshot()
+        changes = Session._plan_mutation(
+            database, "knows", {("alice", "bob")}, removing=False)
+        assert changes == {}
+
+    def test_plan_mutation_creates_inverse_for_new_labels(self, session):
+        database = session.snapshot()
+        changes = Session._plan_mutation(
+            database, "mentors", {("alice", "bob")}, removing=False)
+        assert set(changes) >= {"mentors", "-mentors"}
+        assert ("bob", "alice") in changes["-mentors"].rows
+
+    def test_add_then_remove_nets_out_in_one_transaction(self, session):
+        """A batch that adds and then removes the same pair (plus one
+        real change) commits one snapshot reflecting only the net
+        effect, with the inverse kept consistent."""
+        version = session.database_version
+        with session.transaction() as txn:
+            txn.add_edges("knows", [("u1", "u2"), ("u3", "u4")])
+            txn.remove_edges("knows", [("u1", "u2")])
+        after = session.snapshot()
+        assert session.database_version == version + 1
+        assert ("u1", "u2") not in after["knows"].rows
+        assert ("u3", "u4") in after["knows"].rows
+        assert ("u2", "u1") not in after["-knows"].rows
+        assert ("u4", "u3") in after["-knows"].rows
 
 
 class TestFrontEndDispatch:
