@@ -10,8 +10,10 @@ applied through the service — committing a new database snapshot, so
 queries over the mutated relations re-execute against the new head while
 everything else keeps hitting its version-keyed cache entries.  A second
 graph is then attached and served from the same instance.  The script
-ends with the service's metrics: throughput, latency percentiles and
-cache hit rates.
+ends with the service's health report (queue depth, in-flight count,
+per-graph commit versions, maintenance backlog), its metrics —
+throughput, latency percentiles and cache hit rates — and the
+process-wide metrics registry in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from __future__ import annotations
 import random
 import threading
 
-from repro import LabeledGraph, QueryService, Session
+from repro import LabeledGraph, QueryService, Session, get_registry
 
 
 def build_graph() -> LabeledGraph:
@@ -92,9 +94,16 @@ def main() -> None:
         print(f"  {QUERIES[0]!r} on graph 'tiny': {served.rows} rows "
               f"(default graph untouched)")
 
+        print("\n== Health ==")
+        for key, value in service.health().items():
+            print(f"  {key}: {value}")
+
         print("\n== Service metrics ==")
         for key, value in service.metrics.snapshot().summary().items():
             print(f"  {key}: {value}")
+
+        print("\n== Process-wide metrics registry (Prometheus text) ==")
+        print(get_registry().render_prometheus())
 
 
 if __name__ == "__main__":

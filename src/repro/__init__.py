@@ -10,7 +10,10 @@ The public API re-exports the pieces most users need:
 * :class:`DistMuRA` — the deprecated eager facade (kept for compatibility),
 * the data model (:class:`Relation`, :class:`LabeledGraph`),
 * the mu-RA algebra (term constructors and the centralized evaluator),
-* the simulated cluster and the physical plan names.
+* the simulated cluster and the physical plan names,
+* observability entry points (:func:`configure_tracing`,
+  :func:`configure_logging`, :func:`get_registry`) — the full surface
+  lives in :mod:`repro.obs`.
 
 See ``README.md`` for a quickstart and ``DESIGN.md`` for the architecture.
 """
@@ -26,6 +29,8 @@ from .distributed.cluster import SparkCluster
 from .distributed.executor import EXECUTOR_BACKENDS, PROCESSES, SERIAL, THREADS
 from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
 from .errors import ReproError, ServiceError, ServiceOverloadError
+from .obs import (ExplainAnalyzeReport, MetricsRegistry, Tracer,
+                  configure_logging, configure_tracing, get_registry)
 from .service import QueryService, ServedResult, ServiceMetrics
 
 __version__ = "1.3.0"
@@ -34,7 +39,9 @@ __all__ = [
     "DatabaseSnapshot",
     "DistMuRA",
     "EXECUTOR_BACKENDS",
+    "ExplainAnalyzeReport",
     "LabeledGraph",
+    "MetricsRegistry",
     "PGLD",
     "PPLW_POSTGRES",
     "PPLW_SPARK",
@@ -55,7 +62,11 @@ __all__ = [
     "Session",
     "SparkCluster",
     "THREADS",
+    "Tracer",
     "Transaction",
     "Tup",
     "__version__",
+    "configure_logging",
+    "configure_tracing",
+    "get_registry",
 ]

@@ -25,6 +25,7 @@ from ..data import storage
 from ..data.relation import Relation
 from ..data.storage import DeltaAccumulator
 from ..errors import EvaluationError
+from ..obs import tracing
 from .conditions import decompose
 from .terms import (AntiProject, Antijoin, Filter, Fixpoint, Join, Literal,
                     Rename, RelVar, Term, Union)
@@ -196,6 +197,9 @@ class Evaluator:
         new = constant
         iterations = 0
         schema_checked = False
+        # Hoisted once: when tracing is off the loop pays one local bool
+        # check per iteration (bench_obs_overhead.py holds this to <= 5%).
+        traced = tracing.tracing_enabled()
         while new:
             iterations += 1
             if iterations > self.max_iterations:
@@ -204,16 +208,23 @@ class Evaluator:
                     f"{self.max_iterations} iterations"
                 )
             inner_env[term.var] = new
-            produced = self._eval(variable_part, inner_env)
-            if not schema_checked:
-                if produced.columns != constant.columns:
-                    raise EvaluationError(
-                        f"fixpoint on {term.var!r}: the variable part produced "
-                        f"schema {produced.columns} but the constant part has "
-                        f"schema {constant.columns}"
-                    )
-                schema_checked = True
-            new = accumulator.absorb(produced)
+            iteration_span = tracing.span(
+                "fixpoint.iteration", var=term.var, iteration=iterations,
+                delta=len(new)) if traced else tracing.NOOP_SPAN
+            with iteration_span:
+                produced = self._eval(variable_part, inner_env)
+                if not schema_checked:
+                    if produced.columns != constant.columns:
+                        raise EvaluationError(
+                            f"fixpoint on {term.var!r}: the variable part "
+                            f"produced schema {produced.columns} but the "
+                            f"constant part has schema {constant.columns}"
+                        )
+                    schema_checked = True
+                new = accumulator.absorb(produced)
+                if traced:
+                    iteration_span.set_attribute("produced", len(produced))
+                    iteration_span.set_attribute("total", len(accumulator))
         result = accumulator.relation()
         self.stats.record_fixpoint(iterations=iterations, result_size=len(result))
         return result

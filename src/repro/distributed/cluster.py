@@ -98,6 +98,28 @@ class ClusterMetrics:
         current = self.tuples_processed_per_worker.get(worker_id, 0)
         self.tuples_processed_per_worker[worker_id] = current + count
 
+    def publish(self, registry, graph: str = "") -> None:
+        """Accumulate this execution's counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Called by the session after each execution, so the per-execution
+        (reset) counters here become monotonic totals there.
+        """
+        for name, amount in (
+            ("repro_shuffles_total", self.shuffles),
+            ("repro_tuples_shuffled_total", self.tuples_shuffled),
+            ("repro_broadcasts_total", self.broadcasts),
+            ("repro_tuples_broadcast_total", self.tuples_broadcast),
+            ("repro_tasks_launched_total", self.tasks_launched),
+            ("repro_fixpoint_global_iterations_total", self.global_iterations),
+            ("repro_fixpoint_local_iterations_total", self.local_iterations),
+            ("repro_tuples_marshalled_total", self.tuples_marshalled),
+            ("repro_index_builds_total", self.index_builds),
+            ("repro_index_reuses_total", self.index_reuses),
+        ):
+            if amount:
+                registry.counter(name, graph=graph).inc(amount)
+
     @property
     def total_tuples_processed(self) -> int:
         return sum(self.tuples_processed_per_worker.values())

@@ -24,6 +24,7 @@ tasks regardless of how much physical parallelism the host machine offers
 
 from __future__ import annotations
 
+import contextvars
 import pickle
 import time
 from collections.abc import Callable, Sequence
@@ -32,11 +33,21 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import DistributionError
+from ..obs.logs import get_logger, log_event
+from ..obs.tracing import (
+    SpanRecord,
+    TraceHandoff,
+    current_handoff,
+    current_tracer,
+    run_traced_task,
+)
 
 try:  # Optional: lets the process backend ship arbitrary closures.
     import cloudpickle
 except ImportError:  # pragma: no cover - depends on the environment
     cloudpickle = None
+
+_LOGGER = get_logger("repro.distributed")
 
 #: Executor backend names accepted by :func:`make_executor`.
 SERIAL = "serial"
@@ -53,19 +64,39 @@ class TaskOutcome:
     #: CPU seconds consumed by the task (``time.thread_time`` based), used
     #: by the cluster to model per-worker wall time and stragglers.
     seconds: float
+    #: Finished span records produced by the task when it ran in another
+    #: process under a :class:`~repro.obs.tracing.TraceHandoff`; empty for
+    #: in-process backends (their spans land in the live tracer directly).
+    spans: tuple[SpanRecord, ...] = ()
 
 
-def _timed_call(fn: Callable[..., Any], args: tuple) -> TaskOutcome:
+def _timed_call(fn: Callable[..., Any], args: tuple,
+                handoff: TraceHandoff | None = None) -> TaskOutcome:
     """Run ``fn(*args)`` measuring the CPU time it consumes."""
     started = time.thread_time()
-    value = fn(*args)
-    return TaskOutcome(value=value, seconds=time.thread_time() - started)
+    value, spans = run_traced_task(fn, args, handoff)
+    return TaskOutcome(value=value, seconds=time.thread_time() - started,
+                       spans=spans)
 
 
-def _timed_cloudpickle_call(payload: bytes) -> TaskOutcome:
+def _timed_cloudpickle_call(payload: bytes,
+                            handoff: TraceHandoff | None = None,
+                            ) -> TaskOutcome:
     """Process-pool entry point for closures shipped with cloudpickle."""
     fn, args = cloudpickle.loads(payload)
-    return _timed_call(fn, args)
+    return _timed_call(fn, args, handoff)
+
+
+def _adopt_spans(outcomes: list[TaskOutcome],
+                 handoff: TraceHandoff | None) -> list[TaskOutcome]:
+    """Graft spans a traced task produced in another process into the
+    caller's live tracer."""
+    if handoff is not None:
+        tracer = current_tracer()
+        for outcome in outcomes:
+            if outcome.spans:
+                tracer.adopt(outcome.spans, handoff)
+    return outcomes
 
 
 class ExecutorBackend:
@@ -130,7 +161,13 @@ class ThreadExecutor(ExecutorBackend):
     def map_tasks(self, fn: Callable[..., Any],
                   args_list: Sequence[tuple]) -> list[TaskOutcome]:
         pool = self._ensure_pool()
-        futures = [pool.submit(_timed_call, fn, args) for args in args_list]
+        # Each task runs in a fresh copy of the submitting context, so a
+        # span open here parents the worker's spans — and concurrent waves
+        # cannot leak spans into each other.
+        futures = [
+            pool.submit(contextvars.copy_context().run, _timed_call, fn, args)
+            for args in args_list
+        ]
         return [future.result() for future in futures]
 
     def close(self) -> None:
@@ -157,6 +194,10 @@ class ProcessExecutor(ExecutorBackend):
 
     def map_tasks(self, fn: Callable[..., Any],
                   args_list: Sequence[tuple]) -> list[TaskOutcome]:
+        # ``None`` whenever tracing is off, keeping the pickled payload
+        # identical to the untraced one; when on, the children record into
+        # local tracers and return their spans with the outcome.
+        handoff = current_handoff()
         if cloudpickle is not None:
             try:
                 payloads = [cloudpickle.dumps((fn, args)) for args in args_list]
@@ -164,16 +205,24 @@ class ProcessExecutor(ExecutorBackend):
                 payloads = None
             if payloads is not None:
                 pool = self._ensure_pool()
-                futures = [pool.submit(_timed_cloudpickle_call, payload)
+                futures = [pool.submit(_timed_cloudpickle_call, payload,
+                                       handoff)
                            for payload in payloads]
-                return [future.result() for future in futures]
+                return _adopt_spans([future.result() for future in futures],
+                                    handoff)
         if self._plain_picklable(fn, args_list):
             pool = self._ensure_pool()
-            futures = [pool.submit(_timed_call, fn, args) for args in args_list]
-            return [future.result() for future in futures]
+            futures = [pool.submit(_timed_call, fn, args, handoff)
+                       for args in args_list]
+            return _adopt_spans([future.result() for future in futures],
+                                handoff)
         # Payloads that cannot cross a process boundary (closures over
         # unpicklable state) degrade to in-process execution instead of
-        # failing the query.
+        # failing the query.  The calling context is intact here, so spans
+        # land in the live tracer without any handoff.
+        log_event(_LOGGER, "process executor falling back to in-process "
+                           "execution (unpicklable task payload)",
+                  tasks=len(args_list))
         return [_timed_call(fn, args) for args in args_list]
 
     @staticmethod

@@ -29,6 +29,7 @@ from ..algebra.variables import free_variables
 from ..data.relation import Relation
 from ..data.snapshot import adopt_database, database_schemas
 from ..errors import PlanSelectionError
+from ..obs import tracing
 from .cluster import SparkCluster
 from .partitioner import PartitioningDecision, plan_partitioning
 from .plans import (PGLD, PLAN_CLASSES, PPLW_POSTGRES, PPLW_SPARK,
@@ -157,7 +158,21 @@ class DistributedQueryExecutor:
             physical = self._decide(term)
             physical_plans.append(physical)
             plan = self.generator.plan_for(physical.strategy)
-            relation = plan.execute(term)
+            if not tracing.tracing_enabled():
+                relation = plan.execute(term)
+            else:
+                with tracing.span(
+                        "fixpoint", var=term.var, strategy=physical.strategy,
+                        partitioning=physical.partitioning.strategy,
+                        ) as fixpoint_span:
+                    estimate = self._estimate_cardinality(term)
+                    if estimate is not None:
+                        fixpoint_span.set_attribute("estimated_rows", estimate)
+                    relation = plan.execute(term)
+                    fixpoint_span.set_attribute("actual_rows", len(relation))
+                    if estimate:
+                        fixpoint_span.set_attribute(
+                            "drift", round(len(relation) / estimate, 4))
             return Literal(relation, name=f"fixpoint[{physical.strategy}]")
         children = term.children()
         if not children:
@@ -167,6 +182,19 @@ class DistributedQueryExecutor:
         if new_children != children:
             term = term.with_children(new_children)
         return term
+
+    def _estimate_cardinality(self, fixpoint: Fixpoint) -> int | None:
+        """Cost-model estimate for one fixpoint, or ``None`` when the
+        estimator cannot price it.
+
+        Only called when tracing is enabled (EXPLAIN ANALYZE's
+        estimate-vs-actual drift) — the disabled path never pays for it.
+        """
+        from ..cost.cardinality import CardinalityEstimator
+        try:
+            return CardinalityEstimator(self.database).cardinality(fixpoint)
+        except Exception:
+            return None
 
     def _decide(self, fixpoint: Fixpoint) -> PhysicalPlan:
         if self.strategy == AUTO:

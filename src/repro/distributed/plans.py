@@ -34,6 +34,7 @@ from ..data.relation import Relation
 from ..data.snapshot import adopt_database, database_schemas
 from ..data.storage import DeltaAccumulator
 from ..errors import DistributionError, EvaluationError
+from ..obs import tracing
 from . import local_engine as local_engine_module
 from .cluster import SparkCluster
 from .local_engine import LocalSQLEngine
@@ -124,6 +125,7 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
         accumulated = DistributedRelation.from_relation(self.cluster, constant)
         delta = accumulated
         iterations = 0
+        traced = tracing.tracing_enabled()
         while not delta.is_empty():
             iterations += 1
             if iterations > MAX_GLOBAL_ITERATIONS:
@@ -131,11 +133,19 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
                     f"global loop on {var!r} did not converge "
                     f"within {MAX_GLOBAL_ITERATIONS} iterations")
             self.cluster.metrics.global_iterations += 1
-            produced = self._evaluate_distributed(variable_part, var, delta, evaluator)
-            # new = phi(new) \ X        (global set difference: shuffle)
-            delta = produced.subtract_distinct(accumulated)
-            # X = X U new               (union + distinct: shuffle)
-            accumulated = accumulated.union_distinct(delta)
+            iteration_span = tracing.span(
+                "fixpoint.iteration", var=var, iteration=iterations,
+                delta=delta.count()) if traced else tracing.NOOP_SPAN
+            with iteration_span:
+                produced = self._evaluate_distributed(variable_part, var, delta,
+                                                      evaluator)
+                # new = phi(new) \ X    (global set difference: shuffle)
+                delta = produced.subtract_distinct(accumulated)
+                # X = X U new           (union + distinct: shuffle)
+                accumulated = accumulated.union_distinct(delta)
+                if traced:
+                    iteration_span.set_attribute("produced", produced.count())
+                    iteration_span.set_attribute("total", accumulated.count())
         return accumulated.collect()
 
     # -- Distributed evaluation of the variable part -------------------------------
@@ -251,15 +261,31 @@ def run_spark_local_loop(fixpoint: Fixpoint, database: Mapping[str, Relation],
     delta = chunk
     env: dict[str, Relation] = {}
     iterations = 0
-    while delta:
-        iterations += 1
-        if iterations > max_iterations:
-            raise EvaluationError(
-                f"local fixpoint on {fixpoint.var!r} did not converge "
-                f"within {max_iterations} iterations")
-        env[fixpoint.var] = delta
-        produced = evaluator.evaluate(decomposition.variable_part, env=env)
-        delta = accumulator.absorb(produced)
+    traced = tracing.tracing_enabled()
+    loop_span = tracing.span("fixpoint.local_loop", var=fixpoint.var,
+                             variant="spark",
+                             seed=len(chunk)) if traced else tracing.NOOP_SPAN
+    with loop_span:
+        while delta:
+            iterations += 1
+            if iterations > max_iterations:
+                raise EvaluationError(
+                    f"local fixpoint on {fixpoint.var!r} did not converge "
+                    f"within {max_iterations} iterations")
+            env[fixpoint.var] = delta
+            iteration_span = tracing.span(
+                "fixpoint.iteration", var=fixpoint.var, iteration=iterations,
+                delta=len(delta)) if traced else tracing.NOOP_SPAN
+            with iteration_span:
+                produced = evaluator.evaluate(decomposition.variable_part,
+                                              env=env)
+                delta = accumulator.absorb(produced)
+                if traced:
+                    iteration_span.set_attribute("produced", len(produced))
+                    iteration_span.set_attribute("total", len(accumulator))
+        if traced:
+            loop_span.set_attribute("iterations", iterations)
+            loop_span.set_attribute("total", len(accumulator))
     return LocalLoopOutcome(relation=accumulator.relation(),
                             iterations=iterations,
                             index_builds=evaluator.stats.index_builds,
@@ -271,7 +297,11 @@ def run_postgres_local_loop(fixpoint: Fixpoint, database: Mapping[str, Relation]
     """One worker's ``Pplw^pg`` local fixpoint, delegated to the local engine."""
     engine = LocalSQLEngine(database, max_iterations=max_iterations)
     marshalled = len(chunk)
-    result = engine.evaluate_fixpoint(fixpoint, seed_override=chunk)
+    with tracing.span("fixpoint.local_loop", var=fixpoint.var,
+                      variant="postgres", seed=len(chunk)) as loop_span:
+        result = engine.evaluate_fixpoint(fixpoint, seed_override=chunk)
+        loop_span.set_attribute("iterations", engine.stats.iterations)
+        loop_span.set_attribute("total", len(result))
     marshalled += len(result)
     return LocalLoopOutcome(relation=result, iterations=engine.stats.iterations,
                             tuples_marshalled=marshalled,

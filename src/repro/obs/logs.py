@@ -1,0 +1,141 @@
+"""Structured (JSON-lines) logging with trace correlation.
+
+The whole of ``src/`` used to contain exactly one ad-hoc
+``logging.getLogger`` call site.  This module replaces that with a small
+operational layer on top of the standard :mod:`logging` machinery:
+
+* :func:`get_logger` — namespaced loggers under the ``repro.`` hierarchy
+  (``repro.session``, ``repro.service``, ``repro.distributed``, ...);
+  callers pass structured fields through ``extra={"fields": {...}}`` or
+  the :func:`log_event` convenience,
+* :func:`configure_logging` — the one documented entry point: attaches a
+  JSON-lines handler to the ``repro`` root logger (idempotent —
+  reconfiguring replaces the previous handler rather than stacking),
+* :class:`JsonLinesFormatter` — one JSON object per record with
+  timestamp, level, logger, message, the structured fields, and — when a
+  span is open in the calling context — the current ``trace_id`` /
+  ``span_id``, which is what correlates a log line with the query that
+  emitted it,
+* :func:`span_exporter` — an adapter streaming finished
+  :class:`~repro.obs.tracing.SpanRecord`\\ s through a logger as JSON
+  lines, for services that want a trace event log rather than an
+  in-memory buffer.
+
+Nothing here configures itself at import time: until
+:func:`configure_logging` is called, the ``repro`` loggers propagate to
+whatever the application configured, exactly like any well-behaved
+library.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+from .tracing import SpanRecord, current_span_id, current_trace_id
+
+#: The root of the library's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Name of the handler installed by :func:`configure_logging` (used to
+#: make reconfiguration replace instead of stack).
+_HANDLER_NAME = "repro-obs-jsonl"
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger in the ``repro.`` hierarchy.
+
+    ``get_logger("repro.session")`` and ``get_logger("session")`` return
+    the same logger; bare names are prefixed so every module logger
+    shares the one root configured by :func:`configure_logging`.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per log record, trace-correlated when possible."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, object] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            entry.update(fields)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+            entry["span_id"] = current_span_id()
+        if record.exc_info:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True, default=str)
+
+
+def configure_logging(level: int | str = logging.INFO,
+                      stream: IO[str] | None = None) -> logging.Logger:
+    """Attach the JSON-lines handler to the ``repro`` logger hierarchy.
+
+    The single operational entry point: every module logger
+    (``repro.session``, ``repro.service``, ``repro.distributed``, ...)
+    inherits the handler and level.  Calling it again replaces the
+    previous handler (new level, new stream) instead of stacking a
+    second one, and propagation to the application's root logger is
+    turned off so lines are not emitted twice.  Returns the root
+    ``repro`` logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if handler.get_name() == _HANDLER_NAME:
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.set_name(_HANDLER_NAME)
+    handler.setFormatter(JsonLinesFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root
+
+
+def log_event(logger: logging.Logger, message: str,
+              level: int = logging.INFO, **fields: object) -> None:
+    """Emit one structured event: ``message`` plus key/value fields.
+
+    The fields land as first-class JSON keys (not interpolated into the
+    message), so downstream tooling filters on them directly.  Cheap when
+    the level is disabled: the fields dict is the only work done.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, message, extra={"fields": fields})
+
+
+def span_exporter(logger: logging.Logger | None = None,
+                  level: int = logging.DEBUG):
+    """An exporter streaming finished spans through a structured logger.
+
+    Plug into ``Tracer(exporter=span_exporter())`` to get a JSON line per
+    finished span (name, duration, attributes, ids) instead of — or in
+    addition to — the tracer's in-memory record buffer.
+    """
+    target = logger if logger is not None else get_logger("repro.trace")
+
+    def export(record: SpanRecord) -> None:
+        if target.isEnabledFor(level):
+            target.log(level, record.name, extra={"fields": {
+                "event": "span",
+                "trace_id": record.trace_id,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "duration_seconds": round(record.duration_seconds, 6),
+                **dict(record.attributes),
+            }})
+
+    return export

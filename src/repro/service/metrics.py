@@ -25,6 +25,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from ..obs.metrics import get_registry
 from ..percentiles import DEFAULT_PERCENTILES, percentiles
 
 #: Size of the sliding windows of latency / queue-wait samples.
@@ -94,10 +95,12 @@ class ServiceMetrics:
     def record_submitted(self) -> None:
         with self._lock:
             self.submitted += 1
+        get_registry().counter("repro_service_submitted_total").inc()
 
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+        get_registry().counter("repro_service_rejected_total").inc()
 
     def record_served(self, latency_seconds: float, queue_wait_seconds: float,
                       failed: bool, plan_cache_hit: bool | None,
@@ -126,6 +129,16 @@ class ServiceMetrics:
             if result_cache_hit is not None:
                 self.result_cache_lookups += 1
                 self.result_cache_hits += int(result_cache_hit)
+        # Mirror into the process-wide registry (outside our lock; the
+        # registry synchronizes itself), so service counters export
+        # alongside session/cluster ones in one scrape.
+        registry = get_registry()
+        registry.counter("repro_service_requests_total",
+                         status="failed" if failed else "ok").inc()
+        registry.histogram("repro_service_latency_seconds") \
+            .observe(latency_seconds)
+        registry.histogram("repro_service_queue_wait_seconds") \
+            .observe(queue_wait_seconds)
 
     def snapshot(self, fractions=DEFAULT_PERCENTILES) -> MetricsSnapshot:
         """Return a consistent view of every counter and distribution."""

@@ -100,6 +100,11 @@ class CachedPlan:
     #: Physical strategy decisions observed at the first execution of the
     #: plan (filled in lazily; purely informational).
     physical_strategies: tuple[str, ...] = field(default=())
+    #: The cost model's estimated result cardinality for the selected
+    #: plan (``None`` when the optimizer was off).  EXPLAIN ANALYZE
+    #: compares it against the observed row count — the drift signal of
+    #: the feedback-driven-optimizer roadmap item.
+    estimated_cardinality: int | None = None
 
     def __post_init__(self) -> None:
         if not self.term_key:

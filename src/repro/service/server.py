@@ -52,15 +52,17 @@ Typical use::
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from .._compat import warn_once
 from ..errors import ReproError, ServiceError, ServiceOverloadError
+from ..obs import tracing
 from .metrics import ServiceMetrics
 from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from .result_cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
@@ -121,6 +123,12 @@ class _Task:
     submitted_at: float
     future: Future
     graph: str | None = None
+    #: Copy of the submitter's context: the worker serves the request
+    #: inside it, so the submitter's active tracer and open span parent
+    #: the request's spans — and concurrent requests, each in their own
+    #: copy, can never leak spans into one another.
+    context: contextvars.Context = field(
+        default_factory=contextvars.copy_context)
 
 
 class QueryService:
@@ -158,6 +166,8 @@ class QueryService:
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
         self._closed = False
         self._close_lock = threading.Lock()
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
         self._workers = [
             threading.Thread(target=self._worker_loop, daemon=True,
                              name=f"query-service-{index}")
@@ -238,6 +248,33 @@ class QueryService:
                    for query in queries]
         return [future.result() for future in futures]
 
+    # -- Health ----------------------------------------------------------------
+
+    def health(self) -> dict[str, object]:
+        """Operational health of the service (the future ``/health`` body).
+
+        Reports admission-queue depth and capacity, how many requests the
+        workers are serving right now, the last committed snapshot
+        version of every attached graph, and the view-maintenance
+        backlog (queued async passes).  Cheap enough to poll: every
+        field is a counter or a dictionary lookup — no locks that
+        queries contend on.
+        """
+        with self._in_flight_lock:
+            in_flight = self._in_flight
+        session = self.session
+        versions = {name: session.graph(name).snapshot().version
+                    for name in session.graphs()}
+        return {
+            "status": "closed" if self._closed else "ok",
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
+            "in_flight": in_flight,
+            "workers": len(self._workers),
+            "last_commit_version": versions,
+            "maintenance_backlog": session.maintenance_backlog(),
+        }
+
     # -- Mutations ------------------------------------------------------------
 
     def add_edges(self, label: str, pairs,
@@ -266,13 +303,24 @@ class QueryService:
             try:
                 if task is _SHUTDOWN:
                     return
-                self._process(task)
+                # Serve inside the submitter's context copy (trace
+                # propagation; see _Task.context).
+                task.context.run(self._process, task)
             finally:
                 self._queue.task_done()
 
     def _process(self, task: _Task) -> None:
         if not task.future.set_running_or_notify_cancel():
             return
+        with self._in_flight_lock:
+            self._in_flight += 1
+        try:
+            self._process_admitted(task)
+        finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
+
+    def _process_admitted(self, task: _Task) -> None:
         started = time.perf_counter()
         queue_wait = started - task.submitted_at
         if task.deadline is not None and started > task.deadline:
@@ -334,10 +382,14 @@ class QueryService:
         concurrently across workers with no lock at all; only cache-miss
         executions serialize on the session's execution lock.
         """
-        result, plan_hit, result_hit = handle.run_once(
-            task.strategy,
-            use_plan_cache=self.enable_plan_cache,
-            use_result_cache=self.enable_result_cache)
+        with tracing.span("service.request",
+                          graph=handle.session.graph_name) as request_span:
+            result, plan_hit, result_hit = handle.run_once(
+                task.strategy,
+                use_plan_cache=self.enable_plan_cache,
+                use_result_cache=self.enable_result_cache)
+            if request_span.enabled:
+                request_span.set_attribute("rows", len(result.relation))
         # Attribute by the graph actually served: a pre-built handle
         # scoped to a named graph carries its scope even when submitted
         # without graph=.

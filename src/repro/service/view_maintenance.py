@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import logging
 import time
+from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -63,12 +64,16 @@ from ..data.relation import Relation
 from ..data.snapshot import DatabaseSnapshot, RelationDelta
 from ..data.storage import DeltaAccumulator
 from ..errors import FixpointConditionError
+from ..obs import tracing
+from ..obs.logs import get_logger, log_event
+from ..obs.metrics import get_registry
 from .result_cache import ResultCache, ResultKey
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from ..session.session import QueryResult
 
-logger = logging.getLogger(__name__)
+#: Structured module logger (see :func:`repro.obs.configure_logging`).
+logger = get_logger("repro.service")
 
 #: Skip incremental maintenance when the commit changed more than this
 #: fraction of the rows of the entry's touched inputs: past that point a
@@ -81,6 +86,12 @@ DEFAULT_DELTA_THRESHOLD = 0.25
 #: the work per commit must stay bounded no matter how large the cache is;
 #: entries past the bound just go stale, as they always did.
 DEFAULT_MAX_ENTRIES_PER_COMMIT = 16
+
+#: Most recent decisions retained in a :class:`MaintenanceStats` log.  A
+#: long-running session keeps its last stats object alive (and "sync"
+#: mode records one decision per touched entry per commit), so the log is
+#: a bounded window — the integer counters stay exact over the lifetime.
+DEFAULT_DECISION_LOG = 256
 
 #: ``MaintenanceDecision.action`` values.
 RESUMED = "insert-resume"
@@ -118,7 +129,10 @@ class MaintenanceStats:
     rederived: int = 0
     fallbacks: int = 0
     skipped: int = 0
-    decisions: list[MaintenanceDecision] = field(default_factory=list)
+    #: Bounded decision window (oldest evicted first); the counters above
+    #: are exact regardless of the bound.
+    decisions: deque[MaintenanceDecision] = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_DECISION_LOG))
 
     @property
     def maintained(self) -> int:
@@ -139,6 +153,12 @@ class MaintenanceStats:
         return {"examined": self.examined, "resumed": self.resumed,
                 "rederived": self.rederived, "fallbacks": self.fallbacks,
                 "skipped": self.skipped}
+
+
+def _publish_decision(decision: MaintenanceDecision) -> None:
+    """Count one maintenance decision in the process metrics registry."""
+    get_registry().counter("repro_maintenance_decisions_total",
+                           action=decision.action).inc()
 
 
 class ViewMaintainer:
@@ -189,19 +209,30 @@ class ViewMaintainer:
                 # predecessor; maintaining it across *this* delta would
                 # skip the intermediate commits' changes.
                 stats.examined += 1
-                stats.record(MaintenanceDecision(
+                decision = MaintenanceDecision(
                     plan_key=key.plan_key, graph=key.graph,
-                    action=SKIPPED_STALE))
+                    action=SKIPPED_STALE)
+                stats.record(decision)
+                _publish_decision(decision)
                 continue
             stats.examined += 1
-            decision = self._maintain_entry(cache, key, result, touched,
-                                            old_head, new_head)
+            entry_span = tracing.span(
+                "maintenance.entry", graph=key.graph,
+                plan_key=key.plan_key[:24]) if tracing.tracing_enabled() \
+                else tracing.NOOP_SPAN
+            with entry_span:
+                decision = self._maintain_entry(cache, key, result, touched,
+                                                old_head, new_head)
+                if entry_span.enabled:
+                    entry_span.set_attribute("action", decision.action)
+                    entry_span.set_attribute("delta_rows",
+                                             decision.delta_rows)
             stats.record(decision)
-            logger.debug("view maintenance [%s/%s]: %s "
-                         "(delta=%d rows over base=%d)",
-                         decision.graph, decision.plan_key[:24],
-                         decision.action, decision.delta_rows,
-                         decision.base_rows)
+            _publish_decision(decision)
+            log_event(logger, "view maintenance", level=logging.DEBUG,
+                      graph=decision.graph, plan_key=decision.plan_key[:24],
+                      action=decision.action, delta_rows=decision.delta_rows,
+                      base_rows=decision.base_rows)
         return stats
 
     # -- One entry -----------------------------------------------------------

@@ -259,6 +259,49 @@ class Query:
             snapshot=snapshot)
         return result, plan_hit, result_hit
 
+    def explain_analyze(self, strategy: str | None = None, *,
+                        use_plan_cache: bool | None = None,
+                        use_result_cache: bool | None = None):
+        """Execute once under tracing and return the annotated span tree.
+
+        Unlike :meth:`explain` (which only plans), this *runs* the query
+        — one un-memoized trip against the current head snapshot, like
+        :meth:`run_once` — inside a private, enabled tracer, and returns
+        an :class:`~repro.obs.explain.ExplainAnalyzeReport`: per-stage
+        wall time, plan/result cache outcomes, per-fixpoint-iteration
+        delta and accumulated cardinalities, and the estimate-vs-actual
+        cardinality drift.  ``print(query.explain_analyze())`` renders
+        the tree; the report's structured accessors serve tests and the
+        feedback-driven-optimizer roadmap item.
+
+        The private tracer is activated only for the calling context, so
+        concurrent queries on the same session are not traced (and pay
+        no overhead) while this one runs.
+        """
+        from ..obs import tracing
+        from ..obs.explain import ExplainAnalyzeReport
+
+        effective = self._effective(strategy)
+        tracer = tracing.Tracer(enabled=True)
+        with tracing.activate(tracer):
+            with tracing.span("query", query=self.describe()):
+                snapshot = self.session.snapshot()
+                if self._given_ast is not None or self._text is not None:
+                    with tracing.span("query.parse"):
+                        self.ast
+                with tracing.span("query.translate"):
+                    self._term_with(snapshot)
+                plan, _, key = self._plan_for(effective,
+                                              use_cache=use_plan_cache,
+                                              snapshot=snapshot)
+                result, _ = self.session.execute_plan(
+                    plan, effective, self.classes,
+                    use_result_cache=use_result_cache, plan_key=key,
+                    snapshot=snapshot)
+        return ExplainAnalyzeReport(query_text=self.describe(),
+                                    result=result,
+                                    records=tracer.records())
+
     def count(self, strategy: str | None = None) -> int:
         """Number of result rows."""
         return len(self.collect(strategy).relation)
@@ -459,6 +502,37 @@ class DatalogQuery:
                 elapsed_seconds=time.perf_counter() - started,
             )
         return self._result
+
+    def explain_analyze(self):
+        """Evaluate once under tracing and return the annotated span tree.
+
+        The Datalog engine is not internally instrumented (it is a
+        baseline), so the tree shows the front-end stages — parse,
+        translate+specialize, evaluate — with their wall time, which is
+        exactly what the differential benchmarks compare against the
+        mu-RA pipeline's deeper trace.
+        """
+        from ..obs import tracing
+        from ..obs.explain import ExplainAnalyzeReport
+
+        tracer = tracing.Tracer(enabled=True)
+        with tracing.activate(tracer):
+            with tracing.span("query", query=self.describe(),
+                              frontend="datalog"):
+                with tracing.span("query.parse"):
+                    self.ast
+                with tracing.span("query.translate",
+                                  magic=self.use_magic):
+                    self.program
+                with tracing.span("query.evaluate") as evaluate_span:
+                    result = self.collect()
+                    evaluate_span.set_attribute(
+                        "iterations", result.iterations)
+                    evaluate_span.set_attribute(
+                        "facts_derived", result.facts_derived)
+        return ExplainAnalyzeReport(query_text=self.describe(),
+                                    result=result,
+                                    records=tracer.records())
 
     def count(self) -> int:
         return len(self.collect().relation)

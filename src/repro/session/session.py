@@ -47,6 +47,7 @@ long-running analyses.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections import ChainMap
@@ -67,6 +68,9 @@ from ..distributed.physical import (AUTO, DEFAULT_MEMORY_PER_TASK,
                                     DistributedQueryExecutor)
 from ..errors import (DatasetError, EvaluationError, SchemaError,
                       TransactionError, TranslationError)
+from ..obs import tracing
+from ..obs.logs import get_logger, log_event
+from ..obs.metrics import get_registry
 from ..query.ast import UCRPQ
 from ..query.parser import parse_query
 from ..query.translate import translate_query
@@ -80,6 +84,9 @@ from ..service.view_maintenance import MaintenanceStats, ViewMaintainer
 from .builder import PathBuilder
 from .prepared import PreparedQuery
 from .query import DatalogQuery, Query
+
+#: Module logger (JSON-lines once ``repro.obs.configure_logging()`` ran).
+_LOGGER = get_logger("repro.session")
 
 
 @dataclass
@@ -596,22 +603,40 @@ class Session:
                               plans_explored=1,
                               dependencies=free_variables(selected)), None, None
         use_cache = self.enable_plan_cache if use_cache is None else use_cache
-        if use_cache:
-            key = PlanKey.of(self, term, free_variables(term), strategy,
-                             snapshot=snapshot)
-            cached = self.plan_cache.get(key)
-            if cached is not None:
-                return cached, True, key
-        best, ranked = self.optimize(term, snapshot=snapshot)
-        plan = CachedPlan(term=best.term, cost=best.cost,
-                          plans_explored=len(ranked),
-                          dependencies=free_variables(best.term))
-        if not use_cache:
-            # No key either: callers use it for write-backs (the physical
-            # strategies patch), which must not touch a disabled cache.
-            return plan, None, None
-        self.plan_cache.put(key, plan)
-        return plan, False, key
+        with tracing.span("session.resolve_plan",
+                          graph=snapshot.graph_name) as plan_span:
+            if use_cache:
+                key = PlanKey.of(self, term, free_variables(term), strategy,
+                                 snapshot=snapshot)
+                cached = self.plan_cache.get(key)
+                if cached is not None:
+                    get_registry().counter("repro_plan_cache_total",
+                                           outcome="hit").inc()
+                    if plan_span.enabled:
+                        plan_span.set_attribute("cache_hit", True)
+                        if cached.estimated_cardinality is not None:
+                            plan_span.set_attribute(
+                                "estimated_rows", cached.estimated_cardinality)
+                    return cached, True, key
+            best, ranked = self.optimize(term, snapshot=snapshot)
+            plan = CachedPlan(term=best.term, cost=best.cost,
+                              plans_explored=len(ranked),
+                              dependencies=free_variables(best.term),
+                              estimated_cardinality=best.estimated_cardinality)
+            if plan_span.enabled:
+                if use_cache:
+                    plan_span.set_attribute("cache_hit", False)
+                plan_span.set_attribute("plans_explored", len(ranked))
+                plan_span.set_attribute("estimated_rows",
+                                        best.estimated_cardinality)
+            if not use_cache:
+                # No key either: callers use it for write-backs (the physical
+                # strategies patch), which must not touch a disabled cache.
+                return plan, None, None
+            get_registry().counter("repro_plan_cache_total",
+                                   outcome="miss").inc()
+            self.plan_cache.put(key, plan)
+            return plan, False, key
 
     def execute_plan(self, plan: CachedPlan, strategy: str | None = None,
                      classes: frozenset[str] = frozenset(), *,
@@ -634,29 +659,42 @@ class Session:
         use_cache = (self.enable_result_cache if use_result_cache is None
                      else use_result_cache)
         effective = strategy if strategy is not None else self.strategy
-        result_key = ResultKey(
-            plan_key=plan.term_key, strategy=effective,
-            num_workers=self.cluster.num_workers,
-            memory_per_task=self.memory_per_task,
-            fingerprint=snapshot.fingerprint(plan.dependencies),
-            graph=snapshot.graph_name)
-        if use_cache:
-            cached = self.result_cache.lookup(result_key)
-            if cached is not None:
-                return cached, True
-        result = self.execute_term(plan.term, strategy=strategy,
-                                   query_classes=classes, optimize=False,
-                                   snapshot=snapshot)
-        # Patch in what the plan phase knew and the cache-skipping
-        # re-execution did not (plan count, estimated selection cost).
-        result.plans_explored = plan.plans_explored
-        result.estimated_cost = plan.cost
-        if use_cache:
-            self.result_cache.store(result_key, result)
-        if plan_key is not None and not plan.physical_strategies:
-            self.plan_cache.put(plan_key, plan.with_strategies(
-                result.physical_strategies))
-        return result, (False if use_cache else None)
+        with tracing.span("session.execute_plan", strategy=effective,
+                          graph=snapshot.graph_name) as exec_span:
+            result_key = ResultKey(
+                plan_key=plan.term_key, strategy=effective,
+                num_workers=self.cluster.num_workers,
+                memory_per_task=self.memory_per_task,
+                fingerprint=snapshot.fingerprint(plan.dependencies),
+                graph=snapshot.graph_name)
+            if use_cache:
+                cached = self.result_cache.lookup(result_key)
+                if cached is not None:
+                    get_registry().counter("repro_result_cache_total",
+                                           outcome="hit").inc()
+                    if exec_span.enabled:
+                        exec_span.set_attribute("result_cache_hit", True)
+                        exec_span.set_attribute("rows", len(cached.relation))
+                    return cached, True
+            result = self.execute_term(plan.term, strategy=strategy,
+                                       query_classes=classes, optimize=False,
+                                       snapshot=snapshot)
+            # Patch in what the plan phase knew and the cache-skipping
+            # re-execution did not (plan count, estimated selection cost).
+            result.plans_explored = plan.plans_explored
+            result.estimated_cost = plan.cost
+            if use_cache:
+                get_registry().counter("repro_result_cache_total",
+                                       outcome="miss").inc()
+                self.result_cache.store(result_key, result)
+            if plan_key is not None and not plan.physical_strategies:
+                self.plan_cache.put(plan_key, plan.with_strategies(
+                    result.physical_strategies))
+            if exec_span.enabled:
+                if use_cache:
+                    exec_span.set_attribute("result_cache_hit", False)
+                exec_span.set_attribute("rows", len(result.relation))
+            return result, (False if use_cache else None)
 
     # -- Execution ------------------------------------------------------------------
 
@@ -684,15 +722,26 @@ class Session:
             term = best.term
             plans_explored = len(ranked)
             estimated_cost = best.cost
-        with self.execution_lock:
-            self.cluster.reset_metrics()
-            executor = DistributedQueryExecutor(
-                self.cluster, snapshot,
-                strategy=strategy if strategy is not None else self.strategy,
-                memory_per_task=self.memory_per_task)
-            outcome = executor.execute(term)
-            metrics = self.cluster.metrics
+        effective = strategy if strategy is not None else self.strategy
+        with tracing.span("execute.term", strategy=effective,
+                          graph=snapshot.graph_name) as term_span:
+            with self.execution_lock:
+                self.cluster.reset_metrics()
+                executor = DistributedQueryExecutor(
+                    self.cluster, snapshot, strategy=effective,
+                    memory_per_task=self.memory_per_task)
+                outcome = executor.execute(term)
+                metrics = self.cluster.metrics
+            if term_span.enabled:
+                term_span.set_attribute("rows", len(outcome.relation))
+                term_span.set_attribute(
+                    "physical", ",".join(outcome.strategies) or "central")
         elapsed = time.perf_counter() - started
+        registry = get_registry()
+        registry.counter("repro_executions_total",
+                         graph=snapshot.graph_name).inc()
+        registry.histogram("repro_execution_seconds").observe(elapsed)
+        metrics.publish(registry, graph=snapshot.graph_name)
         return QueryResult(
             relation=outcome.relation,
             selected_plan=term,
@@ -740,7 +789,11 @@ class Session:
             if self._background is None:
                 self._background = ThreadPoolExecutor(
                     max_workers=1, thread_name_prefix="session-submit")
-            return self._background.submit(action)
+            # The action runs in a copy of the submitting context: the
+            # submitter's active tracer and open span travel with it, so
+            # background work traces under the query that scheduled it.
+            return self._background.submit(
+                contextvars.copy_context().run, action)
 
     # -- Mutations and versioning ---------------------------------------------------
 
@@ -842,13 +895,25 @@ class Session:
                        if not _is_unchanged(head.get(name), updated)}
             if not changes:
                 return ()
-            successor = head.mutate(changes)
-            state.head = successor
-            # Maintain cached recursive results across the swap (still
-            # under the commit lock in "sync" mode, so the next writer
-            # sees a settled cache and readers of the new head can hit
-            # maintained entries immediately).
-            self._maintain_after_commit(state, head, successor)
+            with tracing.span("session.commit", graph=state.name,
+                              relations=",".join(sorted(changes))) as commit_span:
+                successor = head.mutate(changes)
+                state.head = successor
+                if commit_span.enabled:
+                    commit_span.set_attribute("version", successor.version)
+                registry = get_registry()
+                registry.counter("repro_commits_total",
+                                 graph=state.name).inc()
+                registry.gauge("repro_snapshot_version",
+                               graph=state.name).set(successor.version)
+                log_event(_LOGGER, "commit",
+                          graph=state.name, version=successor.version,
+                          relations=sorted(changes))
+                # Maintain cached recursive results across the swap (still
+                # under the commit lock in "sync" mode, so the next writer
+                # sees a settled cache and readers of the new head can hit
+                # maintained entries immediately).
+                self._maintain_after_commit(state, head, successor)
             return tuple(changes)
 
     def _maintain_after_commit(self, state: GraphState,
@@ -872,9 +937,15 @@ class Session:
         if len(cache) == 0:
             return
         maintainer = root.view_maintainer
+        graph = state.name
 
         def run() -> MaintenanceStats:
-            stats = maintainer.maintain_commit(cache, old_head, new_head)
+            with tracing.span("maintenance.pass", graph=graph,
+                              mode=root.view_maintenance) as pass_span:
+                stats = maintainer.maintain_commit(cache, old_head, new_head)
+                if pass_span.enabled:
+                    pass_span.set_attribute("examined", stats.examined)
+                    pass_span.set_attribute("maintained", stats.maintained)
             root._last_maintenance = stats
             return stats
 
@@ -891,6 +962,20 @@ class Session:
         maintenance path (resume, DRed, fallback) a commit exercised.
         """
         return self._root._last_maintenance
+
+    def maintenance_backlog(self) -> int:
+        """Background actions still queued on the session's worker.
+
+        In ``async`` view-maintenance mode each commit queues one
+        maintenance pass here; the service's health surface reports the
+        depth so an operator can see maintenance falling behind writes.
+        """
+        root = self._root
+        with root._background_lock:
+            if root._background is None:
+                return 0
+            work_queue = getattr(root._background, "_work_queue", None)
+            return work_queue.qsize() if work_queue is not None else 0
 
     @staticmethod
     def _plan_mutation(database: Mapping[str, Relation], label: str,

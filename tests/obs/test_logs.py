@@ -1,0 +1,134 @@
+"""Structured logging: hierarchy, JSON lines, trace correlation."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.logs import (ROOT_LOGGER, JsonLinesFormatter, configure_logging,
+                            get_logger, log_event, span_exporter)
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture
+def clean_root():
+    """Restore the repro root logger to its unconfigured state."""
+    root = logging.getLogger(ROOT_LOGGER)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield root
+    root.handlers[:], root.level, root.propagate = \
+        saved[0], saved[1], saved[2]
+
+
+def _configured(clean_root, level=logging.INFO):
+    stream = io.StringIO()
+    configure_logging(level=level, stream=stream)
+    return stream
+
+
+class TestHierarchy:
+    def test_bare_names_are_prefixed(self):
+        assert get_logger("session").name == "repro.session"
+        assert get_logger("repro.session") is get_logger("session")
+        assert get_logger().name == ROOT_LOGGER
+
+    def test_module_loggers_inherit_the_configured_handler(self, clean_root):
+        stream = _configured(clean_root)
+        log_event(get_logger("repro.session"), "from session", graph="g")
+        log_event(get_logger("repro.distributed"), "from distributed")
+        lines = [json.loads(line)
+                 for line in stream.getvalue().strip().splitlines()]
+        assert [line["logger"] for line in lines] == [
+            "repro.session", "repro.distributed"]
+
+    def test_reconfiguring_replaces_instead_of_stacking(self, clean_root):
+        _configured(clean_root)
+        stream = _configured(clean_root)
+        log_event(get_logger("repro.session"), "once")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+        handlers = [h for h in clean_root.handlers
+                    if h.get_name() == "repro-obs-jsonl"]
+        assert len(handlers) == 1
+
+
+class TestJsonLines:
+    def test_event_fields_are_first_class_keys(self, clean_root):
+        stream = _configured(clean_root)
+        log_event(get_logger("repro.session"), "commit",
+                  graph="yago", version=3)
+        entry = json.loads(stream.getvalue())
+        assert entry["message"] == "commit"
+        assert entry["graph"] == "yago"
+        assert entry["version"] == 3
+        assert entry["level"] == "info"
+        assert "ts" in entry
+
+    def test_below_level_events_are_dropped(self, clean_root):
+        stream = _configured(clean_root, level=logging.WARNING)
+        log_event(get_logger("repro.session"), "chatty",
+                  level=logging.DEBUG)
+        assert stream.getvalue() == ""
+
+    def test_exceptions_are_rendered(self, clean_root):
+        stream = _configured(clean_root)
+        logger = get_logger("repro.session")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("failed")
+        entry = json.loads(stream.getvalue())
+        assert "RuntimeError: boom" in entry["exception"]
+
+    def test_unserializable_fields_fall_back_to_str(self, clean_root):
+        stream = _configured(clean_root)
+        log_event(get_logger("repro.session"), "odd", payload=object())
+        entry = json.loads(stream.getvalue())
+        assert "object object" in entry["payload"]
+
+
+class TestTraceCorrelation:
+    def test_lines_inside_a_span_carry_its_ids(self, clean_root):
+        stream = _configured(clean_root)
+        tracer = Tracer(enabled=True)
+        with tracing.activate(tracer):
+            with tracer.span("query") as span:
+                log_event(get_logger("repro.session"), "inside")
+        entry = json.loads(stream.getvalue())
+        assert entry["trace_id"] == span.trace_id
+        assert entry["span_id"] == span.span_id
+
+    def test_lines_outside_any_span_have_no_trace_keys(self, clean_root):
+        stream = _configured(clean_root)
+        log_event(get_logger("repro.session"), "outside")
+        entry = json.loads(stream.getvalue())
+        assert "trace_id" not in entry
+
+    def test_formatter_is_importable_standalone(self):
+        record = logging.LogRecord("repro.x", logging.INFO, __file__, 1,
+                                   "hello", (), None)
+        entry = json.loads(JsonLinesFormatter().format(record))
+        assert entry["message"] == "hello"
+
+
+class TestSpanExporter:
+    def test_finished_spans_stream_through_the_logger(self, clean_root):
+        stream = _configured(clean_root, level=logging.DEBUG)
+        tracer = Tracer(enabled=True, exporter=span_exporter())
+        with tracer.span("traced-stage", rows=4):
+            pass
+        entry = json.loads(stream.getvalue())
+        assert entry["event"] == "span"
+        assert entry["message"] == "traced-stage"
+        assert entry["rows"] == 4
+        assert "duration_seconds" in entry
+
+    def test_exporter_is_silent_below_level(self, clean_root):
+        stream = _configured(clean_root, level=logging.INFO)
+        tracer = Tracer(enabled=True, exporter=span_exporter())
+        with tracer.span("quiet"):
+            pass
+        assert stream.getvalue() == ""
