@@ -22,11 +22,13 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..data import storage
+from ..data.columnar import snapshot_dictionary
 from ..data.relation import Relation
 from ..data.storage import DeltaAccumulator
 from ..errors import EvaluationError
 from ..obs import tracing
 from .conditions import decompose
+from .kernels import KernelProgramCache, try_columnar_fixpoint
 from .terms import (AntiProject, Antijoin, Filter, Fixpoint, Join, Literal,
                     Rename, RelVar, Term, Union)
 from .variables import is_constant_in
@@ -63,7 +65,12 @@ class Evaluator:
 
     def __init__(self, database: Mapping[str, Relation],
                  max_iterations: int = DEFAULT_MAX_ITERATIONS,
-                 stats: EvaluationStats | None = None):
+                 stats: EvaluationStats | None = None,
+                 kernel_cache: KernelProgramCache | None = None):
+        # The shared per-snapshot value dictionary must be captured before
+        # the defensive dict() copy below discards the snapshot type.
+        self._dictionary = snapshot_dictionary(database)
+        self._kernel_cache = kernel_cache
         self.database = dict(database)
         self.max_iterations = max_iterations
         self.stats = stats if stats is not None else EvaluationStats()
@@ -189,6 +196,13 @@ class Evaluator:
             self.stats.record_fixpoint(iterations=0, result_size=len(constant))
             return constant
         variable_part = decomposition.variable_part
+        kernel_result = self._try_kernels(term, variable_part, constant, env)
+        if kernel_result is not None:
+            self.stats.index_builds += kernel_result.index_builds
+            self.stats.index_reuses += kernel_result.index_reuses
+            self.stats.record_fixpoint(iterations=kernel_result.iterations,
+                                       result_size=len(kernel_result.relation))
+            return kernel_result.relation
         # One environment for the whole loop (only the delta binding
         # changes per iteration) and one schema check (operator output
         # schemas depend on input schemas only, which are fixed).
@@ -228,6 +242,26 @@ class Evaluator:
         result = accumulator.relation()
         self.stats.record_fixpoint(iterations=iterations, result_size=len(result))
         return result
+
+    def _try_kernels(self, term: Fixpoint, variable_part: Term,
+                     constant: Relation, env: dict[str, Relation]):
+        """Run the fixpoint on the columnar kernels; None means row path.
+
+        Recursion-constant subterms that mention *outer* fixpoint variables
+        must resolve under the enclosing environment — and must not be
+        memoized, their value changes per outer iteration.  Pure constants
+        go through the term-keyed cache shared with the distributed plans.
+        """
+        if env:
+            def resolve(t: Term) -> Relation:
+                return self._eval(t, env)
+        else:
+            resolve = self.evaluate_constant
+        return try_columnar_fixpoint(
+            self._kernel_cache, term.var, variable_part, constant,
+            self._dictionary, resolve, self.max_iterations,
+            f"fixpoint on {term.var!r} did not converge after "
+            f"{self.max_iterations} iterations")
 
 
 def evaluate(term: Term, database: Mapping[str, Relation],

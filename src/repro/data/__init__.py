@@ -1,5 +1,7 @@
 """Relational data model: tuples, relations, predicates, graphs, statistics."""
 
+from .columnar import (ColumnarRelation, ValueDictionary, columnar_enabled,
+                       row_mode, set_columnar_enabled, snapshot_dictionary)
 from .graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
 from .io import (read_graph_tsv, read_relation_tsv, write_graph_tsv,
                  write_relation_tsv)
@@ -15,6 +17,7 @@ from .tuples import Tup
 __all__ = [
     "And",
     "ColumnEq",
+    "ColumnarRelation",
     "Compare",
     "DEFAULT_GRAPH",
     "DatabaseSnapshot",
@@ -36,10 +39,15 @@ __all__ = [
     "TRG",
     "TruePredicate",
     "Tup",
+    "ValueDictionary",
     "caching_enabled",
+    "columnar_enabled",
     "compatibility_mode",
     "conjunction",
+    "row_mode",
     "set_caching_enabled",
+    "set_columnar_enabled",
+    "snapshot_dictionary",
     "read_graph_tsv",
     "read_relation_tsv",
     "write_graph_tsv",

@@ -50,7 +50,7 @@ class Relation:
     2
     """
 
-    __slots__ = ("_columns", "_rows", "_index_cache")
+    __slots__ = ("_columns", "_rows", "_index_cache", "_columnar_cache")
 
     def __init__(self, columns: Iterable[str], rows: Iterable[Row] = ()):  # noqa: D107
         ordered = tuple(sorted(columns))
@@ -72,6 +72,7 @@ class Relation:
             row_set.add(row)
         self._rows = frozenset(row_set)
         self._index_cache: dict[tuple[str, ...], HashIndex] | None = None
+        self._columnar_cache = None
 
     # -- Constructors -----------------------------------------------------
 
@@ -90,6 +91,7 @@ class Relation:
         relation._columns = columns
         relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
         relation._index_cache = None
+        relation._columnar_cache = None
         return relation
 
     @classmethod
@@ -138,14 +140,15 @@ class Relation:
     # -- Pickling ----------------------------------------------------------
 
     def __getstate__(self) -> tuple:
-        # Indexes are derived data: rebuilt on demand, never shipped (a
-        # process-pool task would pay serialization for tables it can
-        # rebuild in linear time).
+        # Indexes and columnar encodings are derived data: rebuilt on
+        # demand, never shipped (a process-pool task would pay
+        # serialization for tables it can rebuild in linear time).
         return (self._columns, self._rows)
 
     def __setstate__(self, state: tuple) -> None:
         self._columns, self._rows = state
         self._index_cache = None
+        self._columnar_cache = None
 
     # -- Basic accessors ---------------------------------------------------
 
@@ -231,14 +234,16 @@ class Relation:
             # Compatibility mode builds from scratch even when a memoized
             # index exists (warmed before the mode was entered), so the
             # measured baseline really pays the seed-era costs.
+            position_of = {c: i for i, c in enumerate(self._columns)}
             return HashIndex(self._rows,
-                             tuple(self._columns.index(c) for c in key))
+                             tuple(position_of[c] for c in key))
         cache = self._index_cache
         if cache is not None:
             index = cache.get(key)
             if index is not None:
                 return index
-        positions = tuple(self._columns.index(c) for c in key)
+        position_of = {c: i for i, c in enumerate(self._columns)}
+        positions = tuple(position_of[c] for c in key)
         index = HashIndex(self._rows, positions)
         if cache is None:
             cache = self._index_cache = {}
@@ -256,6 +261,30 @@ class Relation:
             return False
         cache = self._index_cache
         return cache is not None and tuple(key_columns) in cache
+
+    # -- Columnar adoption ---------------------------------------------------
+
+    def columnar(self, dictionary) -> "Any":
+        """Return this relation dictionary-encoded as a ColumnarRelation.
+
+        Memoized on the relation exactly like :meth:`index_on`: the first
+        call against a given :class:`~repro.data.columnar.ValueDictionary`
+        pays the encoding, every later call on the same dictionary returns
+        the cached columns — which is what makes the loop-invariant
+        relations of a semi-naive fixpoint free to re-adopt per iteration.
+        The cache holds one entry (the dictionary of the current snapshot);
+        encoding against a different dictionary replaces it.  With caching
+        disabled (compatibility mode) nothing is retained.
+        """
+        from .columnar import ColumnarRelation
+        if not storage.caching_enabled():
+            return ColumnarRelation.from_relation(self, dictionary)
+        cached = self._columnar_cache
+        if cached is not None and cached.dictionary is dictionary:
+            return cached
+        encoded = ColumnarRelation.from_relation(self, dictionary)
+        self._columnar_cache = encoded
+        return encoded
 
     # -- mu-RA operators ----------------------------------------------------
 
@@ -303,7 +332,8 @@ class Relation:
         else:
             build, probe = other, self
         index = build.index_on(common)
-        probe_positions = tuple(probe._columns.index(c) for c in common)
+        probe_position_of = {c: i for i, c in enumerate(probe._columns)}
+        probe_positions = tuple(probe_position_of[c] for c in common)
         combine = _row_combiner(probe._columns, build._columns, out_columns)
         rows = set()
         add = rows.add
@@ -325,7 +355,8 @@ class Relation:
             # antijoin is empty unless ``other`` itself is empty.
             return self if not other._rows else Relation._from_trusted(
                 self._columns, frozenset())
-        self_positions = tuple(self._columns.index(c) for c in common)
+        position_of = {c: i for i, c in enumerate(self._columns)}
+        self_positions = tuple(position_of[c] for c in common)
         if storage.caching_enabled():
             # Key membership via the memoized index: shared with joins on
             # the same columns and reused across iterations.
@@ -366,7 +397,8 @@ class Relation:
         if new in self._columns:
             raise SchemaError(f"cannot rename {old!r} to existing column {new!r}")
         new_columns = tuple(sorted(new if c == old else c for c in self._columns))
-        mapping = [self._columns.index(c if c != new else old) for c in new_columns]
+        position_of = {c: i for i, c in enumerate(self._columns)}
+        mapping = [position_of[c if c != new else old] for c in new_columns]
         return Relation._from_trusted(new_columns, frozenset(
             tuple(row[i] for i in mapping) for row in self._rows))
 
@@ -378,8 +410,12 @@ class Relation:
         if len(set(result_columns)) != len(result_columns):
             raise SchemaError(f"renaming {dict(mapping)} creates duplicate columns")
         ordered = tuple(sorted(result_columns))
+        if ordered == self._columns and all(
+                new == old for old, new in zip(self._columns, result_columns)):
+            return self
+        position_of = {c: i for i, c in enumerate(self._columns)}
         source_for = {new: old for old, new in zip(self._columns, result_columns)}
-        indices = [self._columns.index(source_for[c]) for c in ordered]
+        indices = [position_of[source_for[c]] for c in ordered]
         return Relation._from_trusted(ordered, frozenset(
             tuple(row[i] for i in indices) for row in self._rows))
 
@@ -392,8 +428,11 @@ class Relation:
         if missing:
             raise SchemaError(f"cannot drop missing columns {sorted(missing)} "
                               f"(schema is {self._columns})")
+        if not dropped:
+            return self
         kept = tuple(c for c in self._columns if c not in dropped)
-        indices = [self._columns.index(c) for c in kept]
+        position_of = {c: i for i, c in enumerate(self._columns)}
+        indices = [position_of[c] for c in kept]
         return Relation._from_trusted(kept, frozenset(
             tuple(row[i] for i in indices) for row in self._rows))
 
@@ -404,7 +443,10 @@ class Relation:
         if missing:
             raise SchemaError(f"cannot project on missing columns {sorted(missing)} "
                               f"(schema is {self._columns})")
-        indices = [self._columns.index(c) for c in kept]
+        if kept == self._columns:
+            return self
+        position_of = {c: i for i, c in enumerate(self._columns)}
+        indices = [position_of[c] for c in kept]
         return Relation._from_trusted(kept, frozenset(
             tuple(row[i] for i in indices) for row in self._rows))
 
@@ -452,7 +494,8 @@ class Relation:
 
 def _key_extractor(schema: tuple[str, ...], key_columns: tuple[str, ...]):
     """Return a function extracting the values of ``key_columns`` from a row."""
-    indices = tuple(schema.index(c) for c in key_columns)
+    position_of = {c: i for i, c in enumerate(schema)}
+    indices = tuple(position_of[c] for c in key_columns)
     return lambda row: tuple(row[i] for i in indices)
 
 
@@ -463,12 +506,15 @@ def _row_combiner(left_schema: tuple[str, ...], right_schema: tuple[str, ...],
     Columns present in both schemas take their value from the left row; the
     caller guarantees (via the join key) that both sides agree on them.
     """
+    left_position = {c: i for i, c in enumerate(left_schema)}
+    right_position = {c: i for i, c in enumerate(right_schema)}
     plan: list[tuple[int, int]] = []
     for column in out_schema:
-        if column in left_schema:
-            plan.append((0, left_schema.index(column)))
+        position = left_position.get(column)
+        if position is not None:
+            plan.append((0, position))
         else:
-            plan.append((1, right_schema.index(column)))
+            plan.append((1, right_position[column]))
     return lambda left, right: tuple(
         left[i] if side == 0 else right[i] for side, i in plan
     )

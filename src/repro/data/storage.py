@@ -95,11 +95,12 @@ class HashIndex:
     as new facts are derived.
     """
 
-    __slots__ = ("key_positions", "buckets")
+    __slots__ = ("key_positions", "buckets", "_count")
 
     def __init__(self, rows: Iterable[Row], key_positions: tuple[int, ...]):
         self.key_positions = key_positions
         buckets: dict[tuple, list[Row]] = {}
+        count = 0
         for row in rows:
             key = tuple(row[i] for i in key_positions)
             bucket = buckets.get(key)
@@ -107,7 +108,9 @@ class HashIndex:
                 buckets[key] = [row]
             else:
                 bucket.append(row)
+            count += 1
         self.buckets = buckets
+        self._count = count
 
     def probe(self, key: tuple) -> list[Row]:
         """Return the rows whose key positions equal ``key`` (possibly []).
@@ -124,12 +127,15 @@ class HashIndex:
         return key in self.buckets
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self.buckets.values())
+        # Maintained at build/extend time: __len__ sits on the repr/metrics
+        # hot path and must not walk every bucket per call.
+        return self._count
 
     def extend(self, rows: Iterable[Row]) -> None:
         """Add rows to the index (delta maintenance for growing fact sets)."""
         buckets = self.buckets
         key_positions = self.key_positions
+        count = 0
         for row in rows:
             key = tuple(row[i] for i in key_positions)
             bucket = buckets.get(key)
@@ -137,6 +143,8 @@ class HashIndex:
                 buckets[key] = [row]
             else:
                 bucket.append(row)
+            count += 1
+        self._count += count
 
     def __repr__(self) -> str:
         return (f"HashIndex(positions={self.key_positions}, "

@@ -24,10 +24,12 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..algebra.conditions import Decomposition, decompose
+from ..algebra.kernels import KernelProgramCache, try_columnar_fixpoint
 from ..algebra.printer import term_to_string
 from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
                              Literal, Rename, RelVar, Term, Union)
 from ..algebra.variables import is_constant_in
+from ..data.columnar import snapshot_dictionary
 from ..data.relation import Relation
 from ..data.storage import DeltaAccumulator, HashIndex
 from ..errors import DistributionError, EvaluationError
@@ -52,7 +54,12 @@ class LocalSQLEngine:
     """A single-node relational engine with prebuilt join indexes."""
 
     def __init__(self, database: Mapping[str, Relation],
-                 max_iterations: int | None = None):
+                 max_iterations: int | None = None,
+                 kernel_cache: KernelProgramCache | None = None):
+        # Captured before the dict() copy: snapshots carry the shared
+        # per-graph value dictionary, plain mappings get a private one.
+        self._dictionary = snapshot_dictionary(database)
+        self._kernel_cache = kernel_cache
         self.database = dict(database)
         #: Iteration bound for the semi-naive loop; ``None`` defers to the
         #: module-level :data:`MAX_LOCAL_ITERATIONS` at evaluation time.
@@ -92,13 +99,25 @@ class LocalSQLEngine:
     def _semi_naive(self, decomposition: Decomposition, seed: Relation) -> Relation:
         var = decomposition.var
         variable_part = decomposition.variable_part
+        limit = (self.max_iterations if self.max_iterations is not None
+                 else MAX_LOCAL_ITERATIONS)
+        kernel_result = try_columnar_fixpoint(
+            self._kernel_cache, var, variable_part, seed, self._dictionary,
+            self._evaluate_constant, limit,
+            f"local fixpoint on {var!r} did not converge "
+            f"within {limit} iterations")
+        if kernel_result is not None:
+            self.stats.iterations += kernel_result.iterations
+            self.stats.tuples_produced += len(kernel_result.relation)
+            self.stats.index_builds += kernel_result.index_builds
+            self.stats.index_reuses += kernel_result.index_reuses
+            self.stats.indexed_probes += kernel_result.probes
+            return kernel_result.relation
         accumulator = DeltaAccumulator(seed)
         delta = seed
         env: dict[str, Relation] = {}
         iterations = 0
         schema_checked = False
-        limit = (self.max_iterations if self.max_iterations is not None
-                 else MAX_LOCAL_ITERATIONS)
         while delta:
             iterations += 1
             if iterations > limit:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..algebra.conditions import decompose
 from ..algebra.evaluate import Evaluator
+from ..algebra.kernels import KernelProgramCache
 from ..algebra.terms import Fixpoint, Literal, Term
 from ..algebra.variables import free_variables
 from ..data.relation import Relation
@@ -76,10 +77,12 @@ class PhysicalPlanGenerator:
     """Generate and select physical plans for the fixpoints of a term."""
 
     def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
-                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK):
+                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK,
+                 kernel_cache: KernelProgramCache | None = None):
         self.cluster = cluster
         self.database = adopt_database(database)
         self.memory_per_task = memory_per_task
+        self.kernel_cache = kernel_cache
         self._schemas = database_schemas(self.database)
 
     # -- Plan generation ---------------------------------------------------------
@@ -125,7 +128,8 @@ class PhysicalPlanGenerator:
         if strategy not in PLAN_CLASSES:
             raise PlanSelectionError(
                 f"unknown strategy {strategy!r}; known: {sorted(PLAN_CLASSES)}")
-        return make_plan(strategy, self.cluster, self.database)
+        return make_plan(strategy, self.cluster, self.database,
+                         kernel_cache=self.kernel_cache)
 
 
 class DistributedQueryExecutor:
@@ -133,18 +137,21 @@ class DistributedQueryExecutor:
 
     def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
                  strategy: str = AUTO,
-                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK):
+                 memory_per_task: int = DEFAULT_MEMORY_PER_TASK,
+                 kernel_cache: KernelProgramCache | None = None):
         self.cluster = cluster
         self.database = adopt_database(database)
         self.strategy = strategy
+        self.kernel_cache = kernel_cache
         self.generator = PhysicalPlanGenerator(cluster, self.database,
-                                               memory_per_task=memory_per_task)
+                                               memory_per_task=memory_per_task,
+                                               kernel_cache=kernel_cache)
 
     def execute(self, term: Term) -> ExecutionOutcome:
         """Execute ``term``: distributed fixpoints, central surrounding ops."""
         physical_plans: list[PhysicalPlan] = []
         rewritten = self._execute_fixpoints(term, physical_plans)
-        evaluator = Evaluator(self.database)
+        evaluator = Evaluator(self.database, kernel_cache=self.kernel_cache)
         relation = evaluator.evaluate(rewritten)
         return ExecutionOutcome(relation=relation, physical_plans=physical_plans,
                                 executor=self.cluster.executor.name)

@@ -26,10 +26,13 @@ from dataclasses import dataclass
 
 from ..algebra.conditions import decompose
 from ..algebra.evaluate import Evaluator
+from ..algebra.kernels import (KernelProgramCache, bind_program,
+                               try_columnar_fixpoint)
 from ..algebra.terms import (AntiProject, Antijoin, Filter, Fixpoint, Join,
                              Rename, RelVar, Term, Union)
 from ..algebra.variables import free_variables, is_constant_in
 from ..data import storage
+from ..data.columnar import ColumnarRelation, snapshot_dictionary
 from ..data.relation import Relation
 from ..data.snapshot import adopt_database, database_schemas
 from ..data.storage import DeltaAccumulator
@@ -57,8 +60,15 @@ class DistributedFixpointPlan:
     name: str = "abstract"
 
     def __init__(self, cluster: SparkCluster, database: Mapping[str, Relation],
-                 partitioning_override: PartitioningDecision | None = None):
+                 partitioning_override: PartitioningDecision | None = None,
+                 kernel_cache: KernelProgramCache | None = None):
         self.cluster = cluster
+        # The shared value dictionary rides on the snapshot; captured here
+        # because adopt_database may hand back a plain mapping.
+        self._dictionary = snapshot_dictionary(database)
+        #: Compiled-kernel cache shared with the plan cache entry that
+        #: selected this plan; ``None`` falls back to the process default.
+        self.kernel_cache = kernel_cache
         # Immutable snapshots are adopted as-is (broadcasts then ship the
         # snapshot's own relations, hash indexes included); mutable
         # mappings are defensively copied, as before.
@@ -74,7 +84,7 @@ class DistributedFixpointPlan:
     # -- Shared helpers ----------------------------------------------------------
 
     def _central_evaluator(self) -> Evaluator:
-        return Evaluator(self.database)
+        return Evaluator(self.database, kernel_cache=self.kernel_cache)
 
     def _check_closed(self, fixpoint: Fixpoint) -> None:
         unknown = free_variables(fixpoint) - set(self.database)
@@ -122,6 +132,13 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
             return constant
         variable_part = decomposition.variable_part
         var = fixpoint.var
+        # Compile-and-bind once on the driver; per iteration each partition
+        # runs the kernel chain (encode -> step -> decode) as one task.
+        # ``None`` falls back to tuple-at-a-time distributed evaluation.
+        bound = bind_program(self.kernel_cache, var, variable_part,
+                             constant.columns, self._dictionary,
+                             evaluator.evaluate_constant)
+        kernel_step = self._kernel_partition_task(bound) if bound else None
         accumulated = DistributedRelation.from_relation(self.cluster, constant)
         delta = accumulated
         iterations = 0
@@ -135,10 +152,28 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
             self.cluster.metrics.global_iterations += 1
             iteration_span = tracing.span(
                 "fixpoint.iteration", var=var, iteration=iterations,
-                delta=delta.count()) if traced else tracing.NOOP_SPAN
+                delta=delta.count(),
+                engine="columnar" if kernel_step else "row") \
+                if traced else tracing.NOOP_SPAN
             with iteration_span:
-                produced = self._evaluate_distributed(variable_part, var, delta,
-                                                      evaluator)
+                if kernel_step is not None:
+                    # Same communication pattern as the row path: the
+                    # constant operands go out per iteration (broadcast),
+                    # their indexes are built once and reused after.
+                    for size in bound.broadcast_sizes:
+                        self.cluster.record_broadcast(size)
+                    if iterations == 1:
+                        for _ in range(bound.index_builds):
+                            self.cluster.record_index_event(built=True)
+                        for _ in range(bound.index_reuses):
+                            self.cluster.record_index_event(built=False)
+                    else:
+                        for _ in range(bound.indexed_ops):
+                            self.cluster.record_index_event(built=False)
+                    produced = delta.map_partitions(kernel_step)
+                else:
+                    produced = self._evaluate_distributed(variable_part, var,
+                                                          delta, evaluator)
                 # new = phi(new) \ X    (global set difference: shuffle)
                 delta = produced.subtract_distinct(accumulated)
                 # X = X U new           (union + distinct: shuffle)
@@ -147,6 +182,25 @@ class GlobalLoopOnDriver(DistributedFixpointPlan):
                     iteration_span.set_attribute("produced", produced.count())
                     iteration_span.set_attribute("total", accumulated.count())
         return accumulated.collect()
+
+    def _kernel_partition_task(self, bound):
+        """One partition's iteration step as a shippable closure.
+
+        Encode, kernel chain, decode — all inside the task.  Under the
+        process backend the closure (dictionary and bound indexes
+        included) travels via cloudpickle; a worker's dictionary copy may
+        intern codes for values the driver has not seen, which is sound
+        because the partition is decoded with that same copy before
+        anything returns.
+        """
+        dictionary = self._dictionary
+        step = bound.step
+
+        def run(partition: Relation, _worker_id: int) -> Relation:
+            batch = step(partition.columnar(dictionary).batch())
+            return ColumnarRelation(batch.columns, batch.arrays,
+                                    dictionary).to_relation()
+        return run
 
     # -- Distributed evaluation of the variable part -------------------------------
 
@@ -257,15 +311,32 @@ def run_spark_local_loop(fixpoint: Fixpoint, database: Mapping[str, Relation],
     """
     decomposition = decompose(fixpoint)
     evaluator = Evaluator(database)
-    accumulator = DeltaAccumulator(chunk)
-    delta = chunk
-    env: dict[str, Relation] = {}
-    iterations = 0
     traced = tracing.tracing_enabled()
     loop_span = tracing.span("fixpoint.local_loop", var=fixpoint.var,
                              variant="spark",
                              seed=len(chunk)) if traced else tracing.NOOP_SPAN
     with loop_span:
+        # The columnar kernels run the whole local loop when they support
+        # the shape; the process-default program cache gives in-process
+        # task reuse (compile once, bind per chunk).
+        kernel_result = try_columnar_fixpoint(
+            None, fixpoint.var, decomposition.variable_part, chunk,
+            snapshot_dictionary(database), evaluator.evaluate_constant,
+            max_iterations,
+            f"local fixpoint on {fixpoint.var!r} did not converge "
+            f"within {max_iterations} iterations")
+        if kernel_result is not None:
+            if traced:
+                loop_span.set_attribute("iterations", kernel_result.iterations)
+                loop_span.set_attribute("total", len(kernel_result.relation))
+            return LocalLoopOutcome(relation=kernel_result.relation,
+                                    iterations=kernel_result.iterations,
+                                    index_builds=kernel_result.index_builds,
+                                    index_reuses=kernel_result.index_reuses)
+        accumulator = DeltaAccumulator(chunk)
+        delta = chunk
+        env: dict[str, Relation] = {}
+        iterations = 0
         while delta:
             iterations += 1
             if iterations > max_iterations:
@@ -424,7 +495,9 @@ PLAN_CLASSES = {
 
 
 def make_plan(name: str, cluster: SparkCluster,
-              database: Mapping[str, Relation]) -> DistributedFixpointPlan:
+              database: Mapping[str, Relation],
+              kernel_cache: KernelProgramCache | None = None,
+              ) -> DistributedFixpointPlan:
     """Instantiate a fixpoint plan by name (``pgld``, ``plw-spark``, ``plw-postgres``)."""
     try:
         plan_class = PLAN_CLASSES[name]
@@ -432,4 +505,4 @@ def make_plan(name: str, cluster: SparkCluster,
         raise DistributionError(
             f"unknown physical plan {name!r}; known plans: {sorted(PLAN_CLASSES)}"
         ) from exc
-    return plan_class(cluster, database)
+    return plan_class(cluster, database, kernel_cache=kernel_cache)

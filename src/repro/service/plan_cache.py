@@ -105,6 +105,13 @@ class CachedPlan:
     #: compares it against the observed row count — the drift signal of
     #: the feedback-driven-optimizer roadmap item.
     estimated_cardinality: int | None = None
+    #: Compiled columnar kernel programs for this plan's fixpoints
+    #: (:class:`~repro.algebra.kernels.KernelProgramCache`).  Created
+    #: lazily at first execution and carried on the entry, so a plan-cache
+    #: hit also hits its compiled kernels.  Entries are schema-level —
+    #: constants are re-resolved at every bind — so reuse across snapshots
+    #: of the same graph is sound.
+    kernel_program: "object | None" = None
 
     def __post_init__(self) -> None:
         if not self.term_key:

@@ -56,9 +56,11 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..algebra.evaluate import Evaluator
+from ..algebra.kernels import KernelProgramCache
 from ..algebra.terms import Term
 from ..algebra.variables import free_variables
 from ..cost.selection import RankedPlan, rank_plans
+from ..data.columnar import columnar_enabled
 from ..data.graph import INVERSE_PREFIX, PRED, SRC, TRG, LabeledGraph
 from ..data.relation import Relation
 from ..data.snapshot import DEFAULT_GRAPH, DatabaseSnapshot
@@ -660,6 +662,7 @@ class Session:
                      else use_result_cache)
         effective = strategy if strategy is not None else self.strategy
         with tracing.span("session.execute_plan", strategy=effective,
+                          columnar=columnar_enabled(),
                           graph=snapshot.graph_name) as exec_span:
             result_key = ResultKey(
                 plan_key=plan.term_key, strategy=effective,
@@ -676,9 +679,14 @@ class Session:
                         exec_span.set_attribute("result_cache_hit", True)
                         exec_span.set_attribute("rows", len(cached.relation))
                     return cached, True
+            # The compiled kernel chains ride on the plan entry: a plan
+            # cache hit re-executes with its programs already compiled.
+            if plan.kernel_program is None:
+                plan.kernel_program = KernelProgramCache()
             result = self.execute_term(plan.term, strategy=strategy,
                                        query_classes=classes, optimize=False,
-                                       snapshot=snapshot)
+                                       snapshot=snapshot,
+                                       kernel_cache=plan.kernel_program)
             # Patch in what the plan phase knew and the cache-skipping
             # re-execution did not (plan count, estimated selection cost).
             result.plans_explored = plan.plans_explored
@@ -701,7 +709,9 @@ class Session:
     def execute_term(self, term: Term, strategy: str | None = None,
                      query_classes: frozenset[str] = frozenset(),
                      optimize: bool | None = None,
-                     snapshot: DatabaseSnapshot | None = None) -> QueryResult:
+                     snapshot: DatabaseSnapshot | None = None,
+                     kernel_cache: KernelProgramCache | None = None,
+                     ) -> QueryResult:
         """Optimize (optionally) and execute a mu-RA term on one snapshot.
 
         ``optimize`` overrides the session default for this call; the
@@ -729,7 +739,8 @@ class Session:
                 self.cluster.reset_metrics()
                 executor = DistributedQueryExecutor(
                     self.cluster, snapshot, strategy=effective,
-                    memory_per_task=self.memory_per_task)
+                    memory_per_task=self.memory_per_task,
+                    kernel_cache=kernel_cache)
                 outcome = executor.execute(term)
                 metrics = self.cluster.metrics
             if term_span.enabled:

@@ -16,9 +16,12 @@ from __future__ import annotations
 import pytest
 
 from repro import Session
+from repro.data import compatibility_mode, row_mode
 from repro.data.relation import Relation
+from repro.datasets import uniprot_graph
 from repro.distributed import (EXECUTOR_BACKENDS, PGLD, PPLW_POSTGRES,
                                PPLW_SPARK)
+from repro.workloads import uniprot_queries
 
 ALL_PLANS = (PGLD, PPLW_SPARK, PPLW_POSTGRES)
 
@@ -125,6 +128,88 @@ class TestCrossFrontEnd:
             mu = session.ucrpq(CLOSURE_QUERY).collect().relation
             datalog = session.datalog(CLOSURE_QUERY).collect().relation
             assert canonical(mu) == canonical(datalog) == closure_reference
+
+
+#: Execution-engine axis: the columnar kernels (the default), the indexed
+#: row engine (``row_mode``), and the seed-era compatibility mode (which
+#: implies the row engine and disables every cache).
+ENGINE_MODES = ("columnar", "row", "compat")
+
+#: Recursive Uniprot workload queries small enough for a unit-test graph.
+UNIPROT_DIFFERENTIAL_QIDS = ("Q42", "Q45", "Q47")
+
+
+def run_in_mode(mode: str, fn):
+    if mode == "row":
+        with row_mode():
+            return fn()
+    if mode == "compat":
+        with compatibility_mode():
+            return fn()
+    return fn()
+
+
+@pytest.fixture(scope="module")
+def uniprot_differential_graph():
+    return uniprot_graph(num_edges=400, seed=11)
+
+
+class TestColumnarAxis:
+    """Columnar kernels vs row engine vs compatibility mode.
+
+    The default-on columnar path is already exercised by every other test
+    in this module; this class pins the *comparisons*: whatever the plan,
+    executor or workload query, flipping the engine must not change one
+    row.  The ``processes`` executor additionally proves that kernel
+    closures and value dictionaries pickle (or rebuild) cleanly across
+    process boundaries.
+    """
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    @pytest.mark.parametrize("strategy", ALL_PLANS)
+    def test_closure_every_plan(self, seeded_random_graph, closure_reference,
+                                strategy, mode):
+        def run():
+            with Session(seeded_random_graph, num_workers=4,
+                         optimize=False) as session:
+                return session.ucrpq(CLOSURE_QUERY).collect(strategy=strategy)
+        result = run_in_mode(mode, run)
+        assert canonical(result.relation) == closure_reference
+
+    @pytest.mark.parametrize("executor", EXECUTOR_BACKENDS)
+    def test_concat_columnar_vs_row_per_executor(self, seeded_two_label_graph,
+                                                 concat_reference, executor):
+        def run():
+            with Session(seeded_two_label_graph, num_workers=4,
+                         optimize=False, executor=executor) as session:
+                return session.ucrpq(CONCAT_QUERY).collect(strategy=PGLD)
+        columnar = run_in_mode("columnar", run)
+        row = run_in_mode("row", run)
+        assert (canonical(columnar.relation) == canonical(row.relation)
+                == concat_reference)
+
+    @pytest.mark.parametrize("qid", UNIPROT_DIFFERENTIAL_QIDS)
+    def test_uniprot_workload_queries(self, uniprot_differential_graph,
+                                      qid):
+        query = {q.qid: q for q in
+                 uniprot_queries(uniprot_differential_graph,
+                                 subset=(qid,))}[qid]
+
+        def run():
+            with Session(uniprot_differential_graph, num_workers=3,
+                         optimize=True, executor="threads") as session:
+                return session.ucrpq(query.text).collect()
+        results = {mode: canonical(run_in_mode(mode, run).relation)
+                   for mode in ENGINE_MODES}
+        assert results["columnar"] == results["row"] == results["compat"]
+
+    @pytest.mark.parametrize("strategy", ALL_PLANS)
+    def test_processes_executor_pickles_kernels(self, seeded_random_graph,
+                                                closure_reference, strategy):
+        with Session(seeded_random_graph, num_workers=2, optimize=False,
+                     executor="processes") as session:
+            result = session.ucrpq(CLOSURE_QUERY).collect(strategy=strategy)
+        assert canonical(result.relation) == closure_reference
 
 
 class TestWorkerCountInvariance:
