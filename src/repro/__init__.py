@@ -31,7 +31,7 @@ from .distributed.plans import PGLD, PPLW_POSTGRES, PPLW_SPARK
 from .errors import ReproError, ServiceError, ServiceOverloadError
 from .obs import (ExplainAnalyzeReport, MetricsRegistry, Tracer,
                   configure_logging, configure_tracing, get_registry)
-from .service import QueryService, ServedResult, ServiceMetrics
+from .service import UNBOUNDED, QueryService, ServedResult, ServiceMetrics
 
 __version__ = "1.3.0"
 
@@ -65,6 +65,7 @@ __all__ = [
     "Tracer",
     "Transaction",
     "Tup",
+    "UNBOUNDED",
     "__version__",
     "configure_logging",
     "configure_tracing",

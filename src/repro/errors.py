@@ -93,3 +93,45 @@ class ServiceError(ReproError):
 
 class ServiceOverloadError(ServiceError):
     """Admission control rejected a query: the service queue is full."""
+
+
+class NetworkError(ReproError):
+    """Failure in the HTTP serving tier (server- or client-side).
+
+    Carries an HTTP ``status`` so the server maps the error straight to a
+    response and clients can branch on the code, and an optional
+    ``retry_after`` (seconds) for 429/503 responses.
+    """
+
+    status: int = 500
+
+    def __init__(self, message: str, *, status: int | None = None,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+        self.retry_after = retry_after
+
+
+class ProtocolError(NetworkError):
+    """An HTTP request could not be parsed or violates the wire protocol."""
+
+    status = 400
+
+
+class AuthenticationError(NetworkError):
+    """The request carried no (or an unknown) tenant auth token."""
+
+    status = 401
+
+
+class AuthorizationError(NetworkError):
+    """An authenticated tenant addressed a graph it is not mapped to."""
+
+    status = 403
+
+
+class QuotaExceededError(NetworkError):
+    """A tenant breached its rate limit or max-in-flight quota (429)."""
+
+    status = 429

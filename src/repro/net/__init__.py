@@ -1,0 +1,55 @@
+"""Network serving tier: the asyncio HTTP front end over a QueryService.
+
+Layers (each its own module, wire-up in :mod:`repro.net.server`):
+
+* :mod:`repro.net.protocol` — HTTP/1.1 parsing and response framing
+  (buffered and chunked), stdlib ``asyncio`` streams only,
+* :mod:`repro.net.router` — method + path-template dispatch,
+* :mod:`repro.net.tenancy` — auth tokens, graph mapping, token-bucket
+  rate limits and max-in-flight quotas,
+* :mod:`repro.net.server` — :class:`HttpServer` (endpoints, tracing,
+  metrics, graceful drain) and the :class:`ServerThread` test/example
+  harness,
+* :mod:`repro.net.client` — :class:`ServiceClient`, the blocking
+  ``http.client`` counterpart,
+* :mod:`repro.net.serve` — the ``python -m repro.net.serve`` CLI.
+
+See the "Serving tier" section of ``DESIGN.md`` for the endpoint table,
+the tenancy model and the shutdown state machine.
+"""
+
+from .client import ResponseError, ServiceClient
+from .protocol import (ChunkedResponseWriter, HttpRequest, json_body,
+                       read_request, render_response, send_response)
+from .router import MethodNotAllowed, Route, RouteNotFound, Router
+from .server import (CLOSED, DEFAULT_DRAIN_GRACE, DRAINING, SERVING,
+                     HttpServer, Response, ServerThread)
+from .tenancy import (ALL_GRAPHS, ANONYMOUS, Tenant, TenantRegistry,
+                      TokenBucket)
+
+__all__ = [
+    "ALL_GRAPHS",
+    "ANONYMOUS",
+    "CLOSED",
+    "ChunkedResponseWriter",
+    "DEFAULT_DRAIN_GRACE",
+    "DRAINING",
+    "HttpRequest",
+    "HttpServer",
+    "MethodNotAllowed",
+    "Response",
+    "ResponseError",
+    "Route",
+    "RouteNotFound",
+    "Router",
+    "SERVING",
+    "ServerThread",
+    "ServiceClient",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "json_body",
+    "read_request",
+    "render_response",
+    "send_response",
+]

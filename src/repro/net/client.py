@@ -1,0 +1,275 @@
+"""Blocking HTTP client for the serving tier (``http.client``, stdlib).
+
+:class:`ServiceClient` speaks the ``/v1/*`` protocol of
+:class:`~repro.net.server.HttpServer` over one persistent keep-alive
+connection: buffered queries, streamed queries (chunked ndjson with
+continuation-token pagination), edge mutations, EXPLAIN ANALYZE and the
+ops endpoints.  Non-2xx responses raise :class:`ResponseError` carrying
+the HTTP status and the decoded error payload.
+
+The client is deliberately **not thread-safe** — it owns a single
+``http.client.HTTPConnection``.  Give each thread or process its own
+instance (that is exactly what the throughput benchmark does); a stale
+or half-closed connection is transparently re-opened once per request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Iterator
+
+from ..errors import NetworkError
+from ..service import UNBOUNDED
+
+
+class ResponseError(NetworkError):
+    """A non-2xx response, with the decoded error payload attached."""
+
+    def __init__(self, status: int, payload: object, *,
+                 retry_after: float | None = None):
+        detail = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(detail or f"HTTP {status}", status=status,
+                         retry_after=retry_after)
+        self.payload = payload
+
+
+class ServiceClient:
+    """A blocking client for one server; see the module docstring."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
+                 token: str | None = None, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.token = token
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- Wire plumbing ---------------------------------------------------------
+
+    def _open(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _drop(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:
+                pass
+            self._connection = None
+
+    def _send(self, method: str, path: str,
+              body: dict | None = None) -> http.client.HTTPResponse:
+        payload = (json.dumps(body, sort_keys=True).encode("utf-8")
+                   if body is not None else None)
+        headers = {}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        last_error: Exception | None = None
+        for attempt in range(2):
+            if self._connection is None:
+                self._connection = self._open()
+            try:
+                self._connection.request(method, path, body=payload,
+                                         headers=headers)
+                return self._connection.getresponse()
+            except (ConnectionError, http.client.HTTPException,
+                    socket.timeout, OSError) as error:
+                # A dead keep-alive connection (server restarted, idle
+                # timeout, abandoned stream): reconnect once.
+                last_error = error
+                self._drop()
+        raise NetworkError(
+            f"request to {self.host}:{self.port} failed: "
+            f"{last_error!r}") from last_error
+
+    def _json(self, response: http.client.HTTPResponse) -> dict:
+        data = response.read()
+        payload = json.loads(data) if data else None
+        if response.will_close:
+            self._drop()
+        if response.status >= 400:
+            raise ResponseError(response.status, payload,
+                                retry_after=_retry_after(response))
+        return payload
+
+    # -- Queries ---------------------------------------------------------------
+
+    def query(self, query: str, *, graph: str | None = None,
+              strategy: str | None = None, frontend: str | None = None,
+              timeout: float | None = None) -> dict:
+        """Run one query; returns the decoded response payload."""
+        body: dict[str, object] = {"query": query}
+        if graph is not None:
+            body["graph"] = graph
+        if strategy is not None:
+            body["strategy"] = strategy
+        if frontend is not None:
+            body["frontend"] = frontend
+        if timeout is not None:
+            # The wire form of repro.service.UNBOUNDED is timeout=0.
+            body["timeout"] = 0 if timeout is UNBOUNDED else timeout
+        return self._json(self._send("POST", "/v1/query", body))
+
+    def stream_query(self, query: str | None = None, *,
+                     graph: str | None = None, strategy: str | None = None,
+                     batch_size: int | None = None, limit: int | None = None,
+                     cursor: str | None = None) -> Iterator[dict]:
+        """Yield the streamed ndjson events of one ``/v1/query/stream``.
+
+        Pass either ``query`` (a fresh stream) or ``cursor`` (resume a
+        previous stream's continuation token).  The final event carries
+        ``done``, ``row_count``, ``snapshot_version`` and (when rows
+        remain) ``next_cursor``.
+        """
+        body: dict[str, object] = {}
+        if cursor is not None:
+            body["cursor"] = cursor
+        elif query is not None:
+            body["query"] = query
+        else:
+            raise ValueError("stream_query needs a query or a cursor")
+        if graph is not None:
+            body["graph"] = graph
+        if strategy is not None:
+            body["strategy"] = strategy
+        if batch_size is not None:
+            body["batch_size"] = batch_size
+        if limit is not None:
+            body["limit"] = limit
+        response = self._send("POST", "/v1/query/stream", body)
+        if response.status >= 400:
+            data = response.read()
+            raise ResponseError(response.status,
+                                json.loads(data) if data else None,
+                                retry_after=_retry_after(response))
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        except http.client.IncompleteRead as error:
+            self._drop()
+            raise NetworkError(
+                "the stream ended before its terminator (the server "
+                "failed mid-stream)") from error
+        finally:
+            # An abandoned generator leaves unread chunks on the socket;
+            # drop the connection so the next request starts clean.
+            if not response.isclosed():
+                self._drop()
+
+    def stream_rows(self, query: str, *, graph: str | None = None,
+                    strategy: str | None = None,
+                    batch_size: int | None = None,
+                    page_limit: int | None = None) -> Iterator[list]:
+        """Yield every row of a query, following continuation tokens.
+
+        ``page_limit`` bounds the rows served per HTTP request (forcing
+        cursor pagination); the iteration is still exhaustive because
+        each response's ``next_cursor`` is followed automatically.  All
+        pages read the same pinned snapshot.
+        """
+        cursor: str | None = None
+        first = True
+        while first or cursor is not None:
+            events = self.stream_query(
+                query if first else None, graph=graph if first else None,
+                strategy=strategy if first else None, batch_size=batch_size,
+                limit=page_limit, cursor=cursor)
+            cursor = None
+            for event in events:
+                if event.get("done"):
+                    cursor = event.get("next_cursor")
+                else:
+                    yield from event["batch"]
+            first = False
+
+    def explain(self, query: str, *, graph: str | None = None,
+                strategy: str | None = None,
+                frontend: str | None = None) -> dict:
+        from urllib.parse import urlencode
+        params = {"query": query}
+        if graph is not None:
+            params["graph"] = graph
+        if strategy is not None:
+            params["strategy"] = strategy
+        if frontend is not None:
+            params["frontend"] = frontend
+        return self._json(
+            self._send("GET", f"/v1/explain?{urlencode(params)}"))
+
+    # -- Mutations -------------------------------------------------------------
+
+    def mutate(self, graph: str, label: str, *,
+               add: list[tuple] | None = None,
+               remove: list[tuple] | None = None) -> dict:
+        body: dict[str, object] = {"label": label}
+        if add:
+            body["add"] = [list(pair) for pair in add]
+        if remove:
+            body["remove"] = [list(pair) for pair in remove]
+        return self._json(
+            self._send("POST", f"/v1/graphs/{graph}/edges", body))
+
+    def add_edges(self, graph: str, label: str,
+                  pairs: list[tuple]) -> dict:
+        return self.mutate(graph, label, add=pairs)
+
+    def remove_edges(self, graph: str, label: str,
+                     pairs: list[tuple]) -> dict:
+        return self.mutate(graph, label, remove=pairs)
+
+    # -- Ops -------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload; 503 (draining/degraded) included.
+
+        Unlike the other calls a non-2xx health answer is data, not an
+        error — the payload's ``server_state``/``status`` say why.
+        """
+        response = self._send("GET", "/healthz")
+        data = response.read()
+        payload = json.loads(data) if data else {}
+        payload["http_status"] = response.status
+        if response.will_close:
+            self._drop()
+        return payload
+
+    def metrics(self) -> str:
+        """The Prometheus exposition text of ``/metrics``."""
+        response = self._send("GET", "/metrics")
+        data = response.read()
+        if response.status >= 400:
+            raise ResponseError(response.status, data.decode("utf-8",
+                                                             "replace"))
+        return data.decode("utf-8")
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host}:{self.port})"
+
+
+def _retry_after(response: http.client.HTTPResponse) -> float | None:
+    value = response.getheader("Retry-After")
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None

@@ -1,0 +1,105 @@
+"""Path routing for the HTTP serving tier.
+
+A :class:`Router` maps ``(method, path)`` to a handler.  Patterns are
+literal segments plus ``{name}`` placeholders::
+
+    router.add("POST", "/v1/graphs/{graph}/edges", handler)
+
+Resolution returns the handler and the captured path parameters.  An
+unknown path raises :class:`RouteNotFound` (404); a known path hit with
+the wrong method raises :class:`MethodNotAllowed` (405, carrying the
+``Allow`` set) — both derive from :class:`~repro.errors.NetworkError`
+so the server's single error-mapping path handles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import NetworkError
+
+
+class RouteNotFound(NetworkError):
+    """No route matches the request path."""
+
+    status = 404
+
+
+class MethodNotAllowed(NetworkError):
+    """The path exists but not for this method; ``allowed`` lists those."""
+
+    status = 405
+
+    def __init__(self, message: str, *, allowed: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.allowed = allowed
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered route: compiled pattern plus its handler."""
+
+    method: str
+    pattern: str
+    segments: tuple[str, ...]
+    handler: Callable
+    #: Label used for metrics/log cardinality ("/v1/graphs/{graph}/edges").
+    name: str
+
+    def match(self, parts: tuple[str, ...]) -> dict[str, str] | None:
+        if len(parts) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for segment, part in zip(self.segments, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                if not part:
+                    return None
+                params[segment[1:-1]] = part
+            elif segment != part:
+                return None
+        return params
+
+
+def _split(path: str) -> tuple[str, ...]:
+    return tuple(part for part in path.strip("/").split("/"))
+
+
+class Router:
+    """Ordered route table with ``{param}`` placeholder patterns."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> Route:
+        route = Route(method=method.upper(), pattern=pattern,
+                      segments=_split(pattern), handler=handler,
+                      name=pattern)
+        self._routes.append(route)
+        return route
+
+    @property
+    def routes(self) -> tuple[Route, ...]:
+        return tuple(self._routes)
+
+    def resolve(self, method: str, path: str
+                ) -> tuple[Route, dict[str, str]]:
+        """The matching route and its captured path parameters.
+
+        Raises :class:`RouteNotFound` / :class:`MethodNotAllowed`.
+        """
+        parts = _split(path)
+        allowed: list[str] = []
+        for route in self._routes:
+            params = route.match(parts)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route, params
+            allowed.append(route.method)
+        if allowed:
+            raise MethodNotAllowed(
+                f"{method} not allowed on {path} "
+                f"(allowed: {', '.join(sorted(set(allowed)))})",
+                allowed=tuple(sorted(set(allowed))))
+        raise RouteNotFound(f"no route matches {path}")

@@ -1,0 +1,129 @@
+"""``python -m repro.net.serve`` — boot the HTTP serving tier.
+
+Builds a :class:`~repro.service.QueryService` (over a demo dataset or an
+empty default graph), wraps it in an
+:class:`~repro.net.server.HttpServer`, installs the SIGTERM/SIGINT
+drain handlers and serves until shut down::
+
+    python -m repro.net.serve --demo --port 8080
+
+    curl -s localhost:8080/healthz
+    curl -s -X POST localhost:8080/v1/query \\
+        -d '{"query": "?x,?y <- ?x knows+ ?y", "graph": "default"}'
+
+With ``--tenants tenants.json`` (a JSON list of tenant entries, see
+:meth:`~repro.net.tenancy.TenantRegistry.from_config`) every ``/v1/*``
+request must carry ``Authorization: Bearer <token>``.  ``--port-file``
+writes the bound port once the listener is up — how the CI smoke test
+and scripts find a server started with ``--port 0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+from ..data.graph import LabeledGraph
+from ..obs.logs import configure_logging
+from ..service import QueryService
+from ..session import Session
+from .server import DEFAULT_DRAIN_GRACE, HttpServer
+from .tenancy import TenantRegistry
+
+#: The ``--demo`` dataset: a small social graph (default) plus a second
+#: attached citation graph, so multi-graph requests work out of the box.
+_DEMO_SOCIAL = [
+    ("alice", "knows", "bob"),
+    ("bob", "knows", "carol"),
+    ("carol", "knows", "dave"),
+    ("dave", "knows", "erin"),
+    ("alice", "likes", "carol"),
+    ("erin", "knows", "alice"),
+]
+_DEMO_CITATIONS = [
+    ("p1", "cites", "p2"),
+    ("p2", "cites", "p3"),
+    ("p3", "cites", "p4"),
+    ("p1", "cites", "p3"),
+]
+
+
+def build_session(demo: bool) -> Session:
+    graph = LabeledGraph(name="default")
+    if demo:
+        graph.add_edges(_DEMO_SOCIAL)
+    session = Session(graph)
+    if demo:
+        citations = LabeledGraph(name="citations")
+        citations.add_edges(_DEMO_CITATIONS)
+        session.attach("citations", citations)
+    return session
+
+
+def build_server(args: argparse.Namespace) -> HttpServer:
+    session = build_session(args.demo)
+    service = QueryService(session,
+                           max_in_flight=args.max_in_flight,
+                           queue_capacity=args.queue_capacity,
+                           default_timeout=args.default_timeout)
+    tenants = None
+    if args.tenants is not None:
+        config = json.loads(pathlib.Path(args.tenants).read_text())
+        tenants = TenantRegistry.from_config(config)
+    return HttpServer(service, host=args.host, port=args.port,
+                      tenants=tenants, drain_grace=args.drain_grace,
+                      own_service=True)
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.serve",
+        description="Serve a repro QueryService over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listen port (0 = ephemeral; see --port-file)")
+    parser.add_argument("--demo", action="store_true",
+                        help="preload the demo graphs (default + citations)")
+    parser.add_argument("--tenants", default=None, metavar="FILE",
+                        help="JSON tenant config; enables auth + quotas")
+    parser.add_argument("--port-file", default=None, metavar="FILE",
+                        help="write the bound port here once listening")
+    parser.add_argument("--drain-grace", type=float,
+                        default=DEFAULT_DRAIN_GRACE,
+                        help="seconds to wait for in-flight requests on "
+                             "SIGTERM")
+    parser.add_argument("--max-in-flight", type=int, default=8,
+                        help="service worker threads")
+    parser.add_argument("--queue-capacity", type=int, default=64,
+                        help="admission queue depth")
+    parser.add_argument("--default-timeout", type=float, default=None,
+                        help="default per-query deadline (seconds)")
+    parser.add_argument("--log-level", default="INFO")
+    return parser.parse_args(argv)
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    server = build_server(args)
+    server.install_signal_handlers(asyncio.get_running_loop())
+    await server.start()
+    if args.port_file is not None:
+        pathlib.Path(args.port_file).write_text(f"{server.port}\n")
+    print(f"serving on http://{server.host}:{server.port}", flush=True)
+    await server.serve_until_closed()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    configure_logging(args.log_level)
+    try:
+        asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

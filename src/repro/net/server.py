@@ -1,0 +1,804 @@
+"""The asyncio HTTP serving tier over one :class:`QueryService`.
+
+:class:`HttpServer` binds ``asyncio.start_server`` to a
+:class:`~repro.service.QueryService` and exposes the session pipeline on
+the wire — stdlib only, one process, many concurrent connections:
+
+====== ============================ ===========================================
+Method Path                         Purpose
+====== ============================ ===========================================
+POST   ``/v1/query``                One query, buffered JSON result
+POST   ``/v1/query/stream``         Chunked ndjson batches + continuation
+                                    tokens (snapshot-pinned pagination)
+POST   ``/v1/graphs/{graph}/edges`` Edge mutations through the commit lock
+GET    ``/v1/explain``              EXPLAIN ANALYZE as JSON
+GET    ``/healthz``                 :meth:`QueryService.health` + server state
+GET    ``/metrics``                 Prometheus text from the process registry
+====== ============================ ===========================================
+
+Request handling is fully asynchronous: parsing and dispatch run on the
+event loop, query execution rides the service's worker threads (the
+loop awaits the admission future), and blocking session calls
+(mutations, result materialization, EXPLAIN ANALYZE) run on the loop's
+default thread-pool executor.  Every request runs inside an
+``http.request`` trace span whose id is echoed in the ``X-Trace-Id``
+response header and in the JSON access log, and publishes
+``repro_http_*`` metrics into the process registry.
+
+**Tenancy.**  With a :class:`~repro.net.tenancy.TenantRegistry`, every
+``/v1/*`` request must carry ``Authorization: Bearer <token>``; the
+token maps to named graphs and the tenant's token-bucket rate limit and
+max-in-flight quota (breaches answer 429 with ``Retry-After``).  The
+ops endpoints stay unauthenticated so probes and scrapers need no
+credentials.  Without a registry the server runs open (anonymous tenant,
+no quotas).
+
+**Shutdown state machine.**  ``serving → draining → closed``: the first
+SIGTERM (or :meth:`shutdown`) closes the listener and answers 503 on
+kept-alive connections while in-flight requests — including streaming
+responses — run to completion within a bounded grace period; a second
+SIGTERM forces the close immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import math
+import secrets
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from ..errors import (AuthorizationError, DatasetError, NetworkError,
+                      ProtocolError, QuotaExceededError, ReproError,
+                      ServiceError, ServiceOverloadError)
+from ..obs import tracing
+from ..obs.logs import get_logger, log_event
+from ..obs.metrics import get_registry
+from ..service.server import UNBOUNDED, QueryService
+from ..session.query import DatalogQuery, Query
+from .protocol import (DEFAULT_MAX_BODY_BYTES, ChunkedResponseWriter,
+                       json_body, read_request, send_response)
+from .router import MethodNotAllowed, Router
+from .tenancy import ANONYMOUS, Tenant, TenantRegistry
+
+_LOGGER = get_logger("repro.net")
+
+#: Server lifecycle states (see the shutdown state machine above).
+SERVING = "serving"
+DRAINING = "draining"
+CLOSED = "closed"
+
+#: Default bounded grace (seconds) for draining in-flight requests.
+DEFAULT_DRAIN_GRACE = 5.0
+#: Default rows per streamed batch.
+DEFAULT_STREAM_BATCH = 256
+#: Continuation-token registry bounds.
+DEFAULT_CONTINUATION_CAPACITY = 256
+DEFAULT_CONTINUATION_TTL = 300.0
+
+#: Query front-ends a request body may select.
+_FRONTENDS = ("ucrpq", "datalog")
+
+
+@dataclass
+class Response:
+    """A buffered handler outcome, rendered by the dispatch loop."""
+
+    status: int = 200
+    payload: object = None
+    headers: tuple[tuple[str, str], ...] = ()
+    content_type: str = "application/json"
+    #: Pre-encoded body (``/metrics``); wins over ``payload``.
+    body: bytes | None = None
+
+
+@dataclass
+class _Streamed:
+    """A handler already wrote its (chunked) response itself."""
+
+    status: int
+    bytes_written: int
+    keep_alive: bool = True
+
+
+@dataclass
+class _RequestContext:
+    """What a handler may need beyond the parsed request."""
+
+    tenant: Tenant
+    writer: asyncio.StreamWriter
+    keep_alive: bool
+    #: Headers the dispatch loop wants on every response (trace id).
+    base_headers: tuple[tuple[str, str], ...]
+
+
+@dataclass
+class _Continuation:
+    """One registered cursor: a pinned handle plus its read position."""
+
+    handle: Query
+    offset: int
+    strategy: str | None
+    graph: str
+    tenant: str
+    created: float = field(default_factory=time.monotonic)
+
+
+class HttpServer:
+    """HTTP/1.1 front end over one :class:`QueryService` (stdlib asyncio)."""
+
+    def __init__(self, service: QueryService, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 tenants: TenantRegistry | None = None,
+                 drain_grace: float = DEFAULT_DRAIN_GRACE,
+                 stream_batch_size: int = DEFAULT_STREAM_BATCH,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 continuation_capacity: int = DEFAULT_CONTINUATION_CAPACITY,
+                 continuation_ttl: float = DEFAULT_CONTINUATION_TTL,
+                 own_service: bool = False):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.tenants = tenants
+        self.drain_grace = drain_grace
+        self.stream_batch_size = stream_batch_size
+        self.max_body_bytes = max_body_bytes
+        self.continuation_capacity = continuation_capacity
+        self.continuation_ttl = continuation_ttl
+        self._own_service = own_service
+        self._state = SERVING
+        self._server: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._in_flight_requests = 0
+        self._signals = 0
+        self._force: asyncio.Event | None = None
+        self._closed_event: asyncio.Event | None = None
+        #: token -> continuation; insertion-ordered, bounded, TTL-purged.
+        self._continuations: dict[str, _Continuation] = {}
+        self.router = Router()
+        self.router.add("POST", "/v1/query", self._handle_query)
+        self.router.add("POST", "/v1/query/stream", self._handle_stream)
+        self.router.add("POST", "/v1/graphs/{graph}/edges",
+                        self._handle_edges)
+        self.router.add("GET", "/v1/explain", self._handle_explain)
+        self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/metrics", self._handle_metrics)
+
+    # -- Lifecycle -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    async def start(self) -> "HttpServer":
+        """Bind the listener; ``self.port`` then holds the bound port."""
+        self._loop = asyncio.get_running_loop()
+        self._force = asyncio.Event()
+        self._closed_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log_event(_LOGGER, "server started", host=self.host, port=self.port,
+                  tenants=len(self.tenants.tenants) if self.tenants else 0)
+        return self
+
+    async def serve_until_closed(self) -> None:
+        """Block until :meth:`shutdown` completed (the serve loop body)."""
+        await self._closed_event.wait()
+
+    async def run(self) -> None:
+        """Start and serve until shut down (the ``serve.py`` entry)."""
+        await self.start()
+        await self.serve_until_closed()
+
+    def install_signal_handlers(self,
+                                loop: asyncio.AbstractEventLoop) -> None:
+        """SIGTERM/SIGINT → graceful drain; a second signal forces close."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, self._on_signal)
+
+    def _on_signal(self) -> None:
+        """First signal starts the drain; the second forces the close.
+
+        Runs on the event loop (``loop.add_signal_handler`` contract), so
+        the counter and the force event need no locking.
+        """
+        self._signals += 1
+        if self._signals == 1:
+            log_event(_LOGGER, "shutdown signal: draining",
+                      grace_seconds=self.drain_grace)
+            self._loop.create_task(self.shutdown())
+        else:
+            log_event(_LOGGER, "second shutdown signal: forcing close")
+            self._force.set()
+
+    async def shutdown(self, grace: float | None = None) -> None:
+        """Stop accepting, drain with bounded grace, then close.
+
+        Idempotent: a second concurrent call returns once the first
+        finishes (set :attr:`_force` — or send a second signal — to make
+        the first skip the remaining grace).
+        """
+        if self._state == CLOSED:
+            return
+        if self._state == DRAINING:
+            await self._closed_event.wait()
+            return
+        self._state = DRAINING
+        self._server.close()
+        await self._server.wait_closed()
+        grace = self.drain_grace if grace is None else grace
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace
+        while (self._in_flight_requests > 0 and not self._force.is_set()
+               and loop.time() < deadline):
+            with contextlib.suppress(TimeoutError):
+                await asyncio.wait_for(self._force.wait(), timeout=0.02)
+        forced = self._in_flight_requests > 0
+        self._state = CLOSED
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._continuations.clear()
+        if self._own_service:
+            self.service.close()
+        log_event(_LOGGER, "server closed", forced=forced)
+        self._closed_event.set()
+
+    # -- Connection loop -------------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.max_body_bytes)
+                except ProtocolError as error:
+                    with contextlib.suppress(Exception):
+                        await send_response(
+                            writer, error.status,
+                            json_body({"error": str(error)}),
+                            keep_alive=False)
+                    break
+                if request is None:
+                    break
+                if not await self._dispatch(request, writer):
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, request, writer) -> bool:
+        """One request end to end; returns whether to keep the connection."""
+        if self._state != SERVING:
+            # Draining: kept-alive connections get a clean 503 + close.
+            with contextlib.suppress(Exception):
+                await send_response(
+                    writer, 503,
+                    json_body({"error": "server is draining"}),
+                    headers=(("Retry-After", "1"),), keep_alive=False)
+            return False
+        started = time.perf_counter()
+        registry = get_registry()
+        self._in_flight_requests += 1
+        registry.gauge("repro_http_in_flight").inc()
+        route_name = request.path
+        tenant_name = "-"
+        status = 500
+        bytes_out = 0
+        keep_alive = request.keep_alive
+        admission = None
+        trace_id = uuid.uuid4().hex[:16]
+        try:
+            with tracing.span("http.request", method=request.method,
+                              path=request.path) as span:
+                if span.enabled:
+                    trace_id = span.trace_id
+                base_headers = (("X-Trace-Id", trace_id),)
+                try:
+                    route, params = self.router.resolve(request.method,
+                                                        request.path)
+                    route_name = route.name
+                    tenant = self._authenticate(request)
+                    tenant_name = tenant.name
+                    if self.tenants is not None \
+                            and request.path.startswith("/v1/"):
+                        admission = self.tenants.admit(tenant)
+                    context = _RequestContext(
+                        tenant=tenant, writer=writer, keep_alive=keep_alive,
+                        base_headers=base_headers)
+                    outcome = await route.handler(request, params, context)
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as error:
+                    if isinstance(error, QuotaExceededError):
+                        registry.counter("repro_http_rate_limited_total",
+                                         tenant=tenant_name).inc()
+                    status, payload, extra = _map_error(error)
+                    if status >= 500 and not isinstance(error, ReproError):
+                        log_event(_LOGGER, "request failed",
+                                  path=request.path, error=repr(error))
+                    bytes_out = await send_response(
+                        writer, status, json_body(payload),
+                        headers=base_headers + extra, keep_alive=keep_alive)
+                else:
+                    if isinstance(outcome, _Streamed):
+                        status = outcome.status
+                        bytes_out = outcome.bytes_written
+                        keep_alive = keep_alive and outcome.keep_alive
+                    else:
+                        status = outcome.status
+                        body = (outcome.body if outcome.body is not None
+                                else json_body(outcome.payload))
+                        bytes_out = await send_response(
+                            writer, status, body,
+                            content_type=outcome.content_type,
+                            headers=base_headers + outcome.headers,
+                            keep_alive=keep_alive)
+                if span.enabled:
+                    span.set_attribute("status", status)
+                    span.set_attribute("tenant", tenant_name)
+        except (ConnectionResetError, BrokenPipeError):
+            keep_alive = False
+        finally:
+            if admission is not None:
+                admission.release()
+            self._in_flight_requests -= 1
+            registry.gauge("repro_http_in_flight").dec()
+            elapsed = time.perf_counter() - started
+            registry.counter("repro_http_requests_total", route=route_name,
+                             method=request.method, status=status).inc()
+            registry.histogram("repro_http_request_seconds",
+                               route=route_name).observe(elapsed)
+            log_event(_LOGGER, "http.request", method=request.method,
+                      path=request.path, route=route_name, status=status,
+                      tenant=tenant_name,
+                      duration_seconds=round(elapsed, 6),
+                      bytes=bytes_out, trace_id=trace_id)
+        return keep_alive
+
+    def _authenticate(self, request) -> Tenant:
+        """The request's tenant; ops endpoints stay open to probes."""
+        if self.tenants is None or not request.path.startswith("/v1/"):
+            return ANONYMOUS
+        return self.tenants.authenticate(request.header("authorization"))
+
+    # -- Query endpoints -------------------------------------------------------
+
+    async def _handle_query(self, request, params, context) -> Response:
+        body = request.json()
+        handle, graph = self._build_handle(body, context.tenant)
+        timeout = _parse_timeout(body.get("timeout"))
+        future = self.service.submit(handle,
+                                     strategy=body.get("strategy") or None,
+                                     timeout=timeout)
+        served = await asyncio.wrap_future(future)
+        payload = _served_payload(served, handle)
+        return Response(_served_status(served), payload)
+
+    async def _handle_stream(self, request, params, context) -> _Streamed:
+        body = request.json()
+        cursor = body.get("cursor")
+        if cursor is not None:
+            continuation = self._lookup_continuation(cursor, context.tenant)
+            handle = continuation.handle
+            offset = continuation.offset
+            strategy = continuation.strategy
+            graph = continuation.graph
+        else:
+            handle, graph = self._build_handle(body, context.tenant)
+            if not isinstance(handle, Query):
+                raise ProtocolError(
+                    "the streaming endpoint serves the ucrpq front-end "
+                    "only")
+            offset = 0
+            strategy = body.get("strategy") or None
+        batch_size = _positive_int(body.get("batch_size"),
+                                   self.stream_batch_size, "batch_size")
+        limit = body.get("limit")
+        if limit is not None:
+            limit = _positive_int(limit, None, "limit")
+        loop = asyncio.get_running_loop()
+        # Materialize (and pin) before the chunked head goes out, so
+        # planning/execution errors still map to clean error responses.
+        rows, total = await loop.run_in_executor(
+            None, handle.page, offset,
+            min(batch_size, limit) if limit else batch_size, strategy)
+        end = min(total, offset + limit) if limit is not None else total
+        get_registry().counter("repro_http_streams_total").inc()
+        chunked = ChunkedResponseWriter(context.writer,
+                                        headers=context.base_headers,
+                                        keep_alive=context.keep_alive)
+        await chunked.start()
+        keep_alive = context.keep_alive
+        try:
+            index = 0
+            while rows:
+                await chunked.write_json({
+                    "batch": [list(row) for row in rows],
+                    "index": index,
+                    "offset": offset,
+                })
+                offset += len(rows)
+                index += 1
+                if offset >= end:
+                    break
+                take = min(batch_size, end - offset)
+                rows, total = await loop.run_in_executor(
+                    None, handle.page, offset, take, strategy)
+            next_cursor = None
+            if offset < total:
+                next_cursor = self._register_continuation(
+                    handle, offset, strategy, graph, context.tenant)
+            snapshot = handle.pinned_snapshot
+            await chunked.write_json({
+                "done": True,
+                "row_count": total,
+                "offset": offset,
+                "snapshot_version": (snapshot.version
+                                     if snapshot is not None else None),
+                "next_cursor": next_cursor,
+            })
+            await chunked.finish()
+        except (ConnectionResetError, BrokenPipeError):
+            keep_alive = False
+        except ReproError:
+            # The chunked head is already on the wire; the truncated
+            # stream (no terminator) is the error signal the client sees.
+            keep_alive = False
+        return _Streamed(status=200, bytes_written=chunked.bytes_written,
+                         keep_alive=keep_alive and chunked.finished)
+
+    async def _handle_explain(self, request, params, context) -> Response:
+        query_text = request.query.get("query")
+        if not query_text:
+            raise ProtocolError(
+                "/v1/explain requires a ?query= parameter")
+        graph = context.tenant.resolve_graph(request.query.get("graph"))
+        scope = self._scope(graph)
+        strategy = request.query.get("strategy") or None
+        frontend = request.query.get("frontend", "ucrpq")
+        if frontend not in _FRONTENDS:
+            raise ProtocolError(f"unknown frontend {frontend!r} "
+                                f"(supported: {', '.join(_FRONTENDS)})")
+        loop = asyncio.get_running_loop()
+        if frontend == "datalog":
+            handle = scope.datalog(query_text)
+            report = await loop.run_in_executor(None, handle.explain_analyze)
+        else:
+            handle = scope.ucrpq(query_text)
+            report = await loop.run_in_executor(
+                None, lambda: handle.explain_analyze(strategy))
+        payload = report.to_dict()
+        payload["graph"] = graph
+        return Response(200, payload)
+
+    # -- Mutation endpoint -----------------------------------------------------
+
+    async def _handle_edges(self, request, params, context) -> Response:
+        graph = context.tenant.resolve_graph(params["graph"])
+        body = request.json()
+        label = body.get("label")
+        if not isinstance(label, str) or not label:
+            raise ProtocolError("mutation body requires a 'label' string")
+        additions = _edge_pairs(body.get("add"), "add")
+        removals = _edge_pairs(body.get("remove"), "remove")
+        if not additions and not removals:
+            raise ProtocolError(
+                "mutation body requires 'add' and/or 'remove' pairs")
+        scope = self._scope(graph)
+
+        def mutate() -> tuple[tuple[str, ...], int]:
+            if additions and removals:
+                transaction = scope.transaction()
+                transaction.add_edges(label, additions)
+                transaction.remove_edges(label, removals)
+                touched = transaction.commit()
+            elif additions:
+                touched = scope.add_edges(label, additions)
+            else:
+                touched = scope.remove_edges(label, removals)
+            return touched, scope.snapshot().version
+
+        loop = asyncio.get_running_loop()
+        touched, version = await loop.run_in_executor(None, mutate)
+        return Response(200, {
+            "graph": graph,
+            "label": label,
+            "touched": sorted(touched),
+            "committed": bool(touched),
+            "snapshot_version": version,
+        })
+
+    # -- Ops endpoints ---------------------------------------------------------
+
+    async def _handle_healthz(self, request, params, context) -> Response:
+        loop = asyncio.get_running_loop()
+        health = await loop.run_in_executor(None, self.service.health)
+        health["server_state"] = self._state
+        health["open_connections"] = len(self._connections)
+        healthy = self._state == SERVING and health["status"] == "ok"
+        return Response(200 if healthy else 503, health)
+
+    async def _handle_metrics(self, request, params, context) -> Response:
+        def render() -> str:
+            # health() refreshes the uptime / queue-high-water gauges so
+            # a scrape never reads stale values.
+            self.service.health()
+            return get_registry().render_prometheus()
+
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(None, render)
+        return Response(200, body=text.encode("utf-8"),
+                        content_type="text/plain; version=0.0.4")
+
+    # -- Shared handler plumbing -----------------------------------------------
+
+    def _scope(self, graph: str):
+        """The session view for ``graph`` (404 when not attached)."""
+        try:
+            return self.service.session.graph(graph)
+        except DatasetError as error:
+            raise NetworkError(str(error), status=404) from None
+
+    def _build_handle(self, body: dict, tenant: Tenant):
+        """Build the (authorized, graph-scoped) handle a body describes."""
+        query_text = body.get("query")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise ProtocolError("request body requires a 'query' string")
+        graph = tenant.resolve_graph(body.get("graph"))
+        scope = self._scope(graph)
+        frontend = body.get("frontend", "ucrpq")
+        if frontend == "datalog":
+            return scope.datalog(query_text), graph
+        if frontend == "ucrpq":
+            return scope.ucrpq(query_text), graph
+        raise ProtocolError(f"unknown frontend {frontend!r} "
+                            f"(supported: {', '.join(_FRONTENDS)})")
+
+    def _register_continuation(self, handle: Query, offset: int,
+                               strategy: str | None, graph: str,
+                               tenant: Tenant) -> str:
+        now = time.monotonic()
+        expired = [token for token, continuation in self._continuations.items()
+                   if now - continuation.created > self.continuation_ttl]
+        for token in expired:
+            del self._continuations[token]
+        while len(self._continuations) >= self.continuation_capacity:
+            self._continuations.pop(next(iter(self._continuations)))
+        token = secrets.token_urlsafe(16)
+        self._continuations[token] = _Continuation(
+            handle=handle, offset=offset, strategy=strategy, graph=graph,
+            tenant=tenant.name)
+        return token
+
+    def _lookup_continuation(self, token: str,
+                             tenant: Tenant) -> _Continuation:
+        continuation = self._continuations.get(token)
+        if continuation is None or (time.monotonic() - continuation.created
+                                    > self.continuation_ttl):
+            self._continuations.pop(token, None)
+            raise NetworkError("unknown or expired continuation token",
+                               status=410)
+        if continuation.tenant != tenant.name:
+            raise AuthorizationError(
+                "this continuation token belongs to another tenant")
+        return continuation
+
+    def __repr__(self) -> str:
+        return (f"HttpServer({self.host}:{self.port}, state={self._state}, "
+                f"connections={len(self._connections)})")
+
+
+# -- Module helpers -------------------------------------------------------------
+
+
+def _parse_timeout(value: object):
+    """Body ``timeout`` → submit's: absent = default, 0 = unbounded."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"bad timeout {value!r}") from None
+    if seconds < 0:
+        raise ProtocolError("timeout must be >= 0 (0 disables the deadline)")
+    return UNBOUNDED if seconds == 0 else seconds
+
+
+def _positive_int(value: object, default: int | None, name: str) -> int:
+    if value is None:
+        return default
+    try:
+        number = int(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"bad {name} {value!r}") from None
+    if number <= 0:
+        raise ProtocolError(f"{name} must be positive")
+    return number
+
+
+def _edge_pairs(value: object, name: str) -> list[tuple]:
+    if value is None:
+        return []
+    if not isinstance(value, list):
+        raise ProtocolError(f"'{name}' must be a list of [src, trg] pairs")
+    pairs = []
+    for item in value:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ProtocolError(
+                f"'{name}' must be a list of [src, trg] pairs")
+        pairs.append(tuple(item))
+    return pairs
+
+
+def _plan_digest(handle) -> str | None:
+    """A short stable identity of the selected logical plan."""
+    try:
+        if isinstance(handle, Query):
+            key = handle.cache_key
+        elif isinstance(handle, DatalogQuery):
+            key = f"datalog:{handle.describe()}"
+        else:  # pragma: no cover - defensive
+            return None
+    except ReproError:  # pragma: no cover - a failed query has no plan
+        return None
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def _served_status(served) -> int:
+    if served.succeeded:
+        return 200
+    detail = served.detail
+    if detail.startswith("timed out") or detail.startswith(
+            "deadline exceeded"):
+        return 504
+    return 400
+
+
+def _served_payload(served, handle) -> dict:
+    payload: dict[str, object] = {
+        "status": served.status,
+        "graph": served.graph,
+        "timing": {
+            "queue_wait_seconds": round(served.queue_wait_seconds, 6),
+            "service_seconds": round(served.service_seconds, 6),
+            "latency_seconds": round(served.latency_seconds, 6),
+        },
+    }
+    if not served.succeeded:
+        payload["detail"] = served.detail
+        return payload
+    result = served.result
+    relation = result.relation
+    rows = sorted(relation.rows, key=repr)
+    cost = getattr(result, "estimated_cost", None)
+    if cost is not None and math.isnan(cost):
+        cost = None
+    payload.update({
+        "columns": list(relation.columns),
+        "rows": [list(row) for row in rows],
+        "row_count": len(rows),
+        "snapshot_version": getattr(result, "snapshot_version", None),
+        "plan": {
+            "digest": _plan_digest(handle),
+            "cost": cost,
+            "plans_explored": getattr(result, "plans_explored", None),
+            "physical": list(getattr(result, "physical_strategies", ())),
+        },
+        "cache": {
+            "plan_hit": served.plan_cache_hit,
+            "result_hit": served.result_cache_hit,
+        },
+    })
+    return payload
+
+
+def _map_error(error: BaseException
+               ) -> tuple[int, dict, tuple[tuple[str, str], ...]]:
+    """Exception → (HTTP status, JSON payload, extra headers)."""
+    headers: list[tuple[str, str]] = []
+    if isinstance(error, NetworkError):
+        status = error.status
+        payload: dict[str, object] = {"error": str(error)}
+        if error.retry_after is not None:
+            payload["retry_after_seconds"] = round(error.retry_after, 3)
+            headers.append(
+                ("Retry-After", str(max(1, math.ceil(error.retry_after)))))
+        if isinstance(error, MethodNotAllowed) and error.allowed:
+            headers.append(("Allow", ", ".join(error.allowed)))
+        return status, payload, tuple(headers)
+    if isinstance(error, ServiceOverloadError):
+        return 503, {"error": str(error)}, (("Retry-After", "1"),)
+    if isinstance(error, ServiceError):
+        return 503, {"error": str(error)}, ()
+    if isinstance(error, DatasetError):
+        return 404, {"error": str(error)}, ()
+    if isinstance(error, ReproError):
+        return 400, {"error": str(error)}, ()
+    return 500, {"error": f"internal error: {error!r}"}, ()
+
+
+class ServerThread:
+    """Run an :class:`HttpServer` on its own event loop in a thread.
+
+    What tests, the example and the benchmark use to host a server
+    without blocking the calling thread::
+
+        with ServerThread(HttpServer(service)) as running:
+            client = ServiceClient("127.0.0.1", running.port)
+            ...
+    """
+
+    def __init__(self, server: HttpServer):
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-http-server")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise NetworkError("the server did not start in time")
+        if self._error is not None:
+            raise NetworkError(
+                f"the server failed to start: {self._error!r}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - startup failure
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_closed()
+
+    def signal(self) -> None:
+        """Deliver the equivalent of one SIGTERM to the server."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server._on_signal)
+
+    def stop(self, grace: float | None = None,
+             timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                future = asyncio.run_coroutine_threadsafe(
+                    self.server.shutdown(grace), self._loop)
+                future.result(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,245 @@
+"""Tenant model for the HTTP serving tier.
+
+A *tenant* is an auth token mapped to a set of named graphs plus the
+quotas the server enforces on its behalf:
+
+* a **token bucket** rate limit (``rate_limit`` requests/second refill,
+  ``burst`` capacity) — breaches answer 429 with a ``Retry-After`` hint,
+* a **max-in-flight** cap — how many of the tenant's requests may be
+  inside the service at once, independent of the rate.
+
+:class:`TenantRegistry` owns the lookup (``Authorization: Bearer <token>``
+→ :class:`Tenant`), graph authorization, and quota admission.  A server
+constructed without a registry runs *open*: every request maps to a
+single anonymous tenant with no token and no quotas, which keeps local
+development and the examples friction-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import (
+    AuthenticationError,
+    AuthorizationError,
+    QuotaExceededError,
+)
+
+#: Graph allowlist wildcard: the tenant may address every graph.
+ALL_GRAPHS = "*"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: identity, graph mapping and quota configuration."""
+
+    name: str
+    token: str | None = None
+    #: Graph names the tenant may address (``ALL_GRAPHS`` = everything).
+    graphs: frozenset[str] = frozenset({ALL_GRAPHS})
+    #: Graph used when a request does not name one.
+    default_graph: str = "default"
+    #: Sustained requests/second (``None`` = unlimited).
+    rate_limit: float | None = None
+    #: Bucket capacity; defaults to ``max(1, 2 * rate_limit)``.
+    burst: float | None = None
+    #: Concurrent requests allowed inside the service (``None`` = unlimited).
+    max_in_flight: int | None = None
+
+    def allows_graph(self, graph: str) -> bool:
+        return ALL_GRAPHS in self.graphs or graph in self.graphs
+
+    def resolve_graph(self, graph: str | None) -> str:
+        """Authorize and resolve the graph a request addresses."""
+        target = graph if graph is not None else self.default_graph
+        if not self.allows_graph(target):
+            raise AuthorizationError(
+                f"tenant {self.name!r} is not mapped to graph {target!r}")
+        return target
+
+
+class TokenBucket:
+    """Classic token bucket on the monotonic clock, thread-safe.
+
+    ``try_acquire`` either takes one token or returns the seconds until
+    one becomes available (the ``Retry-After`` the server sends back).
+    """
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> float:
+        """Take one token; returns 0.0 on success, else seconds to wait."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class _TenantState:
+    """Mutable per-tenant counters guarded by the registry lock."""
+
+    __slots__ = ("bucket", "in_flight")
+
+    def __init__(self, tenant: Tenant, clock):
+        self.bucket = None
+        if tenant.rate_limit is not None:
+            burst = (tenant.burst if tenant.burst is not None
+                     else max(1.0, 2.0 * tenant.rate_limit))
+            self.bucket = TokenBucket(tenant.rate_limit, burst, clock=clock)
+        self.in_flight = 0
+
+
+@dataclass
+class _Admission:
+    """Context manager releasing a tenant's in-flight slot on exit."""
+
+    registry: TenantRegistry
+    tenant: Tenant
+    _released: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> _Admission:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.registry._release(self.tenant)
+
+
+#: The tenant every request maps to when the server runs without a registry.
+ANONYMOUS = Tenant(name="anonymous")
+
+
+class TenantRegistry:
+    """Token → tenant lookup plus quota enforcement.
+
+    The registry is shared by every connection handler; all counter
+    updates happen under one lock (quota checks are tiny compared to
+    query execution).
+    """
+
+    def __init__(self, tenants: list[Tenant] | None = None, *,
+                 clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._by_token: dict[str, Tenant] = {}
+        self._states: dict[str, _TenantState] = {}
+        for tenant in tenants or ():
+            self.register(tenant)
+
+    def register(self, tenant: Tenant) -> None:
+        if tenant.token is None:
+            raise ValueError(f"tenant {tenant.name!r} has no token")
+        with self._lock:
+            if tenant.token in self._by_token:
+                raise ValueError(
+                    f"token already registered for tenant "
+                    f"{self._by_token[tenant.token].name!r}")
+            self._by_token[tenant.token] = tenant
+            self._states[tenant.name] = _TenantState(tenant, self._clock)
+
+    @property
+    def tenants(self) -> list[Tenant]:
+        with self._lock:
+            return list(self._by_token.values())
+
+    def authenticate(self, authorization: str | None) -> Tenant:
+        """Resolve an ``Authorization`` header to a tenant.
+
+        Accepts ``Bearer <token>`` (case-insensitive scheme) or a bare
+        token for curl-friendliness.
+        """
+        if not authorization:
+            raise AuthenticationError("missing Authorization header")
+        scheme, _, credential = authorization.partition(" ")
+        token = credential.strip() if credential else scheme.strip()
+        if credential and scheme.lower() != "bearer":
+            raise AuthenticationError(
+                f"unsupported Authorization scheme {scheme!r}")
+        with self._lock:
+            tenant = self._by_token.get(token)
+        if tenant is None:
+            raise AuthenticationError("unknown auth token")
+        return tenant
+
+    def admit(self, tenant: Tenant) -> _Admission:
+        """Charge one request against the tenant's quotas.
+
+        Raises :class:`~repro.errors.QuotaExceededError` (with
+        ``retry_after``) on breach; otherwise returns a context manager
+        that must be exited when the request finishes.
+        """
+        with self._lock:
+            state = self._states.get(tenant.name)
+            if state is None:  # anonymous / unregistered: no quotas
+                return _Admission(self, tenant)
+            if (tenant.max_in_flight is not None
+                    and state.in_flight >= tenant.max_in_flight):
+                raise QuotaExceededError(
+                    f"tenant {tenant.name!r} already has {state.in_flight} "
+                    f"requests in flight (max {tenant.max_in_flight})",
+                    retry_after=0.05)
+            bucket = state.bucket
+            state.in_flight += 1
+        if bucket is not None:
+            wait = bucket.try_acquire()
+            if wait > 0.0:
+                self._release(tenant)
+                raise QuotaExceededError(
+                    f"tenant {tenant.name!r} exceeded "
+                    f"{tenant.rate_limit}/s rate limit",
+                    retry_after=wait)
+        return _Admission(self, tenant)
+
+    def _release(self, tenant: Tenant) -> None:
+        with self._lock:
+            state = self._states.get(tenant.name)
+            if state is not None and state.in_flight > 0:
+                state.in_flight -= 1
+
+    def in_flight(self, tenant: Tenant) -> int:
+        with self._lock:
+            state = self._states.get(tenant.name)
+            return state.in_flight if state is not None else 0
+
+    @classmethod
+    def from_config(cls, config: list[dict]) -> TenantRegistry:
+        """Build a registry from a JSON-friendly list of tenant dicts.
+
+        Each entry: ``{"name": ..., "token": ..., "graphs": [...],
+        "default_graph": ..., "rate_limit": ..., "burst": ...,
+        "max_in_flight": ...}`` — only ``name`` and ``token`` required.
+        """
+        tenants = []
+        for entry in config:
+            graphs = entry.get("graphs")
+            tenants.append(Tenant(
+                name=entry["name"],
+                token=entry["token"],
+                graphs=(frozenset(graphs) if graphs
+                        else frozenset({ALL_GRAPHS})),
+                default_graph=entry.get("default_graph", "default"),
+                rate_limit=entry.get("rate_limit"),
+                burst=entry.get("burst"),
+                max_in_flight=entry.get("max_in_flight"),
+            ))
+        return cls(tenants)

@@ -44,6 +44,7 @@ COMMIT = "session.commit"
 MAINTENANCE = "maintenance.pass"
 MAINTENANCE_ENTRY = "maintenance.entry"
 SERVICE_REQUEST = "service.request"
+HTTP_REQUEST = "http.request"
 
 #: Attributes whose values are rendered specially.
 _HIDDEN_ATTRIBUTES = frozenset({"graph"})
@@ -70,6 +71,16 @@ class SpanNode:
 
     def find(self, name: str) -> list["SpanNode"]:
         return [node for node in self.walk() if node.name == name]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly rendering of the subtree (the wire shape)."""
+        return {
+            "name": self.record.name,
+            "duration_seconds": round(self.record.duration_seconds, 6),
+            "attributes": {key: value
+                           for key, value in self.record.attributes},
+            "children": [child.to_dict() for child in self.children],
+        }
 
 
 def build_tree(records: list[SpanRecord]) -> list[SpanNode]:
@@ -204,6 +215,19 @@ class ExplainAnalyzeReport:
             if value is not None:
                 return value
         return None
+
+    def to_dict(self) -> dict[str, object]:
+        """The report as JSON-friendly data (the ``/v1/explain`` body)."""
+        return {
+            "query": self.query_text,
+            "rows": self.actual_rows,
+            "estimated_rows": self.estimated_rows,
+            "drift": self.drift,
+            "plan_cache_hit": self.plan_cache_hit,
+            "result_cache_hit": self.result_cache_hit,
+            "fixpoint_iterations": len(self.iterations),
+            "spans": [root.to_dict() for root in self.roots],
+        }
 
     # -- Rendering -----------------------------------------------------------
 

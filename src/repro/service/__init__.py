@@ -26,7 +26,7 @@ from .metrics import MetricsSnapshot, ServiceMetrics
 from .plan_cache import CachedPlan, PlanCache, PlanKey
 from .result_cache import ResultCache, ResultKey
 from .server import (DEFAULT_MAX_IN_FLIGHT, DEFAULT_QUEUE_CAPACITY, FAILED,
-                     OK, QueryService, ServedResult)
+                     OK, UNBOUNDED, QueryService, ServedResult)
 from .view_maintenance import (MaintenanceDecision, MaintenanceStats,
                                ViewMaintainer)
 
@@ -49,6 +49,7 @@ __all__ = [
     "ResultKey",
     "ServedResult",
     "ServiceMetrics",
+    "UNBOUNDED",
     "ViewMaintainer",
     "percentile",
 ]

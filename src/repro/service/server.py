@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING
 from .._compat import warn_once
 from ..errors import ReproError, ServiceError, ServiceOverloadError
 from ..obs import tracing
+from ..obs.metrics import get_registry
 from .metrics import ServiceMetrics
 from .plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from .result_cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
@@ -76,6 +77,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
 #: statuses so served results drop into the same reporting.
 OK = "ok"
 FAILED = "failed"
+
+
+class _Unbounded:
+    """Sentinel: explicitly *no* deadline, even when a default is set.
+
+    ``submit(timeout=None)`` means "use the service default", which left
+    no way to opt out of a configured ``default_timeout``.  Pass
+    ``timeout=UNBOUNDED`` to run without any deadline.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "UNBOUNDED"
+
+
+#: Pass as ``timeout=`` to disable the deadline regardless of the
+#: service's ``default_timeout``.
+UNBOUNDED = _Unbounded()
 
 #: Default number of queries processed concurrently.
 DEFAULT_MAX_IN_FLIGHT = 2
@@ -164,6 +184,11 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._own_engine = own_engine
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        self._started_at = time.monotonic()
+        #: Deepest the admission queue has ever been (an operator's early
+        #: warning that capacity is being approached).  Monotone and
+        #: advisory, so the benign read-modify-write race is acceptable.
+        self._queue_high_water = 0
         self._closed = False
         self._close_lock = threading.Lock()
         self._in_flight = 0
@@ -189,20 +214,26 @@ class QueryService:
     # -- Client API -----------------------------------------------------------
 
     def submit(self, query: "str | UCRPQ | Term", strategy: str | None = None,
-               timeout: float | None = None, block: bool = False,
+               timeout: "float | None | _Unbounded" = None,
+               block: bool = False,
                graph: str | None = None) -> Future:
         """Enqueue a query; returns a future resolving to a :class:`ServedResult`.
 
         With ``block=False`` (the default) a full admission queue rejects
         the query with :class:`ServiceOverloadError`; with ``block=True``
         the caller waits for a slot (backpressure).  ``timeout`` starts a
-        deadline at submission time (defaults to ``default_timeout``).
-        ``graph`` scopes the query to a named graph of the session
-        (see :meth:`Session.attach`); ``None`` means the default graph.
+        deadline at submission time (defaults to ``default_timeout``;
+        pass :data:`UNBOUNDED` to explicitly disable the deadline even
+        when a default is configured).  ``graph`` scopes the query to a
+        named graph of the session (see :meth:`Session.attach`);
+        ``None`` means the default graph.
         """
         if self._closed:
             raise ServiceError("the query service is closed")
-        timeout = timeout if timeout is not None else self.default_timeout
+        if timeout is UNBOUNDED:
+            timeout = None
+        elif timeout is None:
+            timeout = self.default_timeout
         now = time.perf_counter()
         task = _Task(query=query, strategy=strategy,
                      deadline=now + timeout if timeout is not None else None,
@@ -213,6 +244,9 @@ class QueryService:
             self.metrics.record_rejected()
             raise ServiceOverloadError(
                 f"admission queue full ({self._queue.maxsize} queued)") from None
+        depth = self._queue.qsize()
+        if depth > self._queue_high_water:
+            self._queue_high_water = depth
         if self._closed:
             # close() may have finished between the check above and the put:
             # the task could sit behind the shutdown markers (or in an
@@ -265,10 +299,17 @@ class QueryService:
         session = self.session
         versions = {name: session.graph(name).snapshot().version
                     for name in session.graphs()}
+        uptime = time.monotonic() - self._started_at
+        registry = get_registry()
+        registry.gauge("repro_service_uptime_seconds").set(uptime)
+        registry.gauge("repro_service_queue_high_water").set(
+            self._queue_high_water)
         return {
             "status": "closed" if self._closed else "ok",
+            "uptime_seconds": uptime,
             "queue_depth": self._queue.qsize(),
             "queue_capacity": self._queue.maxsize,
+            "queue_high_water": self._queue_high_water,
             "in_flight": in_flight,
             "workers": len(self._workers),
             "last_commit_version": versions,
@@ -384,10 +425,16 @@ class QueryService:
         """
         with tracing.span("service.request",
                           graph=handle.session.graph_name) as request_span:
-            result, plan_hit, result_hit = handle.run_once(
-                task.strategy,
-                use_plan_cache=self.enable_plan_cache,
-                use_result_cache=self.enable_result_cache)
+            if hasattr(handle, "run_once"):
+                result, plan_hit, result_hit = handle.run_once(
+                    task.strategy,
+                    use_plan_cache=self.enable_plan_cache,
+                    use_result_cache=self.enable_result_cache)
+            else:
+                # Datalog baseline handles have no serving path (and no
+                # plan/result caches); evaluate them directly.
+                result = handle.collect()
+                plan_hit = result_hit = None
             if request_span.enabled:
                 request_span.set_attribute("rows", len(result.relation))
         # Attribute by the graph actually served: a pre-built handle

@@ -280,7 +280,8 @@ class ViewMaintainer:
         relation = _rewrap(maintained, renames)
         elapsed = time.perf_counter() - started
         maintained_result = replace(result, relation=relation,
-                                    elapsed_seconds=elapsed)
+                                    elapsed_seconds=elapsed,
+                                    snapshot_version=new_head.version)
         new_key = replace(key, fingerprint=new_head.fingerprint(
             name for name, _ in key.fingerprint))
         cache.promote(key, new_key, maintained_result)

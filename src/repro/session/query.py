@@ -107,6 +107,8 @@ class Query:
         self._classes = _UNSET
         self._plans: dict[str | None, tuple] = {}
         self._results: dict[str | None, "QueryResult"] = {}
+        #: Deterministically ordered rows per strategy (see :meth:`page`).
+        self._sorted_rows: dict[str | None, list[tuple]] = {}
         #: Cache observations of the most recent plan/collect, for
         #: introspection and tests (``None`` = cache not consulted).
         self.last_plan_cache_hit: bool | None = None
@@ -338,6 +340,30 @@ class Query:
                 yield batch
 
         return batches()
+
+    def page(self, offset: int = 0, limit: int = 256,
+             strategy: str | None = None) -> tuple[list[tuple], int]:
+        """One page of the result under a stable total order.
+
+        Returns ``(rows, total)``.  The relation's rows live in a
+        frozenset, so pagination needs an explicit order: the rows are
+        sorted (by ``repr``, the same order :meth:`Relation.to_dicts`
+        uses) once per strategy and memoized on the handle.  Because the
+        handle pins its snapshot at the first stage run, every page of
+        one handle — no matter how far apart the calls — covers exactly
+        the same version: this is what the serving tier's continuation
+        tokens lean on.
+        """
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        effective = self._effective(strategy)
+        if effective not in self._sorted_rows:
+            relation = self.collect(strategy).relation
+            self._sorted_rows[effective] = sorted(relation.rows, key=repr)
+        rows = self._sorted_rows[effective]
+        return rows[offset:offset + limit], len(rows)
 
     def submit(self, strategy: str | None = None) -> Future:
         """Run :meth:`collect` on the session's background worker.

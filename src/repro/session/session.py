@@ -104,6 +104,11 @@ class QueryResult:
     metrics: ClusterMetrics
     elapsed_seconds: float
     query_classes: frozenset[str] = field(default_factory=frozenset)
+    #: Version of the snapshot the execution read (``None`` only for
+    #: results produced before this field existed).  The serving tier
+    #: reports it so clients know exactly which committed state a
+    #: response observed.
+    snapshot_version: int | None = None
 
     def __len__(self) -> int:
         return len(self.relation)
@@ -534,9 +539,15 @@ class Session:
         """
         return PreparedQuery(self, query, params=params)
 
-    def as_query(self, query: "str | UCRPQ | Term | Query") -> Query:
-        """Coerce any supported query form into a lazy :class:`Query` handle."""
-        if isinstance(query, Query):
+    def as_query(self, query: "str | UCRPQ | Term | Query | DatalogQuery",
+                 ) -> "Query | DatalogQuery":
+        """Coerce any supported query form into a lazy query handle.
+
+        Pre-built handles (:class:`Query` and :class:`DatalogQuery`) pass
+        through unchanged after a same-session check, so the serving
+        layer can carry front-end choice on the handle itself.
+        """
+        if isinstance(query, (Query, DatalogQuery)):
             if query.session._root is not self._root:
                 raise TranslationError(
                     "the query handle belongs to a different session")
@@ -763,6 +774,7 @@ class Session:
             metrics=metrics,
             elapsed_seconds=elapsed,
             query_classes=query_classes,
+            snapshot_version=snapshot.version,
         )
 
     def evaluate_centralized(self, term: Term,

@@ -1,0 +1,154 @@
+"""Acceptance: concurrent OS-process clients vs single-threaded replay.
+
+N worker *processes* drive :class:`ServiceClient` against one server —
+interleaving queries, streamed queries and mutations on two graphs.
+Every response carries the ``snapshot_version`` it was served against;
+afterwards the test replays all recorded mutations single-threaded (in
+version order) on a fresh in-process :class:`Session` and checks every
+response's rows against the reconstructed state of its exact snapshot.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.data import LabeledGraph
+from repro.net import HttpServer, ServerThread
+from repro.net.client import ServiceClient
+from repro.service import QueryService
+from repro.session import Session
+
+KNOWS = "?x,?y <- ?x knows+ ?y"
+CITES = "?x,?y <- ?x cites+ ?y"
+WORKERS = 4
+
+
+def build_default_graph() -> LabeledGraph:
+    graph = LabeledGraph(name="default")
+    graph.add_edges([
+        ("alice", "knows", "bob"),
+        ("bob", "knows", "carol"),
+        ("carol", "knows", "dave"),
+        ("alice", "likes", "carol"),
+    ])
+    return graph
+
+
+def build_citations_graph() -> LabeledGraph:
+    graph = LabeledGraph(name="citations")
+    graph.add_edges([
+        ("p1", "cites", "p2"),
+        ("p2", "cites", "p3"),
+        ("p1", "cites", "p3"),
+    ])
+    return graph
+
+
+def _query_record(graph: str, query: str, response: dict) -> dict:
+    return {"kind": "query", "graph": graph, "query": query,
+            "version": response["snapshot_version"],
+            "rows": response["rows"]}
+
+
+def _mutation_record(graph: str, label: str, response: dict, *,
+                     add=None, remove=None) -> dict:
+    return {"kind": "mutation", "graph": graph, "label": label,
+            "version": response["snapshot_version"],
+            "add": add or [], "remove": remove or []}
+
+
+def run_worker(args: tuple) -> list[dict]:
+    """One OS process: a deterministic op mix over both graphs."""
+    port, worker_id = args
+    records = []
+    with ServiceClient("127.0.0.1", port, timeout=60.0) as client:
+        me = f"w{worker_id}"
+        records.append(_query_record("default", KNOWS, client.query(KNOWS)))
+        added = [(f"{me}-src", f"{me}-dst"), ("dave", f"{me}-friend")]
+        response = client.add_edges("default", "knows", added)
+        records.append(_mutation_record("default", "knows", response,
+                                        add=added))
+        records.append(_query_record("default", KNOWS, client.query(KNOWS)))
+        cite = [(f"{me}-paper", "p1")]
+        response = client.add_edges("citations", "cites", cite)
+        records.append(_mutation_record("citations", "cites", response,
+                                        add=cite))
+        records.append(_query_record(
+            "citations", CITES, client.query(CITES, graph="citations")))
+        # A streamed read with cursor pagination: same differential
+        # contract, rows + snapshot_version from the final event.
+        events = list(client.stream_query(KNOWS, batch_size=4))
+        final = events[-1]
+        rows = [row for event in events[:-1] for row in event["batch"]]
+        records.append({"kind": "query", "graph": "default",
+                        "query": KNOWS,
+                        "version": final["snapshot_version"],
+                        "rows": rows})
+        removed = [(f"{me}-src", f"{me}-dst")]
+        response = client.remove_edges("default", "knows", removed)
+        records.append(_mutation_record("default", "knows", response,
+                                        remove=removed))
+        records.append(_query_record("default", KNOWS, client.query(KNOWS)))
+    return records
+
+
+def replay_and_check(build_graph, records: list[dict]) -> int:
+    """Replay mutations in version order; check every query's rows."""
+    mutations = sorted((r for r in records if r["kind"] == "mutation"),
+                       key=lambda r: r["version"])
+    versions = [m["version"] for m in mutations]
+    assert len(set(versions)) == len(versions), \
+        "commits must have unique versions"
+    queries = [r for r in records if r["kind"] == "query"]
+    assert queries, "expected query records"
+    session = Session(build_graph(), num_workers=2)
+    needed = sorted({(q["query"], q["version"]) for q in queries},
+                    key=lambda pair: pair[1])
+    expected: dict[tuple, list] = {}
+    index = 0
+    for query_text, version in needed:
+        while index < len(mutations) \
+                and mutations[index]["version"] <= version:
+            mutation = mutations[index]
+            if mutation["add"]:
+                session.add_edges(mutation["label"],
+                                  [tuple(p) for p in mutation["add"]])
+            if mutation["remove"]:
+                session.remove_edges(mutation["label"],
+                                     [tuple(p) for p in mutation["remove"]])
+            assert session.snapshot().version == mutation["version"], \
+                "replay must walk the exact committed version sequence"
+            index += 1
+        relation = session.ucrpq(query_text).collect().relation
+        expected[(query_text, version)] = [
+            list(row) for row in sorted(relation.rows, key=repr)]
+    for record in queries:
+        assert record["rows"] == expected[(record["query"],
+                                           record["version"])], \
+            f"divergence at version {record['version']}"
+    return len(queries)
+
+
+def test_concurrent_multiprocess_clients_match_serial_replay():
+    session = Session(build_default_graph(), num_workers=2)
+    session.attach("citations", build_citations_graph())
+    service = QueryService(session, max_in_flight=4, own_engine=True)
+    running = ServerThread(HttpServer(service, own_service=True)).start()
+    try:
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(WORKERS) as pool:
+            batches = pool.map(run_worker,
+                               [(running.port, i) for i in range(WORKERS)])
+    finally:
+        running.stop()
+    records = [record for batch in batches for record in batch]
+    by_graph: dict[str, list[dict]] = {"default": [], "citations": []}
+    for record in records:
+        by_graph[record["graph"]].append(record)
+    checked = replay_and_check(build_default_graph, by_graph["default"])
+    checked += replay_and_check(build_citations_graph,
+                                by_graph["citations"])
+    # 4 versioned reads per worker on default, 1 on citations.
+    assert checked == WORKERS * 5

@@ -1,0 +1,154 @@
+"""HTTP/1.1 wire layer: request parsing, framing, chunked responses."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.protocol import (ChunkedResponseWriter, read_request,
+                                render_response)
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class FakeWriter:
+    """Collects everything a ChunkedResponseWriter writes."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data += chunk
+
+    async def drain(self) -> None:
+        pass
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_query_string(self):
+        request = parse(b"GET /v1/explain?query=abc&graph=g HTTP/1.1\r\n"
+                        b"Host: localhost\r\nX-Thing: 42\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/explain"
+        assert request.query == {"query": "abc", "graph": "g"}
+        assert request.header("x-thing") == "42"
+        assert request.header("X-THING") == "42"
+        assert request.keep_alive is True
+
+    def test_connection_close_and_http10_defaults(self):
+        closing = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert closing.keep_alive is False
+        old = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert old.keep_alive is False
+        old_keep = parse(b"GET / HTTP/1.0\r\n"
+                         b"Connection: keep-alive\r\n\r\n")
+        assert old_keep.keep_alive is True
+
+    def test_reads_json_body_by_content_length(self):
+        body = json.dumps({"query": "q"}).encode()
+        request = parse(b"POST /v1/query HTTP/1.1\r\n"
+                        b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        assert request.json() == {"query": "q"}
+
+    def test_bad_json_and_non_object_bodies_are_protocol_errors(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope")
+        with pytest.raises(ProtocolError):
+            request.json()
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]")
+        with pytest.raises(ProtocolError):
+            request.json()
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_post_without_content_length_is_411(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST /v1/query HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_oversized_body_is_413(self):
+        raw = (b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+               + b"x" * 100)
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw, max_body_bytes=10)
+        assert excinfo.value.status == 413
+
+    def test_chunked_request_body_is_501(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_unsupported_version_is_501(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert excinfo.value.status == 501
+
+    def test_truncated_head_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_oversized_head_is_431(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nX-Big: " + b"a" * 100_000
+                  + b"\r\n\r\n")
+        assert excinfo.value.status == 431
+
+
+class TestRenderResponse:
+    def test_frames_status_content_length_and_connection(self):
+        raw = render_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok": true}'
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(503, b"{}", keep_alive=False,
+                              headers=(("Retry-After", "1"),))
+        assert b"Connection: close" in raw
+        assert b"Retry-After: 1" in raw
+
+
+class TestChunkedResponseWriter:
+    def test_writes_head_chunks_and_terminator(self):
+        writer = FakeWriter()
+
+        async def go():
+            chunked = ChunkedResponseWriter(writer)
+            await chunked.start()
+            await chunked.write_json({"batch": [1, 2]})
+            await chunked.write(b"")  # skipped: would terminate the stream
+            await chunked.write_json({"done": True})
+            await chunked.finish()
+            return chunked
+
+        chunked = asyncio.run(go())
+        raw = bytes(writer.data)
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        assert chunked.finished and chunked.bytes_written == len(raw)
+        # Decode the chunk framing by hand and recover the ndjson lines.
+        decoded = bytearray()
+        while rest:
+            size_hex, _, rest = rest.partition(b"\r\n")
+            size = int(size_hex, 16)
+            if size == 0:
+                break
+            decoded += rest[:size]
+            rest = rest[size + 2:]
+        lines = [json.loads(line)
+                 for line in decoded.decode().splitlines() if line]
+        assert lines == [{"batch": [1, 2]}, {"done": True}]

@@ -1,0 +1,49 @@
+"""Routing: method + path-template dispatch, 404/405 semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.router import MethodNotAllowed, RouteNotFound, Router
+
+
+async def _handler(request, params, context):  # pragma: no cover - target
+    return None
+
+
+@pytest.fixture
+def router() -> Router:
+    router = Router()
+    router.add("POST", "/v1/query", _handler)
+    router.add("POST", "/v1/graphs/{graph}/edges", _handler)
+    router.add("GET", "/healthz", _handler)
+    return router
+
+
+def test_static_route_resolves(router):
+    route, params = router.resolve("POST", "/v1/query")
+    assert route.handler is _handler
+    assert params == {}
+
+
+def test_template_route_extracts_params(router):
+    route, params = router.resolve("POST", "/v1/graphs/yago/edges")
+    assert params == {"graph": "yago"}
+
+
+def test_unknown_path_is_404(router):
+    with pytest.raises(RouteNotFound) as excinfo:
+        router.resolve("GET", "/nope")
+    assert excinfo.value.status == 404
+
+
+def test_wrong_method_is_405_with_allowed(router):
+    with pytest.raises(MethodNotAllowed) as excinfo:
+        router.resolve("GET", "/v1/query")
+    assert excinfo.value.status == 405
+    assert excinfo.value.allowed == ("POST",)
+
+
+def test_template_does_not_match_extra_segments(router):
+    with pytest.raises(RouteNotFound):
+        router.resolve("POST", "/v1/graphs/yago/edges/extra")

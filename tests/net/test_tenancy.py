@@ -1,0 +1,132 @@
+"""Tenancy: token auth, graph mapping, rate limits and in-flight quotas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (AuthenticationError, AuthorizationError,
+                          QuotaExceededError)
+from repro.net.tenancy import (ALL_GRAPHS, Tenant, TenantRegistry,
+                               TokenBucket)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTenant:
+    def test_resolve_graph_defaults_and_allows(self):
+        tenant = Tenant(name="t", graphs=frozenset({"a", "b"}),
+                        default_graph="a")
+        assert tenant.resolve_graph(None) == "a"
+        assert tenant.resolve_graph("b") == "b"
+
+    def test_resolve_graph_denies_unmapped(self):
+        tenant = Tenant(name="t", graphs=frozenset({"a"}))
+        with pytest.raises(AuthorizationError):
+            tenant.resolve_graph("b")
+
+    def test_wildcard_allows_everything(self):
+        tenant = Tenant(name="t", graphs=frozenset({ALL_GRAPHS}))
+        assert tenant.allows_graph("anything")
+
+
+class TestTokenBucket:
+    def test_burst_then_wait_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+
+class TestRegistry:
+    def make(self, clock=None, **overrides):
+        tenant = Tenant(name="acme", token="sekrit", **overrides)
+        registry = TenantRegistry([tenant],
+                                  clock=clock or FakeClock())
+        return registry, tenant
+
+    def test_authenticate_bearer_and_bare(self):
+        registry, tenant = self.make()
+        assert registry.authenticate("Bearer sekrit") is tenant
+        assert registry.authenticate("bearer sekrit") is tenant
+        assert registry.authenticate("sekrit") is tenant
+
+    def test_authenticate_failures(self):
+        registry, _ = self.make()
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(None)
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("Bearer nope")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("Basic sekrit")
+
+    def test_duplicate_token_rejected(self):
+        registry, _ = self.make()
+        with pytest.raises(ValueError):
+            registry.register(Tenant(name="other", token="sekrit"))
+
+    def test_in_flight_quota(self):
+        registry, tenant = self.make(max_in_flight=2)
+        first = registry.admit(tenant)
+        second = registry.admit(tenant)
+        with pytest.raises(QuotaExceededError) as excinfo:
+            registry.admit(tenant)
+        assert excinfo.value.retry_after is not None
+        assert registry.in_flight(tenant) == 2
+        first.release()
+        first.release()  # idempotent
+        assert registry.in_flight(tenant) == 1
+        with registry.admit(tenant):
+            assert registry.in_flight(tenant) == 2
+        second.release()
+        assert registry.in_flight(tenant) == 0
+
+    def test_rate_limit_releases_slot_and_reports_wait(self):
+        clock = FakeClock()
+        registry, tenant = self.make(clock=clock, rate_limit=1.0, burst=1.0,
+                                     max_in_flight=10)
+        registry.admit(tenant).release()
+        with pytest.raises(QuotaExceededError) as excinfo:
+            registry.admit(tenant)
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        # The rejected request must not leak an in-flight slot.
+        assert registry.in_flight(tenant) == 0
+        clock.advance(1.0)
+        registry.admit(tenant).release()
+
+    def test_unregistered_tenant_is_unlimited(self):
+        registry, _ = self.make()
+        ghost = Tenant(name="ghost")
+        for _ in range(10):
+            registry.admit(ghost).release()
+
+    def test_from_config(self):
+        registry = TenantRegistry.from_config([
+            {"name": "a", "token": "ta", "graphs": ["g1"],
+             "default_graph": "g1", "rate_limit": 5, "max_in_flight": 2},
+            {"name": "b", "token": "tb"},
+        ])
+        a = registry.authenticate("ta")
+        assert a.graphs == frozenset({"g1"})
+        assert a.rate_limit == 5 and a.max_in_flight == 2
+        b = registry.authenticate("tb")
+        assert b.allows_graph("anything")
