@@ -84,7 +84,7 @@ def main() -> None:
 
     print("\n== 7. Snapshots: mutations commit new versions, never purge ==")
     pinned = session.ucrpq("?x,?y <- ?x knows ?y")
-    pinned.term  # first stage run: the handle pins the current head
+    pinned.term  # noqa: B018 - first stage run: the handle pins the head
     before = session.snapshot()
     session.add_edges("knows", [("p0", "p39")])
     after = session.snapshot()

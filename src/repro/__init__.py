@@ -33,7 +33,17 @@ from .obs import (ExplainAnalyzeReport, MetricsRegistry, Tracer,
                   configure_logging, configure_tracing, get_registry)
 from .service import UNBOUNDED, QueryService, ServedResult, ServiceMetrics
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+# The sanitizer CI job runs the whole suite under the runtime invariant
+# guards; activating from the environment here means worker threads and
+# subprocesses spawned anywhere in the library are covered too.
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE"):  # pragma: no cover - CI wiring
+    from .check.sanitizer import enable_sanitizer as _enable_sanitizer
+
+    _enable_sanitizer()
 
 __all__ = [
     "DatabaseSnapshot",

@@ -11,11 +11,12 @@ how the ambient warning filters are configured.
 from __future__ import annotations
 
 import sys
-import threading
 import warnings
 
+from .check.sanitizer import ordered_lock
+
 _WARNED_SITES: set[tuple[str, int, str]] = set()
-_LOCK = threading.Lock()
+_LOCK = ordered_lock("compat.warn-once")
 
 
 def warn_once(message: str, *, stacklevel: int = 3) -> None:

@@ -40,10 +40,19 @@ Argument = Var | Const
 
 @dataclass(frozen=True)
 class Atom:
-    """A predicate applied to arguments, e.g. ``tc(X, Y)``."""
+    """A predicate applied to arguments, e.g. ``tc(X, Y)``.
+
+    ``negated`` marks a negative body literal (``not tc(X, Y)``).  The
+    semi-naive engine evaluates **positive** programs only and rejects
+    negated atoms up front; negation exists in the AST so the parser and
+    the static analyzer (:mod:`repro.check`) can check safety and
+    stratification of user-written programs before they ever reach an
+    engine.
+    """
 
     predicate: str
     args: tuple[Argument, ...]
+    negated: bool = False
 
     def __post_init__(self) -> None:
         if not self.predicate:
@@ -62,7 +71,8 @@ class Atom:
         return tuple(found)
 
     def __str__(self) -> str:
-        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+        rendered = f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+        return f"not {rendered}" if self.negated else rendered
 
 
 @dataclass(frozen=True)
@@ -74,18 +84,35 @@ class Rule:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise DatalogError(f"rule heads cannot be negated: {self}")
         head_vars = set(self.head.variables())
-        body_vars = {v for atom in self.body for v in atom.variables()}
-        unsafe = head_vars - body_vars
+        positive_vars = {v for atom in self.positive_body()
+                         for v in atom.variables()}
+        unsafe = head_vars - positive_vars
         if self.body and unsafe:
             raise DatalogError(
                 f"unsafe rule: head variables {sorted(v.name for v in unsafe)} "
-                f"do not occur in the body: {self}"
+                f"do not occur in a positive body atom: {self}"
+            )
+        floating = {v for atom in self.negative_body()
+                    for v in atom.variables()} - positive_vars
+        if floating:
+            raise DatalogError(
+                f"unsafe negation: variables "
+                f"{sorted(v.name for v in floating)} occur only under "
+                f"negation: {self}"
             )
 
     @property
     def is_fact(self) -> bool:
         return not self.body
+
+    def positive_body(self) -> tuple[Atom, ...]:
+        return tuple(atom for atom in self.body if not atom.negated)
+
+    def negative_body(self) -> tuple[Atom, ...]:
+        return tuple(atom for atom in self.body if atom.negated)
 
     def predicates_used(self) -> frozenset[str]:
         return frozenset(atom.predicate for atom in self.body)

@@ -67,6 +67,11 @@ class SemiNaiveEngine:
 
         Returns the full database (EDB + derived IDB predicates).
         """
+        for rule in program.rules:
+            if rule.negative_body():
+                raise DatalogError(
+                    f"the semi-naive engine evaluates positive programs "
+                    f"only; rule has a negated literal: {rule}")
         facts: Database = {name: set(map(tuple, rows)) for name, rows in edb.items()}
         self._fact_indexes = {}
         self._index_arity = {}

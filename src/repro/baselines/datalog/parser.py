@@ -1,0 +1,340 @@
+"""Parser for Datalog program text.
+
+PR 4 gave the UCRPQ parser caret-snippet errors; this parser extends the
+same treatment to Datalog so parse errors and analyzer diagnostics share
+one formatting path (:func:`repro.errors.format_snippet`).  The accepted
+syntax is the classic rule form::
+
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    safe(X)    :- node(X), not blocked(X).
+    ?- path(a, Y).
+
+* Identifiers starting with an upper-case letter or ``_`` are variables;
+  everything else (including quoted strings and integers) is a constant.
+* ``not atom`` (or ``! atom``) is a negative literal.  Negation is
+  parsed — and checked for safety and stratification by
+  :mod:`repro.check` — but the semi-naive engine evaluates positive
+  programs only and rejects it at evaluation time.
+* ``?- atom.`` names the goal predicate.  Without a goal directive the
+  head predicate of the last rule is the goal.
+* ``%`` and ``#`` start comments running to the end of the line.
+
+Parse errors raise :class:`~repro.errors.DatalogParseError` carrying the
+0-based character ``position``, the ``source`` text and a stable
+diagnostic ``code`` so the analyzer can forward them as structured
+diagnostics.  Safety violations (head or negated variables unbound in
+the positive body) are detected **before** rule construction so they
+point at the offending variable instead of stringifying the whole rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ...errors import DatalogParseError, format_snippet, line_and_column
+from .ast import Atom, Const, Program, Rule, Var
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER = re.compile(r"-?\d+")
+_STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+_TOKEN_SPEC = [
+    ("IMPLIES", re.compile(r":-")),
+    ("QUERY", re.compile(r"\?-")),
+    ("LPAREN", re.compile(r"\(")),
+    ("RPAREN", re.compile(r"\)")),
+    ("COMMA", re.compile(r",")),
+    ("PERIOD", re.compile(r"\.")),
+    ("BANG", re.compile(r"!")),
+    ("STRING", _STRING),
+    ("NUMBER", _NUMBER),
+    ("IDENT", _IDENT),
+]
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    @property
+    def end(self) -> int:
+        return self.position + len(self.text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def datalog_parse_error(message: str, source: str, position: int, *,
+                        length: int = 1,
+                        code: str = "DL001") -> DatalogParseError:
+    """Build a :class:`DatalogParseError` with a caret snippet.
+
+    Datalog programs span multiple lines, so the message locates the
+    error by line and column; the snippet shows the offending line only
+    — the exact rendering :func:`repro.errors.format_snippet` gives the
+    UCRPQ parser and the diagnostics printer.
+    """
+    position = max(0, min(position, len(source)))
+    line, column = line_and_column(source, position)
+    snippet = format_snippet(source, position, length)
+    error = DatalogParseError(
+        f"{message} at line {line}, column {column}\n{snippet}")
+    error.position = position
+    error.source = source
+    error.length = length
+    error.code = code
+    return error
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char in "%#":
+            newline = text.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+        for kind, pattern in _TOKEN_SPEC:
+            match = pattern.match(text, position)
+            if match:
+                tokens.append(_Token(kind, match.group(), position))
+                position = match.end()
+                break
+        else:
+            raise datalog_parse_error(f"unexpected character {char!r}",
+                                      text, position)
+    return tokens
+
+
+# -- Span bookkeeping ----------------------------------------------------------
+
+Span = tuple[int, int]
+
+
+@dataclass
+class AtomSpans:
+    """Source spans of one literal: the whole literal and each argument."""
+
+    span: Span
+    args: tuple[Span, ...] = ()
+
+
+@dataclass
+class RuleSpans:
+    """Source spans of one rule, aligned with ``Program.rules``."""
+
+    span: Span
+    head: AtomSpans
+    body: list[AtomSpans] = field(default_factory=list)
+
+
+@dataclass
+class ProgramSpans:
+    """Per-rule spans of a parsed program, in rule order."""
+
+    source: str
+    rules: list[RuleSpans] = field(default_factory=list)
+    goal: Span | None = None
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise datalog_parse_error("unexpected end of program",
+                                      self._source, len(self._source))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise datalog_parse_error(
+                f"expected {what} but found {token.text!r}",
+                self._source, token.position, length=len(token.text))
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    # -- Grammar --------------------------------------------------------------
+
+    def parse_program(self, goal: str | None) -> tuple[Program, ProgramSpans]:
+        rules: list[Rule] = []
+        spans = ProgramSpans(self._source)
+        goal_from_directive: str | None = None
+        while self._peek() is not None:
+            if self._accept("QUERY"):
+                atom, atom_spans = self._parse_atom(negated=False)
+                self._expect("PERIOD", "'.'")
+                goal_from_directive = atom.predicate
+                spans.goal = atom_spans.span
+                continue
+            rule, rule_spans = self._parse_rule()
+            rules.append(rule)
+            spans.rules.append(rule_spans)
+        if not rules:
+            raise datalog_parse_error("empty program", self._source, 0)
+        if goal is None:
+            goal = goal_from_directive or rules[-1].head.predicate
+        return Program(rules=rules, goal=goal), spans
+
+    def _parse_rule(self) -> tuple[Rule, RuleSpans]:
+        head, head_spans = self._parse_atom(negated=False)
+        if head.negated:
+            raise datalog_parse_error("rule heads cannot be negated",
+                                      self._source, head_spans.span[0],
+                                      code="DL005")
+        body: list[Atom] = []
+        body_spans: list[AtomSpans] = []
+        if self._accept("IMPLIES"):
+            atom, atom_spans = self._parse_literal()
+            body.append(atom)
+            body_spans.append(atom_spans)
+            while self._accept("COMMA"):
+                atom, atom_spans = self._parse_literal()
+                body.append(atom)
+                body_spans.append(atom_spans)
+        period = self._expect("PERIOD", "'.'")
+        self._check_safety(head, head_spans, body, body_spans)
+        rule = Rule(head, tuple(body))
+        rule_spans = RuleSpans((head_spans.span[0], period.end),
+                               head_spans, body_spans)
+        return rule, rule_spans
+
+    def _parse_literal(self) -> tuple[Atom, AtomSpans]:
+        start: int | None = None
+        negated = False
+        bang = self._accept("BANG")
+        if bang is not None:
+            negated = True
+            start = bang.position
+        else:
+            token = self._peek()
+            if token is not None and token.kind == "IDENT" \
+                    and token.text == "not":
+                self._index += 1
+                negated = True
+                start = token.position
+        atom, spans = self._parse_atom(negated=negated)
+        if start is not None:
+            spans = AtomSpans((start, spans.span[1]), spans.args)
+        return atom, spans
+
+    def _parse_atom(self, *, negated: bool) -> tuple[Atom, AtomSpans]:
+        name = self._expect("IDENT", "a predicate name")
+        if name.text == "not":
+            raise datalog_parse_error("'not' cannot negate a negation",
+                                      self._source, name.position, length=3)
+        self._expect("LPAREN", "'('")
+        args = []
+        arg_spans: list[Span] = []
+        argument, span = self._parse_term()
+        args.append(argument)
+        arg_spans.append(span)
+        while self._accept("COMMA"):
+            argument, span = self._parse_term()
+            args.append(argument)
+            arg_spans.append(span)
+        closing = self._expect("RPAREN", "')'")
+        atom = Atom(name.text, tuple(args), negated=negated)
+        return atom, AtomSpans((name.position, closing.end),
+                               tuple(arg_spans))
+
+    def _parse_term(self):
+        token = self._next()
+        span = (token.position, token.end)
+        if token.kind == "IDENT":
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Var(token.text.lower()), span
+            return Const(token.text), span
+        if token.kind == "NUMBER":
+            return Const(int(token.text)), span
+        if token.kind == "STRING":
+            return Const(token.text[1:-1].replace('\\"', '"')), span
+        raise datalog_parse_error(
+            f"expected a variable or constant but found {token.text!r}",
+            self._source, token.position, length=len(token.text))
+
+    def _check_safety(self, head: Atom, head_spans: AtomSpans,
+                      body: list[Atom],
+                      body_spans: list[AtomSpans]) -> None:
+        """Raise a span-carrying error for unsafe rules.
+
+        Runs **before** :class:`Rule` construction, whose own safety
+        check would stringify the whole rule without a source location.
+        """
+        positive = {var for atom in body if not atom.negated
+                    for var in atom.variables()}
+        if body:
+            for argument, span in zip(head.args, head_spans.args):
+                if isinstance(argument, Var) and argument not in positive:
+                    raise datalog_parse_error(
+                        f"unsafe rule: head variable {str(argument)!r} does "
+                        f"not occur in a positive body atom",
+                        self._source, span[0], length=span[1] - span[0],
+                        code="DL003")
+        for atom, spans in zip(body, body_spans):
+            if not atom.negated:
+                continue
+            for argument, span in zip(atom.args, spans.args):
+                if isinstance(argument, Var) and argument not in positive:
+                    raise datalog_parse_error(
+                        f"unsafe negation: variable {str(argument)!r} occurs "
+                        f"only under negation",
+                        self._source, span[0], length=span[1] - span[0],
+                        code="DL004")
+
+
+def parse_program(text: str, *, goal: str | None = None) -> Program:
+    """Parse Datalog program text into a :class:`Program`.
+
+    >>> program = parse_program('''
+    ...     path(X, Y) :- edge(X, Y).
+    ...     path(X, Y) :- path(X, Z), edge(Z, Y).
+    ... ''')
+    >>> program.goal
+    'path'
+    """
+    program, _ = parse_program_spanned(text, goal=goal)
+    return program
+
+
+def parse_program_spanned(
+        text: str, *,
+        goal: str | None = None) -> tuple[Program, ProgramSpans]:
+    """Parse a program and also return per-rule source spans.
+
+    The spans line up index-for-index with ``program.rules`` and are what
+    lets :mod:`repro.check` point analyzer diagnostics at the offending
+    literal of a multi-line program.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise datalog_parse_error("empty program", text, 0)
+    return _Parser(tokens, text).parse_program(goal)

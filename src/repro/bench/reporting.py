@@ -121,7 +121,7 @@ def speedup_summary(runs: Iterable[MeasuredRun], baseline_system: str,
         by_query[run.query_id][run.system] = run
     wins = losses = baseline_failures = contender_failures = 0
     speedups: list[float] = []
-    for query_id, results in sorted(by_query.items()):
+    for _query_id, results in sorted(by_query.items()):
         baseline = results.get(baseline_system)
         contender = results.get(contender_system)
         if baseline is None or contender is None:

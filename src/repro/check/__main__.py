@@ -1,0 +1,113 @@
+"""``python -m repro.check`` — analyze query files from the command line.
+
+Each positional argument is a file of queries: UCRPQ by default (one
+query per line, ``#`` comments), or a whole-file Datalog program when
+the file ends in ``.dl``/``.datalog`` (override with ``--frontend``).
+``-q/--query`` analyzes a literal instead of a file.  Without a catalog
+the existence/emptiness checks are skipped; ``--labels a,b,c`` supplies
+the known edge labels of the target graph::
+
+    python -m repro.check queries.ucrpq --labels knows,livesIn
+    python -m repro.check program.dl
+    python -m repro.check -q '?x,?y <- ?x knows+ ?y'
+
+Exit status: 0 when no error-level diagnostics were produced, 1
+otherwise, 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .analyzer import analyze
+from .diagnostics import DiagnosticReport
+
+
+def _frontend_for(path: pathlib.Path, override: str | None) -> str:
+    if override is not None and override != "auto":
+        return override
+    if path.suffix.lower() in (".dl", ".datalog"):
+        return "datalog"
+    return "ucrpq"
+
+
+def _catalog(labels: str | None) -> dict[str, object] | None:
+    if labels is None:
+        return None
+    # Bare label names carry no rows, so existence is checked but the
+    # emptiness pass stays silent (``None`` has no ``__len__``).
+    return {name.strip(): None for name in labels.split(",") if name.strip()}
+
+
+def _iter_subjects(path: pathlib.Path,
+                   frontend: str) -> list[tuple[str, str]]:
+    """The (description, source) pairs to analyze from one file."""
+    text = path.read_text()
+    if frontend == "datalog":
+        return [(str(path), text)]
+    subjects = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            subjects.append((f"{path}:{number}", stripped))
+    return subjects
+
+
+def _emit(name: str, report: DiagnosticReport, as_json: bool) -> None:
+    if as_json:
+        payload = report.to_dict()
+        payload["subject"] = name
+        print(json.dumps(payload, sort_keys=True))
+        return
+    rendered = report.render()
+    print(f"-- {name}")
+    for line in rendered.splitlines():
+        print(f"   {line}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Statically analyze UCRPQ queries and Datalog "
+                    "programs.")
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="query files (.dl/.datalog parse as Datalog)")
+    parser.add_argument("-q", "--query", action="append", default=[],
+                        metavar="TEXT", help="analyze a literal query")
+    parser.add_argument("--frontend", choices=("auto", "ucrpq", "datalog"),
+                        default="auto",
+                        help="force a front-end instead of guessing from "
+                             "the file extension")
+    parser.add_argument("--labels", default=None, metavar="A,B,C",
+                        help="known edge labels; enables the unknown-label "
+                             "checks")
+    parser.add_argument("--json", action="store_true",
+                        help="one JSON report per subject instead of text")
+    args = parser.parse_args(argv)
+    if not args.files and not args.query:
+        parser.error("nothing to analyze: pass files or --query")
+    database = _catalog(args.labels)
+
+    failed = False
+    for literal in args.query:
+        frontend = "ucrpq" if args.frontend == "auto" else args.frontend
+        report = analyze(literal, database=database, frontend=frontend)
+        _emit(literal, report, args.json)
+        failed = failed or report.has_errors
+    for path in args.files:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        frontend = _frontend_for(path, args.frontend)
+        for name, source in _iter_subjects(path, frontend):
+            report = analyze(source, database=database, frontend=frontend)
+            _emit(name, report, args.json)
+            failed = failed or report.has_errors
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,530 @@
+"""The analyzer pass pipeline over every query front-end.
+
+One entry point per front-end — :func:`analyze_query` (UCRPQ text or
+AST), :func:`analyze_program` (Datalog text or :class:`Program`) and
+:func:`analyze_term` (fluent-builder mu-RA terms) — plus the
+:func:`analyze` dispatcher used by :meth:`Session.analyze` and the
+``python -m repro.check`` CLI.
+
+Each pass is a pure function from the parsed subject (plus an optional
+catalog — any mapping from relation name to a sized relation, normally
+a :class:`~repro.data.snapshot.DatabaseSnapshot`) to a list of
+:class:`Diagnostic`.  Passing no catalog skips the existence and
+emptiness checks but still runs every structural pass, which is how the
+CLI analyzes standalone files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..baselines.datalog.ast import Program, Rule, Var
+from ..baselines.datalog.parser import (ProgramSpans, RuleSpans,
+                                        parse_program_spanned)
+from ..errors import (AlgebraError, DatalogError, DatalogParseError,
+                      QueryParseError, ReproError)
+from ..query.ast import Atom, Constant, UCRPQ, Variable
+from ..query.parser import SpanTable, parse_query_spanned
+from .diagnostics import (Diagnostic, DiagnosticReport, ERROR, INFO,
+                          RecursionShape, WARNING)
+
+Catalog = Mapping[str, object] | None
+
+#: Strategy sets by recursion shape (see DESIGN.md).  Linear fixpoints
+#: are what the paper's distributed plans — parallel loop-while (Pplw)
+#: and global loop on driver (Pgld) — are defined over; non-linear
+#: Datalog still evaluates centrally via semi-naive iteration, while a
+#: non-linear mu-RA fixpoint violates Fcond and cannot run at all.
+LINEAR_STRATEGIES = ("Pplw", "Pgld", "centralized")
+NONRECURSIVE_STRATEGIES = ("centralized",)
+
+
+def _is_empty(value: object) -> bool:
+    """True for catalog entries that are definitely empty relations."""
+    try:
+        return hasattr(value, "__len__") and len(value) == 0  # type: ignore[arg-type]
+    except TypeError:
+        return False
+
+
+# -- UCRPQ ---------------------------------------------------------------------
+
+def analyze_query(query: str | UCRPQ, *,
+                  database: Catalog = None) -> DiagnosticReport:
+    """Analyze a UCRPQ query string or AST."""
+    source: str | None = None
+    spans: SpanTable | None = None
+    if isinstance(query, str):
+        source = query
+        try:
+            ast, spans = parse_query_spanned(query)
+        except QueryParseError as error:
+            return _report_parse_error("Q001", error, source, "query")
+    else:
+        ast = query
+    diagnostics: list[Diagnostic] = []
+    recursive = False
+    for rule in ast.rules:
+        diagnostics.extend(_check_rule_labels(rule, database, spans, source))
+        diagnostics.extend(_check_rule_shape(rule, spans, source))
+        recursive = recursive or any(atom.path.contains_closure()
+                                     for atom in rule.atoms)
+    # UCRPQs are regular path queries by construction: their translation
+    # yields linear, Fcond-satisfying fixpoints, so every strategy applies.
+    shape = RecursionShape("linear" if recursive else "nonrecursive", True,
+                           LINEAR_STRATEGIES if recursive
+                           else NONRECURSIVE_STRATEGIES)
+    return DiagnosticReport(tuple(diagnostics), shape, "query")
+
+
+def _span_of(node: object, spans: SpanTable | None) -> tuple[int, int] | None:
+    return spans.get(node) if spans is not None else None
+
+
+def _label_nodes(path) -> list:
+    """Every :class:`Label` node of a path expression, in source order."""
+    from ..query.ast import Alternation, Concat, Label, Plus
+
+    found: list = []
+    stack = [path]
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, Label):
+            found.append(node)
+        elif isinstance(node, Plus):
+            stack.insert(0, node.inner)
+        elif isinstance(node, Concat):
+            stack = list(node.parts) + stack
+        elif isinstance(node, Alternation):
+            stack = list(node.options) + stack
+    return found
+
+
+def _diag(code: str, severity: str, message: str,
+          span: tuple[int, int] | None, source: str | None,
+          hint: str | None = None) -> Diagnostic:
+    start, end = span if span is not None else (None, None)
+    return Diagnostic(code, severity, message, start, end, source, hint)
+
+
+def _check_rule_labels(rule, database: Catalog, spans: SpanTable | None,
+                       source: str | None) -> list[Diagnostic]:
+    if database is None:
+        return []
+    found: list[Diagnostic] = []
+    seen: set[str] = set()
+    for atom in rule.atoms:
+        for label in _label_nodes(atom.path):
+            if label.name in seen:
+                continue
+            seen.add(label.name)
+            span = _span_of(label, spans) or _span_of(atom, spans)
+            if label.name not in database:
+                known = ", ".join(sorted(database)[:8]) or "<none>"
+                found.append(_diag(
+                    "Q101", ERROR,
+                    f"unknown edge label {label.name!r}", span, source,
+                    hint=f"known labels include: {known}"))
+            elif _is_empty(database[label.name]):
+                found.append(_diag(
+                    "Q102", WARNING,
+                    f"edge label {label.name!r} has no edges; every atom "
+                    f"using it produces an empty result", span, source))
+    return found
+
+
+def _check_rule_shape(rule, spans: SpanTable | None,
+                      source: str | None) -> list[Diagnostic]:
+    found: list[Diagnostic] = []
+    seen_atoms: set[Atom] = set()
+    for atom in rule.atoms:
+        if atom in seen_atoms:
+            found.append(_diag(
+                "Q104", WARNING, f"duplicate body atom {atom}",
+                _span_of(atom, spans), source))
+        seen_atoms.add(atom)
+        if (isinstance(atom.subject, Constant)
+                and isinstance(atom.obj, Constant)):
+            found.append(_diag(
+                "Q105", INFO,
+                f"atom {atom} binds no variables (boolean test)",
+                _span_of(atom, spans), source))
+    for atom in _disconnected_atoms(rule.atoms):
+        found.append(_diag(
+            "Q103", WARNING,
+            f"atom {atom} shares no variables with the preceding atoms "
+            f"(cartesian product)", _span_of(atom, spans), source,
+            hint="the result is the cross product of the disconnected "
+                 "parts; join them through a shared variable if that is "
+                 "not intended"))
+    return found
+
+
+def _disconnected_atoms(atoms) -> list:
+    """The first atom of every variable-connected component but the first.
+
+    Two atoms are connected when they (transitively) share a variable;
+    more than one component means the rule computes a cartesian product.
+    Variable-free atoms are boolean tests and never form a product.
+    """
+    components: list[tuple[set[Variable], int, object]] = []
+    for index, atom in enumerate(atoms):
+        atom_vars = {end for end in (atom.subject, atom.obj)
+                     if isinstance(end, Variable)}
+        if not atom_vars:
+            continue
+        touching = [entry for entry in components if entry[0] & atom_vars]
+        merged_vars = set(atom_vars)
+        first_index, first_atom = index, atom
+        for entry in touching:
+            merged_vars |= entry[0]
+            if entry[1] < first_index:
+                first_index, first_atom = entry[1], entry[2]
+            components.remove(entry)
+        components.append((merged_vars, first_index, first_atom))
+    components.sort(key=lambda entry: entry[1])
+    return [first for _, _, first in components[1:]]
+
+
+def _report_parse_error(code: str, error: ReproError, source: str,
+                        subject: str) -> DiagnosticReport:
+    position = getattr(error, "position", None)
+    length = getattr(error, "length", 1) or 1
+    message = str(error).splitlines()[0]
+    start = position if position is not None else None
+    end = (position + length) if position is not None else None
+    code = getattr(error, "code", code) or code
+    return DiagnosticReport(
+        (Diagnostic(code, ERROR, message, start, end, source),),
+        None, subject)
+
+
+# -- Datalog -------------------------------------------------------------------
+
+def analyze_program(program: str | Program, *,
+                    database: Catalog = None) -> DiagnosticReport:
+    """Analyze Datalog program text or a :class:`Program`."""
+    source: str | None = None
+    spans: ProgramSpans | None = None
+    if isinstance(program, str):
+        source = program
+        try:
+            program, spans = parse_program_spanned(program)
+        except DatalogParseError as error:
+            return _report_parse_error("DL001", error, source, "program")
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_arities(program, database, spans, source))
+    diagnostics.extend(_check_predicates(program, database, spans, source))
+    diagnostics.extend(_check_stratification(program, spans, source))
+    diagnostics.extend(_check_reachability(program, spans, source))
+    diagnostics.extend(_check_rule_products(program, spans, source))
+    shape = classify_program(program)
+    return DiagnosticReport(tuple(diagnostics), shape, "program")
+
+
+def _rule_spans(spans: ProgramSpans | None, index: int) -> RuleSpans | None:
+    if spans is None or index >= len(spans.rules):
+        return None
+    return spans.rules[index]
+
+
+def _atom_span(spans: ProgramSpans | None, rule_index: int,
+               atom_index: int | None) -> tuple[int, int] | None:
+    rule_spans = _rule_spans(spans, rule_index)
+    if rule_spans is None:
+        return None
+    if atom_index is None:
+        return rule_spans.head.span
+    if atom_index < len(rule_spans.body):
+        return rule_spans.body[atom_index].span
+    return rule_spans.span
+
+
+def _check_arities(program: Program, database: Catalog,
+                   spans: ProgramSpans | None,
+                   source: str | None) -> list[Diagnostic]:
+    """DL002: every use of a predicate must agree on its arity.
+
+    The catalog contributes the authoritative arity for EDB predicates
+    (graph edge relations are binary), so ``edge(X, Y, Z)`` is flagged
+    even when it is the only use of ``edge``.
+    """
+    found: list[Diagnostic] = []
+    arities: dict[str, int] = {}
+    if database is not None:
+        for name, value in database.items():
+            arity = getattr(value, "arity", None)
+            if isinstance(arity, int):
+                arities[name] = arity
+    for rule_index, rule in enumerate(program.rules):
+        literals = [(None, rule.head)] + list(enumerate(rule.body))
+        for atom_index, atom in literals:
+            expected = arities.setdefault(atom.predicate, atom.arity)
+            if atom.arity != expected:
+                found.append(_diag(
+                    "DL002", ERROR,
+                    f"predicate {atom.predicate!r} used with arity "
+                    f"{atom.arity} but previously with arity {expected}",
+                    _atom_span(spans, rule_index, atom_index), source))
+    return found
+
+
+def _check_predicates(program: Program, database: Catalog,
+                      spans: ProgramSpans | None,
+                      source: str | None) -> list[Diagnostic]:
+    """DL008 unknown predicate, DL009 empty relation, DL010 missing goal."""
+    found: list[Diagnostic] = []
+    idb = program.idb_predicates()
+    for rule_index, rule in enumerate(program.rules):
+        for atom_index, atom in enumerate(rule.body):
+            if atom.predicate in idb:
+                continue
+            span = _atom_span(spans, rule_index, atom_index)
+            if database is not None and atom.predicate not in database:
+                found.append(_diag(
+                    "DL008", ERROR,
+                    f"unknown predicate {atom.predicate!r}: it has no "
+                    f"rules and is not a relation of the database",
+                    span, source))
+            elif database is not None and _is_empty(database[atom.predicate]):
+                found.append(_diag(
+                    "DL009", WARNING,
+                    f"predicate {atom.predicate!r} reads an empty "
+                    f"relation; this rule can never fire", span, source))
+    if program.goal not in idb and (
+            database is None or program.goal not in database):
+        found.append(_diag(
+            "DL010", ERROR,
+            f"goal predicate {program.goal!r} is never defined",
+            spans.goal if spans is not None else None, source))
+    return found
+
+
+def _check_stratification(program: Program, spans: ProgramSpans | None,
+                          source: str | None) -> list[Diagnostic]:
+    """DL006: no recursion may pass through negation.
+
+    A program is stratifiable iff the predicate dependency graph has no
+    cycle containing a negative edge — equivalently, for every negated
+    literal ``not q`` in a rule for ``p``, predicate ``p`` must not be
+    reachable from ``q``.
+    """
+    found: list[Diagnostic] = []
+    for rule_index, rule in enumerate(program.rules):
+        for atom_index, atom in enumerate(rule.body):
+            if not atom.negated:
+                continue
+            head = rule.head.predicate
+            if head == atom.predicate or head in _reachable(program,
+                                                            atom.predicate):
+                found.append(_diag(
+                    "DL006", ERROR,
+                    f"negation of {atom.predicate!r} is inside the "
+                    f"recursion of {head!r}: the program is not "
+                    f"stratifiable",
+                    _atom_span(spans, rule_index, atom_index), source,
+                    hint="break the cycle so the negated predicate is "
+                         "fully computed in an earlier stratum"))
+    return found
+
+
+def _reachable(program: Program, predicate: str) -> frozenset[str]:
+    reachable: set[str] = set()
+    frontier = [predicate]
+    while frontier:
+        current = frontier.pop()
+        for rule in program.rules_for(current):
+            for used in rule.predicates_used():
+                if used not in reachable:
+                    reachable.add(used)
+                    frontier.append(used)
+    return frozenset(reachable)
+
+
+def _check_reachability(program: Program, spans: ProgramSpans | None,
+                        source: str | None) -> list[Diagnostic]:
+    """DL007: rules whose head the goal can never reach are dead code."""
+    live = {program.goal} | _reachable(program, program.goal)
+    found: list[Diagnostic] = []
+    for rule_index, rule in enumerate(program.rules):
+        if rule.head.predicate not in live:
+            found.append(_diag(
+                "DL007", WARNING,
+                f"rule for {rule.head.predicate!r} is unreachable from "
+                f"the goal {program.goal!r}",
+                _atom_span(spans, rule_index, None), source))
+    return found
+
+
+def _check_rule_products(program: Program, spans: ProgramSpans | None,
+                         source: str | None) -> list[Diagnostic]:
+    """DL011: positive body atoms that join with nothing before them."""
+    found: list[Diagnostic] = []
+    for rule_index, rule in enumerate(program.rules):
+        positive = [(index, atom) for index, atom in enumerate(rule.body)
+                    if not atom.negated]
+        if len(positive) < 2:
+            continue
+        reached: set[Var] = set(positive[0][1].variables())
+        for atom_index, atom in positive[1:]:
+            atom_vars = set(atom.variables())
+            if atom_vars and reached and not (atom_vars & reached):
+                found.append(_diag(
+                    "DL011", WARNING,
+                    f"atom {atom} shares no variables with the preceding "
+                    f"body atoms (cartesian product)",
+                    _atom_span(spans, rule_index, atom_index), source))
+            reached |= atom_vars
+    return found
+
+
+def classify_program(program: Program) -> RecursionShape:
+    """Recursion shape of a Datalog program.
+
+    * **nonrecursive** — no predicate depends on itself.
+    * **linear** — every rule uses at most one literal that is mutually
+      recursive with its head (the shape the paper's Pplw/Pgld
+      distributed fixpoint plans require).
+    * **non-linear** — some rule recurses through two or more literals;
+      only centralized semi-naive evaluation applies.
+
+    ``regular`` reports whether the recursive rules are chain-shaped
+    over binary predicates, i.e. expressible as a regular path query.
+    """
+    recursive_preds = {pred for pred in program.idb_predicates()
+                       if program.is_recursive(pred)}
+    if not recursive_preds:
+        return RecursionShape("nonrecursive", True, NONRECURSIVE_STRATEGIES)
+    linear = True
+    regular = True
+    for rule in program.rules:
+        head = rule.head.predicate
+        recursive_literals = [
+            atom for atom in rule.body
+            if atom.predicate == head
+            or (atom.predicate in recursive_preds
+                and head in _reachable(program, atom.predicate))]
+        if len(recursive_literals) > 1:
+            linear = False
+        if rule.head.predicate in recursive_preds and not _chain_rule(rule):
+            regular = False
+    if linear:
+        return RecursionShape("linear", regular, LINEAR_STRATEGIES)
+    return RecursionShape("non-linear", False, NONRECURSIVE_STRATEGIES)
+
+
+def _chain_rule(rule: Rule) -> bool:
+    """True when the rule is a chain over binary atoms (RPQ shape)."""
+    if rule.head.arity != 2 or not rule.body:
+        return False
+    if any(atom.arity != 2 for atom in rule.body):
+        return False
+    head_vars = rule.head.variables()
+    if len(head_vars) != 2:
+        return len(head_vars) <= 2
+    left, right = head_vars
+    current = left
+    for atom in rule.body:
+        atom_vars = atom.variables()
+        if current not in atom_vars:
+            return False
+        others = [var for var in atom_vars if var != current]
+        current = others[0] if others else current
+    return current == right
+
+
+# -- Terms ---------------------------------------------------------------------
+
+def analyze_term(term, *, database: Catalog = None) -> DiagnosticReport:
+    """Analyze a mu-RA term built with the fluent API (or by hand)."""
+    from ..algebra.conditions import is_linear, is_positive
+    from ..algebra.terms import Fixpoint, Term
+    from ..algebra.variables import free_variables
+
+    if not isinstance(term, Term):
+        raise TypeError(f"analyze_term expects a mu-RA Term, "
+                        f"got {type(term).__name__}")
+    diagnostics: list[Diagnostic] = []
+    try:
+        free = free_variables(term)
+    except AlgebraError as error:  # pragma: no cover - defensive
+        return DiagnosticReport(
+            (Diagnostic("T003", ERROR, str(error)),), None, "term")
+    if database is not None:
+        for name in sorted(free):
+            if name not in database:
+                diagnostics.append(Diagnostic(
+                    "T001", ERROR,
+                    f"term references unknown relation {name!r}"))
+            elif _is_empty(database[name]):
+                diagnostics.append(Diagnostic(
+                    "T002", WARNING,
+                    f"term reads relation {name!r}, which is empty"))
+    fixpoints = _collect_fixpoints(term, Fixpoint)
+    if not fixpoints:
+        shape = RecursionShape("nonrecursive", True, NONRECURSIVE_STRATEGIES)
+    else:
+        linear = all(is_linear(fp) for fp in fixpoints)
+        positive = all(is_positive(fp) for fp in fixpoints)
+        if not positive:
+            diagnostics.append(Diagnostic(
+                "T003", ERROR,
+                "a fixpoint body uses its own variable under an antijoin "
+                "(non-positive recursion violates Fcond)"))
+        if linear:
+            shape = RecursionShape("linear", True, LINEAR_STRATEGIES)
+        else:
+            shape = RecursionShape("non-linear", False, ())
+            diagnostics.append(Diagnostic(
+                "T003", ERROR,
+                "a fixpoint is non-linear: its body joins two occurrences "
+                "of the recursive variable, which violates Fcond",
+                hint="rewrite the recursion so each rule recurses through "
+                     "a single occurrence (e.g. left-linear transitive "
+                     "closure)"))
+    return DiagnosticReport(tuple(diagnostics), shape, "term")
+
+
+def _collect_fixpoints(term, fixpoint_type) -> list:
+    found = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, fixpoint_type):
+            found.append(node)
+        stack.extend(node.children())
+    return found
+
+
+# -- Dispatcher ----------------------------------------------------------------
+
+def analyze(subject, *, database: Catalog = None,
+            frontend: str = "ucrpq") -> DiagnosticReport:
+    """Analyze any supported subject.
+
+    Strings are parsed according to ``frontend`` (``"ucrpq"`` or
+    ``"datalog"``); ASTs, programs and terms dispatch on their type.
+    """
+    from ..algebra.terms import Term
+
+    if isinstance(subject, str):
+        if frontend == "datalog":
+            return analyze_program(subject, database=database)
+        if frontend == "ucrpq":
+            return analyze_query(subject, database=database)
+        raise ValueError(f"unknown frontend {frontend!r}; "
+                         f"expected 'ucrpq' or 'datalog'")
+    if isinstance(subject, UCRPQ):
+        return analyze_query(subject, database=database)
+    if isinstance(subject, Program):
+        return analyze_program(subject, database=database)
+    if isinstance(subject, Term):
+        return analyze_term(subject, database=database)
+    raise TypeError(
+        f"cannot analyze {type(subject).__name__}: expected query text, "
+        f"a UCRPQ, a Datalog Program or a mu-RA Term")
+
+
+__all__ = ["analyze", "analyze_query", "analyze_program", "analyze_term",
+           "classify_program", "LINEAR_STRATEGIES",
+           "NONRECURSIVE_STRATEGIES"]

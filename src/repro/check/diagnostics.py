@@ -1,0 +1,235 @@
+"""Diagnostics: stable codes, severities, source spans and rendering.
+
+Every finding the static analyzer produces is a :class:`Diagnostic`
+with a **stable code** drawn from the registry below, so tests, tooling
+and API clients can match on ``code`` instead of message text.  Spans
+are 0-based character offsets into the analyzed source (reusing the
+parser positions introduced in PR 4) and render through the same
+:func:`repro.errors.format_snippet` path as parse errors.
+
+Code taxonomy (see DESIGN.md for the narrative version):
+
+========  ========================================================
+``Qxxx``  UCRPQ queries (parse, catalog, shape of the body)
+``DLxxx`` Datalog programs (parse, safety, stratification, reach)
+``Txxx``  mu-RA terms built with the fluent API
+``Sxxx``  informational classification (recursion shape, strategies)
+========  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError, format_snippet, line_and_column
+
+#: Severity levels, ordered from most to least severe.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITIES = (ERROR, WARNING, INFO)
+
+#: Registry of every diagnostic the analyzer can emit.  Codes are part
+#: of the public API: never renumber, only append.
+CODES: dict[str, str] = {
+    "Q001": "UCRPQ parse error",
+    "Q101": "unknown edge label",
+    "Q102": "edge label has no edges (result is trivially empty)",
+    "Q103": "cartesian product between body atoms",
+    "Q104": "duplicate body atom",
+    "Q105": "atom binds no variables",
+    "DL001": "Datalog parse error",
+    "DL002": "inconsistent predicate arity",
+    "DL003": "unsafe rule: head variable unbound in the positive body",
+    "DL004": "unsafe negation: variable occurs only under negation",
+    "DL005": "negated rule head",
+    "DL006": "negation is not stratifiable",
+    "DL007": "dead rule: unreachable from the goal",
+    "DL008": "unknown predicate: no rules and not in the catalog",
+    "DL009": "predicate reads an empty relation",
+    "DL010": "goal predicate is never defined",
+    "DL011": "cartesian product in rule body",
+    "T001": "term references an unknown relation",
+    "T002": "term reads an empty relation",
+    "T003": "term is structurally invalid",
+    "S001": "recursion-shape classification",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``start``/``end`` delimit the offending span as character offsets
+    into ``source``; all three are ``None`` when the analyzed subject
+    had no source text (an AST or term built programmatically).
+    """
+
+    code: str
+    severity: str
+    message: str
+    start: int | None = None
+    end: int | None = None
+    source: str | None = None
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def span(self) -> tuple[int, int] | None:
+        if self.start is None:
+            return None
+        return (self.start, self.end if self.end is not None else self.start + 1)
+
+    def render(self) -> str:
+        """Human-readable form with a caret snippet when a span exists::
+
+            error[Q101]: unknown edge label 'knws'
+              ?x <- ?x knws+ ?y
+                       ^^^^
+        """
+        header = f"{self.severity}[{self.code}]: {self.message}"
+        parts = [header]
+        span = self.span
+        if span is not None and self.source is not None:
+            line, column = line_and_column(self.source, span[0])
+            parts[0] = f"{header} (line {line}, column {column})"
+            parts.append(format_snippet(self.source, span[0],
+                                        span[1] - span[0]))
+        if self.hint:
+            parts.append(f"  hint: {self.hint}")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """The wire form served by ``POST /v1/analyze``."""
+        payload: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        span = self.span
+        if span is not None:
+            payload["span"] = list(span)
+            if self.source is not None:
+                line, column = line_and_column(self.source, span[0])
+                payload["line"] = line
+                payload["column"] = column
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+@dataclass(frozen=True)
+class RecursionShape:
+    """How a query or program recurses, and which paper strategies apply.
+
+    ``shape`` is ``"nonrecursive"``, ``"linear"`` or ``"non-linear"``;
+    ``regular`` marks programs expressible as regular path queries (the
+    class the paper's distributed plans target).  ``strategies`` lists
+    the applicable execution strategies among ``Pplw``, ``Pgld`` and
+    ``centralized`` — empty when no engine in the repo can run it.
+    """
+
+    shape: str
+    regular: bool
+    strategies: tuple[str, ...]
+
+    def describe(self) -> str:
+        kind = f"{self.shape}, {'regular' if self.regular else 'non-regular'}"
+        if not self.strategies:
+            return f"recursion is {kind}; no implemented strategy applies"
+        return (f"recursion is {kind}; applicable strategies: "
+                f"{', '.join(self.strategies)}")
+
+    def to_dict(self) -> dict:
+        return {"shape": self.shape, "regular": self.regular,
+                "strategies": list(self.strategies)}
+
+
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """The outcome of one analysis: diagnostics plus the recursion shape."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    recursion: RecursionShape | None = None
+    subject: str = "query"
+
+    def __post_init__(self) -> None:
+        ranked = sorted(self.diagnostics,
+                        key=lambda d: _SEVERITIES.index(d.severity))
+        object.__setattr__(self, "diagnostics", tuple(ranked))
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        return not self.has_errors
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def render(self) -> str:
+        if not self.diagnostics and self.recursion is None:
+            return f"{self.subject}: no findings"
+        blocks = [d.render() for d in self.diagnostics]
+        if self.recursion is not None:
+            blocks.append(f"info[S001]: {self.recursion.describe()}")
+        return "\n".join(blocks)
+
+    def to_dict(self) -> dict:
+        payload: dict[str, object] = {
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "error_count": len(self.errors),
+            "warning_count": len(self.warnings),
+        }
+        if self.recursion is not None:
+            payload["recursion"] = self.recursion.to_dict()
+        return payload
+
+    def raise_if_errors(self) -> "DiagnosticReport":
+        """Raise :class:`AnalysisError` when any error-level finding exists."""
+        errors = self.errors
+        if errors:
+            summary = "; ".join(f"[{d.code}] {d.message}" for d in errors)
+            raise AnalysisError(
+                f"static analysis rejected the {self.subject}: {summary}",
+                diagnostics=self.diagnostics)
+        return self
+
+
+def merge(*reports: DiagnosticReport) -> DiagnosticReport:
+    """Combine reports; the first non-``None`` recursion shape wins."""
+    diagnostics: list[Diagnostic] = []
+    recursion = None
+    subject = reports[0].subject if reports else "query"
+    for report in reports:
+        diagnostics.extend(report.diagnostics)
+        if recursion is None:
+            recursion = report.recursion
+    return DiagnosticReport(tuple(diagnostics), recursion, subject)
+
+
+__all__ = ["CODES", "Diagnostic", "DiagnosticReport", "RecursionShape",
+           "ERROR", "WARNING", "INFO", "merge"]

@@ -36,7 +36,6 @@ snapshots and maintained views never see codes.
 
 from __future__ import annotations
 
-import threading
 import time
 from array import array
 from collections.abc import Iterable
@@ -45,6 +44,7 @@ from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any
 
 from ..obs.metrics import get_registry
+from ..check.sanitizer import ordered_lock
 from . import storage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (relation.py imports us)
@@ -109,7 +109,7 @@ class ValueDictionary:
         #: Code -> value, positionally.  Public so kernels can decode with
         #: ``map(values.__getitem__, column)`` — no method call per cell.
         self.values: list[Any] = []
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("columnar.dictionary")
 
     def __len__(self) -> int:
         return len(self.values)
@@ -159,7 +159,7 @@ class ValueDictionary:
     def __setstate__(self, values: list[Any]) -> None:
         self.values = values
         self._codes = {value: code for code, value in enumerate(values)}
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("columnar.dictionary")
 
     def __repr__(self) -> str:
         return f"ValueDictionary(values={len(self.values)})"

@@ -50,7 +50,8 @@ class Relation:
     2
     """
 
-    __slots__ = ("_columns", "_rows", "_index_cache", "_columnar_cache")
+    __slots__ = ("_columns", "_rows", "_index_cache", "_columnar_cache",
+                 "_frozen")
 
     def __init__(self, columns: Iterable[str], rows: Iterable[Row] = ()):  # noqa: D107
         ordered = tuple(sorted(columns))
@@ -93,6 +94,18 @@ class Relation:
         relation._index_cache = None
         relation._columnar_cache = None
         return relation
+
+    def _freeze(self) -> None:
+        """Mark this relation as snapshot-owned.
+
+        The ``_frozen`` slot stays unset until a relation enters a
+        :class:`~repro.data.snapshot.DatabaseSnapshot`; while the
+        sanitizer (:mod:`repro.check.sanitizer`) is active, rebinding
+        the row/column storage of a frozen relation is poisoned.  The
+        memoized index/columnar caches are exempt — they are
+        value-idempotent.
+        """
+        self._frozen = True
 
     @classmethod
     def from_dicts(cls, dicts: Iterable[Mapping[str, Any]],
@@ -156,6 +169,11 @@ class Relation:
     def columns(self) -> tuple[str, ...]:
         """The (sorted) schema of the relation."""
         return self._columns
+
+    @property
+    def arity(self) -> int:
+        """Number of columns (the analyzer's authoritative arity)."""
+        return len(self._columns)
 
     @property
     def rows(self) -> frozenset[Row]:

@@ -89,6 +89,8 @@ class DatabaseSnapshot(Mapping):
         self.graph_name = graph_name
         self.version = 0
         self._relations: dict[str, Relation] = dict(relations)
+        for relation in self._relations.values():
+            relation._freeze()
         self._versions: dict[str, int] = dict.fromkeys(self._relations, 0)
         self._schemas: dict[str, tuple[str, ...]] = {
             name: relation.columns
@@ -205,6 +207,7 @@ class DatabaseSnapshot(Mapping):
             name: self._relations.get(name) for name in changes}
         successor._deltas = None
         for name, relation in changes.items():
+            relation._freeze()
             successor._versions[name] = successor.version
             successor._schemas[name] = relation.columns
             successor._catalog.refresh(name, relation)

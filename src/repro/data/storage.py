@@ -203,8 +203,7 @@ class RelationBuilder:
     def build(self) -> "Relation":
         """Materialise the accumulated rows as an immutable relation."""
         from .relation import Relation
-        relation = Relation._from_trusted(self._columns, frozenset(self._rows))
-        return relation
+        return Relation._from_trusted(self._columns, frozenset(self._rows))
 
 
 class DeltaAccumulator:

@@ -30,11 +30,11 @@ when the host offers less physical parallelism than the simulation.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from ..check.sanitizer import ordered_lock
 from ..errors import DistributionError
 from .executor import SERIAL, ExecutorBackend, TaskOutcome, make_executor
 
@@ -212,7 +212,7 @@ class SparkCluster:
         # Metrics are normally mutated on the driver thread only (tasks are
         # pure and report back via their return values); the lock guards the
         # record_* entry points for task code that calls them anyway.
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("cluster.metrics")
 
     # -- Task execution --------------------------------------------------------
 

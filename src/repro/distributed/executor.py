@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
+from ..check.sanitizer import report_unpicklable_task
 from ..errors import DistributionError
 from ..obs.logs import get_logger, log_event
 from ..obs.tracing import (
@@ -219,7 +220,9 @@ class ProcessExecutor(ExecutorBackend):
         # Payloads that cannot cross a process boundary (closures over
         # unpicklable state) degrade to in-process execution instead of
         # failing the query.  The calling context is intact here, so spans
-        # land in the live tracer without any handoff.
+        # land in the live tracer without any handoff.  Under the sanitizer
+        # the silent degradation is a reportable violation.
+        report_unpicklable_task(fn, len(args_list))
         log_event(_LOGGER, "process executor falling back to in-process "
                            "execution (unpicklable task payload)",
                   tasks=len(args_list))

@@ -8,6 +8,41 @@ clause while still being able to distinguish precise failure modes.
 from __future__ import annotations
 
 
+def format_snippet(source: str, position: int, length: int = 1) -> str:
+    """Render the source line around ``position`` with a caret underline.
+
+    This is the one formatting path shared by the UCRPQ parser, the
+    Datalog parser and the diagnostics renderer in :mod:`repro.check`,
+    so caret snippets look the same everywhere::
+
+          ?x <- ?x +knows ?y
+                   ^
+
+    ``position`` is a 0-based character offset into ``source`` (clamped
+    to the source length); ``length`` widens the underline to cover a
+    whole span.  Multi-line sources show only the offending line.
+    """
+    position = max(0, min(position, len(source)))
+    line_start = source.rfind("\n", 0, position) + 1
+    line_end = source.find("\n", position)
+    if line_end == -1:
+        line_end = len(source)
+    line = source[line_start:line_end]
+    column = position - line_start
+    width = 1
+    if column < len(line):
+        width = max(1, min(length, len(line) - column))
+    return f"  {line}\n  {' ' * column}{'^' * width}"
+
+
+def line_and_column(source: str, position: int) -> tuple[int, int]:
+    """The 1-based line and column of a character offset in ``source``."""
+    position = max(0, min(position, len(source)))
+    line = source.count("\n", 0, position) + 1
+    column = position - (source.rfind("\n", 0, position) + 1) + 1
+    return line, column
+
+
 class ReproError(Exception):
     """Base class of every exception raised by the ``repro`` library."""
 
@@ -65,6 +100,41 @@ class PlanSelectionError(ReproError):
 
 class DatalogError(ReproError):
     """A Datalog program is malformed or cannot be evaluated."""
+
+
+class DatalogParseError(DatalogError):
+    """A Datalog program text could not be parsed.
+
+    Mirrors :class:`QueryParseError`: carries the 0-based character
+    ``position`` and the ``source`` text, and its message embeds a caret
+    snippet rendered by :func:`format_snippet`.
+    """
+
+    position: int = 0
+    source: str = ""
+
+
+class AnalysisError(ReproError):
+    """Static analysis rejected a query or program (strict mode).
+
+    ``diagnostics`` holds the :class:`repro.check.Diagnostic` objects
+    that caused the rejection so servers can return them structurally
+    instead of flattening everything into one string.
+    """
+
+    def __init__(self, message: str, *, diagnostics: object = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or ())
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer detected an invariant violation.
+
+    Raised by :mod:`repro.check.sanitizer` when it observes a potential
+    lock-order deadlock cycle, a mutation of a snapshot-frozen
+    :class:`~repro.data.relation.Relation`, or an unpicklable task
+    submitted to the process executor backend.
+    """
 
 
 class PregelError(ReproError):

@@ -70,7 +70,7 @@ class ServiceClient:
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
         last_error: Exception | None = None
-        for attempt in range(2):
+        for _attempt in range(2):
             if self._connection is None:
                 self._connection = self._open()
             try:
@@ -114,6 +114,21 @@ class ServiceClient:
             # The wire form of repro.service.UNBOUNDED is timeout=0.
             body["timeout"] = 0 if timeout is UNBOUNDED else timeout
         return self._json(self._send("POST", "/v1/query", body))
+
+    def analyze(self, query: str, *, graph: str | None = None,
+                frontend: str | None = None) -> dict:
+        """Statically analyze a query without executing it.
+
+        The payload mirrors ``DiagnosticReport.to_dict()``: ``ok``, the
+        ``diagnostics`` list (stable codes, severities, spans) and the
+        ``recursion`` shape with the applicable paper strategies.
+        """
+        body: dict[str, object] = {"query": query}
+        if graph is not None:
+            body["graph"] = graph
+        if frontend is not None:
+            body["frontend"] = frontend
+        return self._json(self._send("POST", "/v1/analyze", body))
 
     def stream_query(self, query: str | None = None, *,
                      graph: str | None = None, strategy: str | None = None,

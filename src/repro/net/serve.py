@@ -68,7 +68,8 @@ def build_server(args: argparse.Namespace) -> HttpServer:
     service = QueryService(session,
                            max_in_flight=args.max_in_flight,
                            queue_capacity=args.queue_capacity,
-                           default_timeout=args.default_timeout)
+                           default_timeout=args.default_timeout,
+                           strict=args.strict)
     tenants = None
     if args.tenants is not None:
         config = json.loads(pathlib.Path(args.tenants).read_text())
@@ -101,6 +102,10 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
                         help="admission queue depth")
     parser.add_argument("--default-timeout", type=float, default=None,
                         help="default per-query deadline (seconds)")
+    parser.add_argument("--strict", action="store_true",
+                        help="statically analyze queries on admission and "
+                             "reject ones with analyzer errors (structured "
+                             "diagnostics in the response)")
     parser.add_argument("--log-level", default="INFO")
     return parser.parse_args(argv)
 

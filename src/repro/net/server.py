@@ -10,6 +10,7 @@ Method Path                         Purpose
 POST   ``/v1/query``                One query, buffered JSON result
 POST   ``/v1/query/stream``         Chunked ndjson batches + continuation
                                     tokens (snapshot-pinned pagination)
+POST   ``/v1/analyze``              Static analysis: diagnostics, no execution
 POST   ``/v1/graphs/{graph}/edges`` Edge mutations through the commit lock
 GET    ``/v1/explain``              EXPLAIN ANALYZE as JSON
 GET    ``/healthz``                 :meth:`QueryService.health` + server state
@@ -53,9 +54,9 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from ..errors import (AuthorizationError, DatasetError, NetworkError,
-                      ProtocolError, QuotaExceededError, ReproError,
-                      ServiceError, ServiceOverloadError)
+from ..errors import (AnalysisError, AuthorizationError, DatasetError,
+                      NetworkError, ProtocolError, QuotaExceededError,
+                      ReproError, ServiceError, ServiceOverloadError)
 from ..obs import tracing
 from ..obs.logs import get_logger, log_event
 from ..obs.metrics import get_registry
@@ -164,6 +165,7 @@ class HttpServer:
         self.router = Router()
         self.router.add("POST", "/v1/query", self._handle_query)
         self.router.add("POST", "/v1/query/stream", self._handle_stream)
+        self.router.add("POST", "/v1/analyze", self._handle_analyze)
         self.router.add("POST", "/v1/graphs/{graph}/edges",
                         self._handle_edges)
         self.router.add("GET", "/v1/explain", self._handle_explain)
@@ -465,6 +467,31 @@ class HttpServer:
         return _Streamed(status=200, bytes_written=chunked.bytes_written,
                          keep_alive=keep_alive and chunked.finished)
 
+    async def _handle_analyze(self, request, params, context) -> Response:
+        """Static analysis of a query body — diagnostics, no execution.
+
+        Always answers 200 when the analysis itself ran (the verdict is
+        in the payload's ``ok`` / ``diagnostics``); parse failures are
+        analysis *findings*, not protocol errors.
+        """
+        body = request.json()
+        query_text = body.get("query")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise ProtocolError("request body requires a 'query' string")
+        frontend = body.get("frontend", "ucrpq")
+        if frontend not in _FRONTENDS:
+            raise ProtocolError(f"unknown frontend {frontend!r} "
+                                f"(supported: {', '.join(_FRONTENDS)})")
+        graph = context.tenant.resolve_graph(body.get("graph"))
+        scope = self._scope(graph)
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, lambda: scope.analyze(query_text, frontend=frontend))
+        payload = report.to_dict()
+        payload["graph"] = graph
+        payload["frontend"] = frontend
+        return Response(200, payload)
+
     async def _handle_explain(self, request, params, context) -> Response:
         query_text = request.query.get("query")
         if not query_text:
@@ -684,6 +711,8 @@ def _served_payload(served, handle) -> dict:
     }
     if not served.succeeded:
         payload["detail"] = served.detail
+        if served.diagnostics:
+            payload["diagnostics"] = list(served.diagnostics)
         return payload
     result = served.result
     relation = result.relation
@@ -730,6 +759,10 @@ def _map_error(error: BaseException
         return 503, {"error": str(error)}, ()
     if isinstance(error, DatasetError):
         return 404, {"error": str(error)}, ()
+    if isinstance(error, AnalysisError):
+        return 400, {"error": str(error),
+                     "diagnostics": [d.to_dict()
+                                     for d in error.diagnostics]}, ()
     if isinstance(error, ReproError):
         return 400, {"error": str(error)}, ()
     return 500, {"error": f"internal error: {error!r}"}, ()

@@ -17,7 +17,6 @@ development and the examples friction-free.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 
@@ -26,6 +25,7 @@ from ..errors import (
     AuthorizationError,
     QuotaExceededError,
 )
+from ..check.sanitizer import ordered_lock
 
 #: Graph allowlist wildcard: the tenant may address every graph.
 ALL_GRAPHS = "*"
@@ -76,7 +76,7 @@ class TokenBucket:
         self._clock = clock
         self._tokens = self.burst
         self._stamp = clock()
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("tenancy.bucket")
 
     def try_acquire(self) -> float:
         """Take one token; returns 0.0 on success, else seconds to wait."""
@@ -140,7 +140,7 @@ class TenantRegistry:
     def __init__(self, tenants: list[Tenant] | None = None, *,
                  clock=time.monotonic):
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("tenancy.registry")
         self._by_token: dict[str, Tenant] = {}
         self._states: dict[str, _TenantState] = {}
         for tenant in tenants or ():

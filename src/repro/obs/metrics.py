@@ -33,12 +33,12 @@ instrumented call sites publish to; tests build private registries.
 from __future__ import annotations
 
 import json
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
 
 from ..percentiles import DEFAULT_PERCENTILES, percentiles
+from ..check.sanitizer import ordered_lock
 
 #: Samples retained per histogram window (same bound and rationale as
 #: ServiceMetrics: long-running services must not grow without limit).
@@ -59,7 +59,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("obs.counter")
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -79,7 +79,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("obs.gauge")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -111,7 +111,7 @@ class Histogram:
         self._window: deque[float] = deque(maxlen=window)
         self._count = 0
         self._sum = 0.0
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("obs.histogram")
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -150,7 +150,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[_Key, object] = {}
         self._kinds: dict[str, type] = {}
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("obs.registry")
 
     # -- Instrument access ---------------------------------------------------
 

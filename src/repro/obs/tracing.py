@@ -39,12 +39,13 @@ from __future__ import annotations
 
 import itertools
 import os
-import threading
 import time
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
 from contextvars import ContextVar
+
+from ..check.sanitizer import ordered_lock
 from dataclasses import dataclass, field
 
 #: Default bound on buffered finished spans per tracer: a forgotten
@@ -166,7 +167,7 @@ class _NoopSpan:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        return None
+        """Nothing to finish; never swallows the exception."""
 
     def __repr__(self) -> str:
         return "Span(<disabled>)"
@@ -190,7 +191,7 @@ class Tracer:
         self.enabled = enabled
         self.exporter = exporter
         self._records: deque[SpanRecord] = deque(maxlen=capacity)
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("obs.tracer")
 
     def span(self, name: str, **attributes: object):
         """Open a span under the current one (a no-op span when disabled)."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import re
 
-from ..errors import QueryParseError
+from ..errors import QueryParseError, format_snippet
 from .ast import (Alternation, Atom, Concat, ConjunctiveQuery, Constant,
                   Endpoint, Label, PathExpr, Plus, UCRPQ, Variable)
 
@@ -75,11 +75,40 @@ def parse_error(message: str, source: str, position: int) -> QueryParseError:
     character offset) is also attached to the exception.
     """
     position = max(0, min(position, len(source)))
-    snippet = f"  {source}\n  {' ' * position}^"
+    snippet = format_snippet(source, position)
     error = QueryParseError(f"{message} at position {position}\n{snippet}")
     error.position = position
     error.source = source
     return error
+
+
+class SpanTable:
+    """Source spans of AST nodes, keyed by node identity.
+
+    The UCRPQ AST is made of frozen value-equal dataclasses, so two
+    occurrences of the same label in one query compare equal; spans are
+    therefore keyed by ``id(node)``.  The table keeps a strong reference
+    to every registered node so the identity keys stay valid for its
+    lifetime.  Built by :func:`parse_query_spanned` and consumed by the
+    static analyzer in :mod:`repro.check`.
+    """
+
+    __slots__ = ("_spans", "_nodes")
+
+    def __init__(self) -> None:
+        self._spans: dict[int, tuple[int, int]] = {}
+        self._nodes: list[object] = []
+
+    def add(self, node: object, start: int, end: int) -> None:
+        self._spans[id(node)] = (start, end)
+        self._nodes.append(node)
+
+    def get(self, node: object) -> tuple[int, int] | None:
+        """The ``(start, end)`` character span of ``node``, if recorded."""
+        return self._spans.get(id(node))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
 
 
 def _tokenize(text: str) -> list[_Token]:
@@ -105,10 +134,13 @@ def _tokenize(text: str) -> list[_Token]:
 class _Parser:
     """Recursive-descent parser over the token stream."""
 
-    def __init__(self, tokens: list[_Token], source: str):
+    def __init__(self, tokens: list[_Token], source: str,
+                 spans: SpanTable | None = None):
         self._tokens = tokens
         self._source = source
         self._index = 0
+        self._spans = spans
+        self._last_end = 0
 
     # -- Token helpers --------------------------------------------------------
 
@@ -123,7 +155,16 @@ class _Parser:
             raise parse_error("unexpected end of query", self._source,
                               len(self._source))
         self._index += 1
+        self._last_end = token.position + len(token.text)
         return token
+
+    def _start(self) -> int:
+        token = self._peek()
+        return token.position if token is not None else len(self._source)
+
+    def _note(self, node: PathExpr | Endpoint | Atom, start: int) -> None:
+        if self._spans is not None:
+            self._spans.add(node, start, self._last_end)
 
     def _expect(self, kind: str) -> _Token:
         token = self._next()
@@ -161,7 +202,9 @@ class _Parser:
 
     def _parse_head_variable(self) -> Variable:
         token = self._expect("VARIABLE")
-        return Variable(token.text[1:])
+        variable = Variable(token.text[1:])
+        self._note(variable, token.position)
+        return variable
 
     def _parse_body(self) -> tuple[Atom, ...]:
         atoms = [self._parse_atom()]
@@ -170,51 +213,68 @@ class _Parser:
         return tuple(atoms)
 
     def _parse_atom(self) -> Atom:
+        start = self._start()
         subject = self._parse_endpoint()
         path = self._parse_alternation()
         obj = self._parse_endpoint()
-        return Atom(subject, path, obj)
+        atom = Atom(subject, path, obj)
+        self._note(atom, start)
+        return atom
 
     def _parse_endpoint(self) -> Endpoint:
         token = self._next()
         if token.kind == "VARIABLE":
-            return Variable(token.text[1:])
-        if token.kind == "IDENT":
-            return Constant(token.text)
-        raise parse_error(
-            f"expected a variable or constant but found {token.text!r}",
-            self._source, token.position)
+            endpoint: Endpoint = Variable(token.text[1:])
+        elif token.kind == "IDENT":
+            endpoint = Constant(token.text)
+        else:
+            raise parse_error(
+                f"expected a variable or constant but found {token.text!r}",
+                self._source, token.position)
+        self._note(endpoint, token.position)
+        return endpoint
 
     def _parse_alternation(self) -> PathExpr:
+        start = self._start()
         options = [self._parse_sequence()]
         while self._accept("PIPE"):
             options.append(self._parse_sequence())
         if len(options) == 1:
             return options[0]
-        return Alternation(tuple(options))
+        alternation = Alternation(tuple(options))
+        self._note(alternation, start)
+        return alternation
 
     def _parse_sequence(self) -> PathExpr:
+        start = self._start()
         parts = [self._parse_item()]
         while self._accept("SLASH"):
             parts.append(self._parse_item())
         if len(parts) == 1:
             return parts[0]
-        return Concat(tuple(parts))
+        concat = Concat(tuple(parts))
+        self._note(concat, start)
+        return concat
 
     def _parse_item(self) -> PathExpr:
+        start = self._start()
         expr = self._parse_step()
         while self._accept("PLUS"):
             expr = Plus(expr)
+            self._note(expr, start)
         return expr
 
     def _parse_step(self) -> PathExpr:
+        start = self._start()
         if self._accept("LPAREN"):
             expr = self._parse_alternation()
             self._expect("RPAREN")
             return expr
         inverse = self._accept("DASH") is not None
         token = self._expect("IDENT")
-        return Label(token.text, inverse=inverse)
+        label = Label(token.text, inverse=inverse)
+        self._note(label, start)
+        return label
 
 
 def parse_query(text: str) -> UCRPQ:
@@ -228,6 +288,20 @@ def parse_query(text: str) -> UCRPQ:
     if not tokens:
         raise QueryParseError("empty query string")
     return _Parser(tokens, text).parse_query()
+
+
+def parse_query_spanned(text: str) -> tuple[UCRPQ, SpanTable]:
+    """Parse a UCRPQ query and record the source span of every AST node.
+
+    Used by the static analyzer (:mod:`repro.check`) to attach precise
+    caret snippets to diagnostics.  The regular :func:`parse_query` path
+    skips span bookkeeping entirely.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryParseError("empty query string")
+    spans = SpanTable()
+    return _Parser(tokens, text, spans=spans).parse_query(), spans
 
 
 def parse_path(text: str) -> PathExpr:

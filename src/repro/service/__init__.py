@@ -26,7 +26,7 @@ from .metrics import MetricsSnapshot, ServiceMetrics
 from .plan_cache import CachedPlan, PlanCache, PlanKey
 from .result_cache import ResultCache, ResultKey
 from .server import (DEFAULT_MAX_IN_FLIGHT, DEFAULT_QUEUE_CAPACITY, FAILED,
-                     OK, UNBOUNDED, QueryService, ServedResult)
+                     OK, REJECTED, UNBOUNDED, QueryService, ServedResult)
 from .view_maintenance import (MaintenanceDecision, MaintenanceStats,
                                ViewMaintainer)
 
@@ -45,6 +45,7 @@ __all__ = [
     "PlanCache",
     "PlanKey",
     "QueryService",
+    "REJECTED",
     "ResultCache",
     "ResultKey",
     "ServedResult",

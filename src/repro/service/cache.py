@@ -10,12 +10,12 @@ live in :mod:`repro.service.plan_cache` and
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
 from ..errors import ServiceError
+from ..check.sanitizer import ordered_lock
 
 #: Public miss sentinel: pass as ``default`` to :meth:`LRUCache.get` to
 #: distinguish a cached ``None`` (or other falsy) value from a miss.
@@ -62,7 +62,7 @@ class LRUCache:
             raise ServiceError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("service.cache")
         self._stats = CacheStats()
 
     def get(self, key: Hashable, default: Any = None) -> Any:

@@ -20,12 +20,12 @@ exact over the whole lifetime.
 from __future__ import annotations
 
 import dataclasses
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
 
 from ..obs.metrics import get_registry
+from ..check.sanitizer import ordered_lock
 from ..percentiles import DEFAULT_PERCENTILES, percentiles
 
 #: Size of the sliding windows of latency / queue-wait samples.
@@ -89,7 +89,7 @@ class ServiceMetrics:
         #: Sliding windows of the most recent samples (bounded memory).
         self.latencies: deque[float] = deque(maxlen=sample_capacity)
         self.queue_waits: deque[float] = deque(maxlen=sample_capacity)
-        self._lock = threading.Lock()
+        self._lock = ordered_lock("service.metrics")
         self._started_at = time.perf_counter()
 
     def record_submitted(self) -> None:

@@ -136,6 +136,15 @@ class PlanCache:
     def clear(self) -> None:
         self._cache.clear()
 
+    def __contains__(self, key: PlanKey) -> bool:
+        """Stats-neutral membership probe (no LRU or counter side effects).
+
+        The strict-mode admission gate uses this to decide whether a
+        query was already analyzed-and-planned for the current snapshot
+        and config without distorting the cache's hit-rate statistics.
+        """
+        return key in self._cache
+
     def __len__(self) -> int:
         return len(self._cache)
 

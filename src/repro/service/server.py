@@ -61,7 +61,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from .._compat import warn_once
-from ..errors import ReproError, ServiceError, ServiceOverloadError
+from ..check.sanitizer import ordered_lock
+from ..errors import (AnalysisError, ReproError, ServiceError,
+                      ServiceOverloadError)
 from ..obs import tracing
 from ..obs.metrics import get_registry
 from .metrics import ServiceMetrics
@@ -77,6 +79,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
 #: statuses so served results drop into the same reporting.
 OK = "ok"
 FAILED = "failed"
+#: Strict-mode admission verdict: the query never reached the optimizer
+#: because static analysis found errors (see :attr:`ServedResult.diagnostics`).
+REJECTED = "rejected"
 
 
 class _Unbounded:
@@ -125,6 +130,10 @@ class ServedResult:
     service_seconds: float = 0.0
     #: End-to-end latency: submission to completion.
     latency_seconds: float = 0.0
+    #: Structured analyzer findings (``Diagnostic.to_dict()`` payloads).
+    #: Populated when a strict-mode service rejects the query
+    #: (``status == REJECTED``); empty otherwise.
+    diagnostics: tuple = ()
 
     @property
     def succeeded(self) -> bool:
@@ -169,6 +178,7 @@ class QueryService:
                  enable_plan_cache: bool = True,
                  enable_result_cache: bool = True,
                  default_timeout: float | None = None,
+                 strict: bool = False,
                  own_engine: bool = False):
         if max_in_flight <= 0:
             raise ServiceError("max_in_flight must be positive")
@@ -180,6 +190,11 @@ class QueryService:
         self.enable_plan_cache = enable_plan_cache
         self.enable_result_cache = enable_result_cache
         self.default_timeout = default_timeout
+        #: Strict mode: statically analyze each query on its first trip
+        #: through the plan phase (plan-cache hits skip the analysis) and
+        #: reject queries whose report has errors with ``status ==
+        #: REJECTED`` and structured :attr:`ServedResult.diagnostics`.
+        self.strict = strict
         engine.configure_caches(plan_cache_size, result_cache_size)
         self.metrics = ServiceMetrics()
         self._own_engine = own_engine
@@ -190,9 +205,9 @@ class QueryService:
         #: advisory, so the benign read-modify-write race is acceptable.
         self._queue_high_water = 0
         self._closed = False
-        self._close_lock = threading.Lock()
+        self._close_lock = ordered_lock("service.close")
         self._in_flight = 0
-        self._in_flight_lock = threading.Lock()
+        self._in_flight_lock = ordered_lock("service.in-flight")
         self._workers = [
             threading.Thread(target=self._worker_loop, daemon=True,
                              name=f"query-service-{index}")
@@ -387,6 +402,13 @@ class QueryService:
                         f"{handle.session.graph_name!r}; it cannot be "
                         f"served as graph {task.graph!r}")
                 served = self._serve(handle, task, queue_wait)
+            except AnalysisError as error:
+                served = ServedResult(
+                    query_text=str(task.query), status=REJECTED,
+                    detail=str(error), graph=task.graph,
+                    diagnostics=tuple(d.to_dict()
+                                      for d in error.diagnostics),
+                    queue_wait_seconds=queue_wait)
             except ReproError as error:
                 served = ServedResult(query_text=str(task.query),
                                       status=FAILED, detail=str(error),
@@ -429,10 +451,14 @@ class QueryService:
                 result, plan_hit, result_hit = handle.run_once(
                     task.strategy,
                     use_plan_cache=self.enable_plan_cache,
-                    use_result_cache=self.enable_result_cache)
+                    use_result_cache=self.enable_result_cache,
+                    check=self.strict)
             else:
                 # Datalog baseline handles have no serving path (and no
-                # plan/result caches); evaluate them directly.
+                # plan/result caches); evaluate them directly.  Strict
+                # mode still vets the translated program first.
+                if self.strict:
+                    handle.check().raise_if_errors()
                 result = handle.collect()
                 plan_hit = result_hit = None
             if request_span.enabled:

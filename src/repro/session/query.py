@@ -32,7 +32,6 @@ front-end: ``.ast`` / ``.program`` stages, then ``collect()``.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Iterator
 from concurrent.futures import Future
@@ -40,7 +39,9 @@ from typing import TYPE_CHECKING
 
 from ..algebra.printer import term_to_string
 from ..algebra.terms import Term
+from ..check.sanitizer import ordered_lock
 from ..errors import TranslationError
+from ..obs.metrics import get_registry
 from ..query.ast import UCRPQ
 from ..query.classes import classify_query
 from ..rewriter.normalize import canonicalize
@@ -57,7 +58,7 @@ _UNSET = object()
 #: Guards the one-time snapshot pin of every handle.  A single shared
 #: lock suffices: pinning happens at most once per handle and holds the
 #: lock only for a head-pointer read, so contention is negligible.
-_PIN_LOCK = threading.Lock()
+_PIN_LOCK = ordered_lock("session.pin")
 
 
 def _pin_snapshot(handle) -> "DatabaseSnapshot":
@@ -109,6 +110,8 @@ class Query:
         self._results: dict[str | None, "QueryResult"] = {}
         #: Deterministically ordered rows per strategy (see :meth:`page`).
         self._sorted_rows: dict[str | None, list[tuple]] = {}
+        #: Memoized static-analysis report (see :meth:`check`).
+        self._check = _UNSET
         #: Cache observations of the most recent plan/collect, for
         #: introspection and tests (``None`` = cache not consulted).
         self.last_plan_cache_hit: bool | None = None
@@ -216,6 +219,73 @@ class Query:
         ]
         return "\n".join(lines)
 
+    def check(self):
+        """Statically analyze the query against its pinned snapshot.
+
+        Returns a :class:`~repro.check.DiagnosticReport` — label/relation
+        existence, shape warnings (cartesian products, unused head
+        variables) and the recursion-shape classification predicting
+        which of the paper's strategies apply.  Never executes anything;
+        memoized on the handle (the pin makes the catalog stable).
+        """
+        if self._check is _UNSET:
+            self._check = self._analyze_against(self._pin())
+        return self._check
+
+    def _analyze_against(self, snapshot: "DatabaseSnapshot"):
+        """One analysis pass over the handle's best front-end artifact.
+
+        Text is preferred (spans and caret snippets survive), then the
+        given AST, then the raw term.  Counted in the metrics registry so
+        the serving tier's admission gate can assert it runs once per
+        plan-cache fill and never on the hot path.
+        """
+        from ..check import analyze_query, analyze_term
+
+        if self._text is not None or self._given_ast is not None:
+            subject = self._text if self._text is not None else self._given_ast
+            get_registry().counter("repro_analyze_total",
+                                   frontend="ucrpq").inc()
+            return analyze_query(subject, database=snapshot)
+        term = (self._plan_term if self._plan_term is not None
+                else self._given_term)
+        get_registry().counter("repro_analyze_total", frontend="term").inc()
+        return analyze_term(term, database=snapshot)
+
+    def _admission_gate(self, effective: str | None,
+                        snapshot: "DatabaseSnapshot",
+                        use_cache: bool | None) -> None:
+        """Strict-mode admission: analyze once per plan-cache fill.
+
+        A cached plan proves this exact (term, snapshot version, config)
+        was admitted before, so hits skip the analysis entirely — strict
+        serving adds no hot-path cost.  On a miss the analysis runs
+        *before* the optimizer; errors surface as a structured
+        :class:`~repro.errors.AnalysisError` instead of whatever the
+        deeper pipeline would have raised.  When translation itself fails
+        (e.g. an unknown label) the analyzer still gets a chance to
+        produce the better account before the original error propagates.
+        """
+        from ..algebra.variables import free_variables
+        from ..errors import ReproError
+        from ..service.plan_cache import PlanKey
+
+        try:
+            base = (self._plan_term if self._plan_term is not None
+                    else self._term_with(snapshot))
+        except ReproError:
+            self._analyze_against(snapshot).raise_if_errors()
+            raise
+        session = self.session
+        use_cache = (session.enable_plan_cache if use_cache is None
+                     else use_cache)
+        if use_cache and session.optimize_plans:
+            key = PlanKey.of(session, base, free_variables(base), effective,
+                             snapshot=snapshot)
+            if key in session.plan_cache:
+                return
+        self._analyze_against(snapshot).raise_if_errors()
+
     # -- Terminal actions ------------------------------------------------------
 
     def collect(self, strategy: str | None = None) -> "QueryResult":
@@ -238,6 +308,7 @@ class Query:
     def run_once(self, strategy: str | None = None, *,
                  use_plan_cache: bool | None = None,
                  use_result_cache: bool | None = None,
+                 check: bool = False,
                  ) -> "tuple[QueryResult, bool | None, bool | None]":
         """One un-memoized trip through the pipeline (the serving path).
 
@@ -249,10 +320,17 @@ class Query:
         served repeatedly against a mutating database.  Honors the
         handle's own default strategy and, for prepared bindings, the
         shared template plan.
+        With ``check=True`` the strict-mode admission gate runs first
+        (see :meth:`_admission_gate`): on a plan-cache miss the query is
+        statically analyzed and rejected with an
+        :class:`~repro.errors.AnalysisError` when the report has errors;
+        on a hit the analysis is skipped entirely.
         Returns ``(result, plan_cache_hit, result_cache_hit)``.
         """
         effective = self._effective(strategy)
         snapshot = self.session.snapshot()
+        if check:
+            self._admission_gate(effective, snapshot, use_plan_cache)
         plan, plan_hit, key = self._plan_for(effective, use_cache=use_plan_cache,
                                              snapshot=snapshot)
         result, result_hit = self.session.execute_plan(
@@ -290,7 +368,7 @@ class Query:
                 snapshot = self.session.snapshot()
                 if self._given_ast is not None or self._text is not None:
                     with tracing.span("query.parse"):
-                        self.ast
+                        self.ast  # noqa: B018 - forces the parse stage
                 with tracing.span("query.translate"):
                     self._term_with(snapshot)
                 plan, _, key = self._plan_for(effective,
@@ -503,6 +581,19 @@ class DatalogQuery:
         from ..baselines.datalog.distributed import analyse_distribution
         return analyse_distribution(self.program)
 
+    def check(self):
+        """Statically analyze the translated program against the database.
+
+        The pinned snapshot acts as the EDB catalog (forward label
+        relations carry the authoritative arity), so unknown predicates,
+        arity clashes, dead rules and the recursion-shape classification
+        all reflect the exact version :meth:`collect` would evaluate.
+        """
+        from ..check import analyze_program
+        get_registry().counter("repro_analyze_total",
+                               frontend="datalog").inc()
+        return analyze_program(self.program, database=self._pin())
+
     def collect(self):
         """Evaluate the program bottom-up; returns a BigDatalogResult."""
         if self._result is _UNSET:
@@ -546,10 +637,10 @@ class DatalogQuery:
             with tracing.span("query", query=self.describe(),
                               frontend="datalog"):
                 with tracing.span("query.parse"):
-                    self.ast
+                    self.ast  # noqa: B018 - forces the parse stage
                 with tracing.span("query.translate",
                                   magic=self.use_magic):
-                    self.program
+                    self.program  # noqa: B018 - forces the translation
                 with tracing.span("query.evaluate") as evaluate_span:
                     result = self.collect()
                     evaluate_span.set_attribute(

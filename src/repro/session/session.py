@@ -48,7 +48,6 @@ long-running analyses.
 from __future__ import annotations
 
 import contextvars
-import threading
 import time
 from collections import ChainMap
 from collections.abc import Iterable, Mapping
@@ -57,6 +56,7 @@ from dataclasses import dataclass, field
 
 from ..algebra.evaluate import Evaluator
 from ..algebra.kernels import KernelProgramCache
+from ..check.sanitizer import OrderedLock, ordered_lock, ordered_rlock
 from ..algebra.terms import Term
 from ..algebra.variables import free_variables
 from ..cost.selection import RankedPlan, rank_plans
@@ -141,7 +141,8 @@ class GraphState:
     head: DatabaseSnapshot
     plan_cache: PlanCache
     result_cache: ResultCache
-    commit_lock: threading.RLock = field(default_factory=threading.RLock)
+    commit_lock: OrderedLock = field(
+        default_factory=lambda: ordered_rlock("session.commit"))
 
 
 class Transaction:
@@ -296,13 +297,13 @@ class Session:
         #: Serializes physical cluster executions: the cluster's executor
         #: backend and metrics are single-caller by design.  The plan
         #: phase, result-cache hits and mutations all run outside it.
-        self.execution_lock = threading.RLock()
+        self.execution_lock = ordered_rlock("session.execution")
         self._background: ThreadPoolExecutor | None = None
-        self._background_lock = threading.Lock()
+        self._background_lock = ordered_lock("session.background")
         #: Named graphs of the session.  Every session view of a graph
         #: shares its ``GraphState`` cell (head pointer + caches).
         self._graphs: dict[str, GraphState] = {}
-        self._graphs_lock = threading.Lock()
+        self._graphs_lock = ordered_lock("session.graphs")
         self._graph_views: dict[str, Session] = {}
         #: This object's scope: which graph it addresses, and (for read
         #: views) the snapshot it is pinned to instead of the live head.
@@ -561,6 +562,23 @@ class Session:
     def parse(self, query: str | UCRPQ) -> UCRPQ:
         """Parse UCRPQ text (ASTs pass through unchanged)."""
         return parse_query(query) if isinstance(query, str) else query
+
+    def analyze(self, subject, *, frontend: str = "ucrpq",
+                snapshot: DatabaseSnapshot | None = None):
+        """Statically analyze a query against this session's database.
+
+        ``subject`` may be query text (parsed per ``frontend``:
+        ``"ucrpq"`` or ``"datalog"``), a parsed :class:`UCRPQ`, a Datalog
+        :class:`~repro.baselines.datalog.ast.Program` or a raw mu-RA
+        :class:`Term` — type dispatch matches :func:`repro.check.analyze`.
+        Returns a :class:`~repro.check.DiagnosticReport`; never parses
+        into the plan cache or executes anything.
+        """
+        from ..check import analyze
+        snapshot = snapshot if snapshot is not None else self.snapshot()
+        get_registry().counter("repro_analyze_total",
+                               frontend=frontend).inc()
+        return analyze(subject, database=snapshot, frontend=frontend)
 
     def translate(self, query: str | UCRPQ,
                   snapshot: DatabaseSnapshot | None = None) -> Term:

@@ -1,0 +1,286 @@
+"""The diagnostics corpus: bad programs the analyzer must reject with a
+stable code + span, and the repo's own workloads/examples, which must
+analyze clean.
+
+The corpus is the compatibility contract of :mod:`repro.check`: codes
+are never renumbered and spans are part of the rendered caret snippets,
+so both are asserted exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.algebra.terms import Fixpoint, Join, RelVar, Rename, Union
+from repro.baselines.datalog.ast import Atom, Rule, Var
+from repro.check import analyze, analyze_program, analyze_query, analyze_term
+from repro.data.relation import Relation
+from repro.datasets.uniprot import uniprot_graph
+from repro.datasets.yago import yago_like_graph
+from repro.errors import DatalogError
+from repro.session import Session
+from repro.workloads import (concatenated_closure_queries, nonregular_queries,
+                             yago_queries)
+from repro.workloads.uniprot_queries import uniprot_queries
+
+#: A plain-dict catalog: the analyzer accepts any mapping whose values
+#: expose ``arity``/``__len__`` (a DatabaseSnapshot does too).
+CATALOG = {
+    "knows": Relation.from_pairs([("a", "b"), ("b", "c")]),
+    "-knows": Relation.from_pairs([("b", "a"), ("c", "b")]),
+    "likes": Relation.from_pairs([("a", "c")]),
+    "-likes": Relation.from_pairs([("c", "a")]),
+    "empty": Relation.from_pairs([]),
+    "-empty": Relation.from_pairs([]),
+}
+
+
+def codes_and_spans(report):
+    return [(d.code, d.span) for d in report.diagnostics]
+
+
+# -- UCRPQ bad corpus ----------------------------------------------------------
+
+UCRPQ_BAD = [
+    # Parse errors: trailing input, unbalanced parenthesis.
+    ("?x,?y <- ?x knows ?y ?z", [("Q001", (21, 22))]),
+    ("?x <- ?x (knows ?y", [("Q001", (16, 17))]),
+    ('?x,?y <- "alice" knows ?y', [("Q001", (9, 10))]),
+    # Unknown labels — plain, under a closure, and in a later union arm.
+    ("?x,?y <- ?x nope ?y", [("Q101", (12, 16))]),
+    ("?x,?y <- ?x (knows/nope)+ ?y", [("Q101", (19, 23))]),
+    ("?x,?y <- ?x knows ?y; ?x nope ?y", [("Q101", (25, 29))]),
+    # Empty labels (warning): the span points at the label either way.
+    ("?x,?y <- ?x empty ?y", [("Q102", (12, 17))]),
+    ("?x,?y <- ?x empty+ ?y", [("Q102", (12, 17))]),
+    # Cartesian products: disconnected atom flagged, not the first one.
+    ("?x,?z <- ?x knows ?y, ?a likes ?z", [("Q103", (22, 33))]),
+    ("?a,?b <- ?a knows ?b, ?c likes ?c", [("Q103", (22, 33))]),
+    # Duplicate atom.
+    ("?x,?y <- ?x knows ?y, ?x knows ?y", [("Q104", (22, 33))]),
+    # Variable-free boolean test (info), in either position.
+    ("?x <- alice knows bob, ?x likes ?y", [("Q105", (6, 21))]),
+    ("?x,?y <- ?x knows ?y, alice knows bob", [("Q105", (22, 37))]),
+]
+
+
+@pytest.mark.parametrize("query,expected", UCRPQ_BAD,
+                         ids=[q for q, _ in UCRPQ_BAD])
+def test_ucrpq_bad_corpus(query, expected):
+    report = analyze_query(query, database=CATALOG)
+    assert codes_and_spans(report) == expected
+
+
+def test_ucrpq_severities_follow_the_registry():
+    severity = {"Q001": "error", "Q101": "error", "Q102": "warning",
+                "Q103": "warning", "Q104": "warning", "Q105": "info"}
+    for query, expected in UCRPQ_BAD:
+        report = analyze_query(query, database=CATALOG)
+        for (code, _), diagnostic in zip(expected, report.diagnostics):
+            assert diagnostic.severity == severity[code]
+    # Only error-level diagnostics flip the verdict.
+    assert analyze_query("?x,?y <- ?x empty ?y", database=CATALOG).ok
+    assert not analyze_query("?x,?y <- ?x nope ?y", database=CATALOG).ok
+
+
+def test_ucrpq_render_carets_point_at_the_label():
+    report = analyze_query("?x,?y <- ?x nope ?y", database=CATALOG)
+    rendered = report.render()
+    assert "[Q101]" in rendered
+    assert "^^^^" in rendered  # the caret line under 'nope'
+    assert "known labels include" in rendered  # the hint survives
+
+
+# -- Datalog bad corpus --------------------------------------------------------
+
+DATALOG_BAD = [
+    # DL001 parse: unbalanced head, and a goal with no rules at all.
+    ("p(X :- knows(X,Y).\n?- p(X).", [("DL001", (4, 6))]),
+    ("?- nothing(X).", [("DL001", (0, 1))]),
+    # DL002 arity conflict between two uses of the same predicate.
+    ("p(X) :- knows(X,Y). p(X,Y) :- likes(X,Y).\n?- p(X).",
+     [("DL002", (20, 26))]),
+    # DL003 unsafe head variable.
+    ("p(X,Y) :- knows(X,Z).\n?- p(X,Y).", [("DL003", (4, 5))]),
+    # DL004 variable occurring only under negation.
+    ("p(X) :- knows(X,Y), not q(Y,Z). q(A,B) :- likes(A,B).\n?- p(X).",
+     [("DL004", (28, 29))]),
+    # DL006 negation inside the predicate's own recursion.
+    ("p(X) :- knows(X,Y), not p(Y).\n?- p(X).", [("DL006", (20, 28))]),
+    # DL007 rule unreachable from the goal.
+    ("p(X) :- knows(X,Y). dead(X) :- likes(X,Y).\n?- p(X).",
+     [("DL007", (20, 27))]),
+    # DL008 predicate with neither rules nor a database relation.
+    ("p(X) :- nope(X,Y).\n?- p(X).", [("DL008", (8, 17))]),
+    # DL009 EDB predicate reading an empty relation.
+    ("p(X) :- empty(X,Y).\n?- p(X).", [("DL009", (8, 18))]),
+    # DL010 undefined goal (and the rule then becomes unreachable).
+    ("p(X) :- knows(X,Y).\n?- q(X).",
+     [("DL010", (23, 27)), ("DL007", (0, 4))]),
+    # DL011 cartesian product between body atoms.
+    ("p(X,Y) :- knows(X,A), likes(B,Y).\n?- p(X,Y).",
+     [("DL011", (22, 32))]),
+]
+
+
+@pytest.mark.parametrize("program,expected", DATALOG_BAD,
+                         ids=[p.split("\n")[0] for p, _ in DATALOG_BAD])
+def test_datalog_bad_corpus(program, expected):
+    report = analyze_program(program, database=CATALOG)
+    assert codes_and_spans(report) == expected
+
+
+def test_datalog_negated_head_rejected_at_construction():
+    """DL005 has no parser path: the AST refuses negated heads outright."""
+    with pytest.raises(DatalogError, match="rule heads cannot be negated"):
+        Rule(head=Atom("p", (Var("x"),), negated=True),
+             body=(Atom("q", (Var("x"),)),))
+
+
+def test_datalog_stratification_span_covers_the_negated_literal():
+    program = "p(X) :- knows(X,Y), not p(Y).\n?- p(X)."
+    report = analyze_program(program, database=CATALOG)
+    (start, end), = [d.span for d in report.diagnostics]
+    assert program[start:end] == "not p(Y)"
+
+
+# -- mu-RA term corpus ---------------------------------------------------------
+
+def _nonlinear_closure() -> Fixpoint:
+    # mu X. knows | (X |x| X): both fixpoint branches recurse, violating
+    # the Fcond linearity requirement of the paper's rewritings.
+    return Fixpoint("X", Union(
+        RelVar("knows"),
+        Join(Rename("trg", "mid", RelVar("X")),
+             Rename("src", "mid", RelVar("X")))))
+
+
+def _linear_closure() -> Fixpoint:
+    return Fixpoint("X", Union(
+        RelVar("knows"),
+        Join(Rename("trg", "mid", RelVar("knows")),
+             Rename("src", "mid", RelVar("X")))))
+
+
+def test_term_unknown_relation_is_t001():
+    report = analyze_term(RelVar("nope"), database=CATALOG)
+    assert [d.code for d in report.diagnostics] == ["T001"]
+    assert not report.ok
+    # A free recursion variable is an unknown relation too.
+    report = analyze_term(RelVar("X"), database=CATALOG)
+    assert [d.code for d in report.diagnostics] == ["T001"]
+
+
+def test_term_empty_relation_is_t002_warning():
+    report = analyze_term(RelVar("empty"), database=CATALOG)
+    assert [(d.code, d.severity) for d in report.diagnostics] == \
+        [("T002", "warning")]
+    assert report.ok  # warnings do not flip the verdict
+
+
+def test_term_nonlinear_fixpoint_is_t003_with_no_strategies():
+    report = analyze_term(_nonlinear_closure(), database=CATALOG)
+    assert [d.code for d in report.diagnostics] == ["T003"]
+    assert report.recursion.shape == "non-linear"
+    assert report.recursion.strategies == ()
+
+
+def test_term_linear_fixpoint_predicts_the_paper_strategies():
+    report = analyze_term(_linear_closure(), database=CATALOG)
+    assert report.ok and not report.diagnostics
+    assert report.recursion.shape == "linear"
+    assert report.recursion.strategies == ("Pplw", "Pgld", "centralized")
+
+
+def test_term_nonrecursive_shape_is_centralized_only():
+    report = analyze_term(RelVar("knows"), database=CATALOG)
+    assert report.recursion.shape == "nonrecursive"
+    assert report.recursion.strategies == ("centralized",)
+
+
+def test_analyze_term_rejects_non_terms():
+    with pytest.raises(TypeError, match="mu-RA Term"):
+        analyze_term("not a term", database=CATALOG)
+
+
+# -- Clean corpus: the repo's own workloads and examples -----------------------
+
+def _all_workload_queries():
+    graph = uniprot_graph(num_edges=400, seed=3)
+    return (list(yago_queries()) + list(uniprot_queries(graph))
+            + list(concatenated_closure_queries(max_depth=4))
+            + list(nonregular_queries()))
+
+
+def test_workload_queries_analyze_structurally_clean():
+    """Every shipped workload query passes the catalog-free checks."""
+    queries = _all_workload_queries()
+    assert len(queries) >= 40
+    for query in queries:
+        if query.is_ucrpq:
+            report = analyze_query(query.text, database=None)
+        else:
+            report = analyze_term(query.term, database=None)
+        assert report.ok and not report.diagnostics, \
+            f"{query.qid}: {report.render()}"
+        assert report.recursion is not None
+
+
+def test_workload_queries_analyze_clean_against_their_graphs():
+    """With the real catalogs, no workload query has analyzer errors."""
+    yago = Session(yago_like_graph(scale=60, seed=3))
+    uniprot_g = uniprot_graph(num_edges=400, seed=3)
+    uniprot = Session(uniprot_g)
+    for query in yago_queries():
+        report = analyze_query(query.text, database=yago.snapshot())
+        assert not report.has_errors, f"{query.qid}: {report.render()}"
+    for query in uniprot_queries(uniprot_g):
+        if query.is_ucrpq:
+            report = analyze_query(query.text, database=uniprot.snapshot())
+        else:
+            report = analyze_term(query.term, database=uniprot.snapshot())
+        assert not report.has_errors, f"{query.qid}: {report.render()}"
+
+
+def _example_query_literals():
+    """UCRPQ string literals handed to ucrpq()/datalog()/prepare() in
+    the shipped examples, collected by AST walk (f-strings skipped)."""
+    examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    literals = []
+    for path in sorted(examples.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("ucrpq", "datalog", "prepare")
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                literals.append((f"{path.name}:{node.lineno}",
+                                 node.args[0].value))
+    return literals
+
+
+def test_example_queries_analyze_structurally_clean():
+    literals = _example_query_literals()
+    assert len(literals) >= 10  # the examples are a real corpus
+    for where, text in literals:
+        report = analyze_query(text, database=None)
+        assert report.ok and not report.diagnostics, \
+            f"{where}: {report.render()}"
+
+
+def test_analyze_dispatches_on_frontend():
+    report = analyze("?x,?y <- ?x knows+ ?y", database=CATALOG,
+                     frontend="ucrpq")
+    assert report.subject == "query" and report.ok
+    report = analyze("p(X) :- knows(X,Y).\n?- p(X).", database=CATALOG,
+                     frontend="datalog")
+    assert report.subject == "program" and report.ok
+    report = analyze(_linear_closure(), database=CATALOG, frontend="term")
+    assert report.subject == "term" and report.ok
+    with pytest.raises(ValueError, match="frontend"):
+        analyze("?x <- ?x knows ?y", frontend="sql")

@@ -8,7 +8,7 @@ from repro.net.router import MethodNotAllowed, RouteNotFound, Router
 
 
 async def _handler(request, params, context):  # pragma: no cover - target
-    return None
+    return
 
 
 @pytest.fixture

@@ -142,7 +142,7 @@ class TestDerivedMemo:
 
         def compute_none(snap):
             calls.append(snap)
-            return None
+            return  # a computed (and cached) None, spelled bare for RET501
 
         assert snapshot.derived("nothing", compute_none) is None
         assert snapshot.derived("nothing", compute_none) is None
